@@ -1,0 +1,121 @@
+// Package streamapprox's benchmark suite regenerates every figure of the
+// paper's evaluation (one benchmark per figure/panel; see DESIGN.md's
+// experiment index) plus the ablations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the figure's full parameter sweep at a reduced
+// dataset scale (BENCH_SCALE, default 0.1); `go run ./cmd/saprox run
+// <id> -scale 1` reproduces the full-size sweep and prints the rows.
+// Benchmarks report items/s over the whole sweep so regressions in any
+// system on the figure are visible.
+package streamapprox
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"streamapprox/internal/experiment"
+)
+
+// benchScale reads the dataset scale for benchmarks from BENCH_SCALE.
+func benchScale() float64 {
+	if s := os.Getenv("BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+// benchFigure runs one figure sweep per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := experiment.All()[id]
+	if !ok {
+		b.Fatalf("unknown figure %q", id)
+	}
+	opts := experiment.Options{Scale: benchScale(), Seed: 42, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Microbenchmarks (§5).
+
+func BenchmarkFig4aThroughputVsFraction(b *testing.B)            { benchFigure(b, "fig4a") }
+func BenchmarkFig4bAccuracyVsFraction(b *testing.B)              { benchFigure(b, "fig4b") }
+func BenchmarkFig4cThroughputVsBatchInterval(b *testing.B)       { benchFigure(b, "fig4c") }
+func BenchmarkFig5aAccuracyVsArrivalRates(b *testing.B)          { benchFigure(b, "fig5a") }
+func BenchmarkFig5bcThroughputAccuracyVsWindowSize(b *testing.B) { benchFigure(b, "fig5bc") }
+func BenchmarkFig6aScalability(b *testing.B)                     { benchFigure(b, "fig6a") }
+func BenchmarkFig6bThroughputVsAccuracyLoss(b *testing.B)        { benchFigure(b, "fig6b") }
+func BenchmarkFig6cPoissonSkewAccuracy(b *testing.B)             { benchFigure(b, "fig6c") }
+func BenchmarkFig7MeanTimeSeries(b *testing.B)                   { benchFigure(b, "fig7") }
+
+// Case studies (§6).
+
+func BenchmarkFig8aNetflowThroughput(b *testing.B)       { benchFigure(b, "fig8a") }
+func BenchmarkFig8bNetflowAccuracy(b *testing.B)         { benchFigure(b, "fig8b") }
+func BenchmarkFig8cNetflowThroughputAtLoss(b *testing.B) { benchFigure(b, "fig8c") }
+func BenchmarkFig9aTaxiThroughput(b *testing.B)          { benchFigure(b, "fig9a") }
+func BenchmarkFig9bTaxiAccuracy(b *testing.B)            { benchFigure(b, "fig9b") }
+func BenchmarkFig9cTaxiThroughputAtLoss(b *testing.B)    { benchFigure(b, "fig9c") }
+func BenchmarkFig10Latency(b *testing.B)                 { benchFigure(b, "fig10") }
+
+// Ablations (DESIGN.md).
+
+func BenchmarkAblationSTSBarrier(b *testing.B)       { benchFigure(b, "abl-sync") }
+func BenchmarkAblationWeighting(b *testing.B)        { benchFigure(b, "abl-weights") }
+func BenchmarkAblationDistributedOASRS(b *testing.B) { benchFigure(b, "abl-dist") }
+func BenchmarkAblationReservoirSkip(b *testing.B)    { benchFigure(b, "abl-skip") }
+
+// End-to-end public API benchmarks.
+
+func BenchmarkRunOASRSBatched(b *testing.B)   { benchRun(b, Batched, OASRS) }
+func BenchmarkRunOASRSPipelined(b *testing.B) { benchRun(b, Pipelined, OASRS) }
+func BenchmarkRunNativeBatched(b *testing.B)  { benchRun(b, Batched, None) }
+
+func benchRun(b *testing.B, engine Engine, sampler Sampler) {
+	b.Helper()
+	events := benchEvents(b)
+	cfg := Config{Engine: engine, Sampler: sampler, Fraction: 0.6, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var items int64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items += rep.Items
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(items)/elapsed, "items/s")
+	}
+}
+
+func benchEvents(b *testing.B) []Event {
+	b.Helper()
+	return testEvents(b, 10)
+}
+
+func BenchmarkSessionPush(b *testing.B) {
+	s := NewSession(SessionConfig{Fraction: 0.4, Seed: 1})
+	events := benchEvents(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Push(events[i%len(events)])
+	}
+}

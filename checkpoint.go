@@ -1,0 +1,144 @@
+package streamapprox
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"streamapprox/internal/adaptive"
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/window"
+	"streamapprox/internal/xrand"
+)
+
+// ErrSnapshotUnsupported is returned by Snapshot for sessions using
+// auto-stratification, whose stratifier state is not checkpointable yet.
+var ErrSnapshotUnsupported = errors.New("streamapprox: snapshot of auto-stratified sessions is not supported")
+
+// sessionState is the serialized form of a Session, versioned so the
+// format can evolve.
+type sessionState struct {
+	Version int `json:"version"`
+
+	Query           Query       `json:"query"`
+	WindowSizeNS    int64       `json:"windowSizeNs"`
+	WindowSlideNS   int64       `json:"windowSlideNs"`
+	Fraction        float64     `json:"fraction"`
+	TargetError     float64     `json:"targetError"`
+	TargetLatencyNS int64       `json:"targetLatencyNs,omitempty"`
+	Confidence      Confidence  `json:"confidence"`
+	HistogramEdges  []float64   `json:"histogramEdges,omitempty"`
+	Seed            uint64      `json:"seed"`
+	RNG             xrand.State `json:"rng"`
+	ControllerFrac  float64     `json:"controllerFraction"`
+
+	SegStart  time.Time            `json:"segStart"`
+	SegCount  int                  `json:"segCount"`
+	LastCount int                  `json:"lastCount"`
+	Watermark time.Time            `json:"watermark"`
+	Late      int64                `json:"late"`
+	Sampler   *sampling.OASRSState `json:"sampler,omitempty"`
+
+	Pending map[string]pendingSample `json:"pending"`
+	Ready   []WindowResult           `json:"ready,omitempty"`
+}
+
+// pendingSample is a window's accumulated sub-samples.
+type pendingSample struct {
+	Strata []sampling.StratumSample `json:"strata"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the session's full state — in-flight segment
+// sampler, pending window samples, adaptive-controller position, RNG —
+// so processing can resume after a crash via RestoreSession. The session
+// remains usable after Snapshot.
+func (s *Session) Snapshot() ([]byte, error) {
+	if s.stratifier != nil {
+		return nil, ErrSnapshotUnsupported
+	}
+	st := sessionState{
+		Version:         snapshotVersion,
+		Query:           s.cfg.Query,
+		WindowSizeNS:    int64(s.cfg.WindowSize),
+		WindowSlideNS:   int64(s.cfg.WindowSlide),
+		Fraction:        s.cfg.Fraction,
+		TargetError:     s.cfg.TargetError,
+		TargetLatencyNS: int64(s.cfg.TargetLatency),
+		Confidence:      s.cfg.Confidence,
+		HistogramEdges:  s.cfg.HistogramEdges,
+		Seed:            s.cfg.Seed,
+		RNG:             s.rng.State(),
+		ControllerFrac:  s.Fraction(),
+		SegStart:        s.segStart,
+		SegCount:        s.segCount,
+		LastCount:       s.lastCount,
+		Watermark:       s.watermark,
+		Late:            s.late,
+		Pending:         make(map[string]pendingSample, len(s.pending)),
+		Ready:           s.ready,
+	}
+	if s.sampler != nil {
+		samplerState := s.sampler.State()
+		st.Sampler = &samplerState
+	}
+	for start, sample := range s.pending {
+		st.Pending[start.Format(time.RFC3339Nano)] = pendingSample{Strata: sample.Strata}
+	}
+	return json.Marshal(st)
+}
+
+// RestoreSession rebuilds a session from a Snapshot. The restored
+// session continues the event-time stream where the snapshot left off:
+// pending windows, the in-flight segment's reservoirs, the watermark and
+// the adaptive fraction are all recovered.
+func RestoreSession(data []byte) (*Session, error) {
+	var st sessionState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("streamapprox: decode snapshot: %w", err)
+	}
+	if st.Version != snapshotVersion {
+		return nil, fmt.Errorf("streamapprox: unsupported snapshot version %d", st.Version)
+	}
+	// The latency cost model (if any) is rebuilt empty: it re-fits from
+	// the first post-restore segment, which is cheap and avoids
+	// serializing a wall-clock-dependent model.
+	s := NewSession(SessionConfig{
+		Query:          st.Query,
+		WindowSize:     time.Duration(st.WindowSizeNS),
+		WindowSlide:    time.Duration(st.WindowSlideNS),
+		Fraction:       st.Fraction,
+		TargetError:    st.TargetError,
+		TargetLatency:  time.Duration(st.TargetLatencyNS),
+		Confidence:     st.Confidence,
+		HistogramEdges: st.HistogramEdges,
+		Seed:           st.Seed,
+	})
+	s.rng.SetState(st.RNG)
+	if st.TargetError > 0 {
+		// Resume the controller from its snapshot position.
+		s.controller = adaptive.NewController(st.TargetError, st.ControllerFrac)
+	}
+	s.segStart = st.SegStart
+	s.segCount = st.SegCount
+	s.lastCount = st.LastCount
+	s.watermark = st.Watermark
+	s.late = st.Late
+	s.ready = st.Ready
+	if st.Sampler != nil {
+		s.sampler = sampling.RestoreOASRS(*st.Sampler, nil, s.rng)
+	}
+	for key, ps := range st.Pending {
+		start, err := time.Parse(time.RFC3339Nano, key)
+		if err != nil {
+			return nil, fmt.Errorf("streamapprox: bad pending-window key %q: %w", key, err)
+		}
+		s.pending[start] = &sampling.Sample{Strata: ps.Strata}
+	}
+	// Defensive: the assigner is cheap to rebuild and guards against a
+	// zero-window config slipping through.
+	s.assigner = window.NewAssigner(s.cfg.WindowSize, s.cfg.WindowSlide)
+	return s, nil
+}

@@ -1,0 +1,51 @@
+// Command brokerd runs the Kafka-like stream aggregator as a standalone
+// TCP daemon (Figure 1's stream aggregator tier).
+//
+// Usage:
+//
+//	brokerd [-addr host:port] [-topic name] [-partitions N]
+//
+// The daemon pre-creates the given topic and serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"streamapprox/internal/broker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9092", "listen address")
+	topic := flag.String("topic", "stream", "topic to pre-create")
+	partitions := flag.Int("partitions", 4, "partition count for the topic")
+	flag.Parse()
+
+	b := broker.New()
+	if err := b.CreateTopic(*topic, *partitions); err != nil {
+		return err
+	}
+	srv, err := broker.Serve(b, *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("brokerd listening on %s (topic %q, %d partitions)\n",
+		srv.Addr(), *topic, *partitions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("brokerd: shutting down")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command replay feeds a synthetic case-study dataset into a broker at a
+// controlled rate — the traffic replay tool of the paper's methodology
+// (§6.1: replay starts at 2000 messages/second, 200 items per message,
+// and is increased until the system under test saturates).
+//
+// Usage:
+//
+//	replay -dataset netflow|taxi|gaussian [-addr host:port] [-topic name]
+//	       [-items N] [-rate msgs/sec] [-batch items-per-msg] [-seed N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/workload"
+	"streamapprox/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "netflow", "dataset: netflow, taxi or gaussian")
+	addr := flag.String("addr", "127.0.0.1:9092", "broker address")
+	topic := flag.String("topic", "stream", "target topic")
+	items := flag.Int("items", 400000, "number of items to replay")
+	rate := flag.Int("rate", 2000, "messages per second (0 = full speed)")
+	batch := flag.Int("batch", 200, "items per message")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	var events []stream.Event
+	switch *dataset {
+	case "netflow":
+		events = workload.NetFlowEvents(rng, *items, time.Duration(*items)*time.Millisecond)
+	case "taxi":
+		events = workload.TaxiEvents(rng, *items, time.Duration(*items)*time.Millisecond)
+	case "gaussian":
+		seconds := *items / 6000
+		if seconds < 1 {
+			seconds = 1
+		}
+		events = workload.Generate(rng, time.Duration(seconds)*time.Second,
+			workload.PaperGaussian(2000, 2000, 2000)...)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+
+	cli, err := broker.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cli.Close() }()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	r := &workload.Replayer{MessagesPerSecond: *rate, ItemsPerMessage: *batch}
+	start := time.Now()
+	n, err := r.Replay(ctx, cli, *topic, events)
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d items in %v (%.0f items/s)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	return err
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing command accepted")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	err := run([]string{"run", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Errorf("unknown figure: %v", err)
+	}
+}
+
+func TestRunNoIDs(t *testing.T) {
+	if err := run([]string{"run", "-scale", "0.1"}); err == nil {
+		t.Error("run with no ids accepted")
+	}
+}
+
+func TestRunOneFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if err := run([]string{"run", "abl-weights", "-scale", "0.05"}); err != nil {
+		t.Errorf("run abl-weights: %v", err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	if err := run([]string{"run", "abl-weights", "-scale", "0.05", "-csv"}); err != nil {
+		t.Errorf("run -csv: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package streamapprox_test
+
+import (
+	"fmt"
+	"time"
+
+	"streamapprox"
+)
+
+// exampleStream builds a small deterministic two-stratum stream.
+func exampleStream() []streamapprox.Event {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	var events []streamapprox.Event
+	for i := 0; i < 20000; i++ {
+		t := base.Add(time.Duration(i) * time.Millisecond)
+		events = append(events,
+			streamapprox.Event{Stratum: "small", Value: 1, Time: t},
+			streamapprox.Event{Stratum: "large", Value: 1000, Time: t},
+		)
+	}
+	return events
+}
+
+// ExampleRun executes an approximate windowed SUM at a 25% sampling
+// fraction. Values in both strata are constant, so the estimates are
+// exact and the error bounds are zero.
+func ExampleRun() {
+	report, err := streamapprox.Run(streamapprox.Config{
+		Sampler:  streamapprox.OASRS,
+		Fraction: 0.25,
+		Query:    streamapprox.Sum,
+		Seed:     1,
+	}, exampleStream())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := report.Results[1] // a full interior window
+	fmt.Printf("window [%s, %s)\n", r.Start.Format("15:04:05"), r.End.Format("15:04:05"))
+	fmt.Printf("estimate %.0f ± %.0f from %d of %d items\n",
+		r.Overall.Value, r.Overall.Bound, r.Sampled, r.Items)
+	// Output:
+	// window [00:00:00, 00:00:10)
+	// estimate 10010000 ± 0 from 4960 of 20000 items
+}
+
+// ExampleSession processes the same stream incrementally and polls
+// completed windows as they fire.
+func ExampleSession() {
+	session := streamapprox.NewSession(streamapprox.SessionConfig{
+		Query:    streamapprox.GroupByCount,
+		Fraction: 0.5,
+		Seed:     1,
+	})
+	for _, e := range exampleStream() {
+		if err := session.Push(e); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	results := session.Close()
+	r := results[1]
+	fmt.Printf("window [%s, %s): small=%.0f large=%.0f\n",
+		r.Start.Format("15:04:05"), r.End.Format("15:04:05"),
+		r.Groups["small"].Value, r.Groups["large"].Value)
+	// Output:
+	// window [00:00:00, 00:00:10): small=10000 large=10000
+}

@@ -1,0 +1,68 @@
+// Adaptive budget: the §4.2.1 feedback mechanism in action. A Session is
+// given a target error bound instead of a fixed fraction; when a
+// window's relative error bound exceeds the target the sampling fraction
+// grows, and when the bound is comfortably tight the fraction decays to
+// reclaim throughput. Midway through the run the stream's variance
+// explodes, and the controller reacts.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"streamapprox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive-budget:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	session := streamapprox.NewSession(streamapprox.SessionConfig{
+		Query:       streamapprox.Sum,
+		Fraction:    0.05,  // deliberately too small for the target...
+		TargetError: 0.002, // ...so the controller must grow it
+		Seed:        21,
+	})
+
+	rng := rand.New(rand.NewSource(23))
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	fmt.Println("window-start  rel-error-bound  fraction-after")
+	for sec := 0; sec < 120; sec++ {
+		// After a minute, the stream becomes far noisier: the fixed
+		// fraction that was fine before no longer meets the target.
+		sigma := 5.0
+		if sec >= 60 {
+			sigma = 80.0
+		}
+		for k := 0; k < 2000; k++ {
+			ts := base.Add(time.Duration(sec)*time.Second +
+				time.Duration(k)*time.Second/2000)
+			if err := session.Push(streamapprox.Event{
+				Stratum: "src", Value: 100 + sigma*rng.NormFloat64(), Time: ts,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, w := range session.Poll() {
+			fmt.Printf("%s      %14.4f%%  %13.2f%%\n",
+				w.Start.Format("15:04:05"),
+				100*w.Overall.RelativeError(), 100*session.Fraction())
+		}
+	}
+	results := session.Close()
+	for _, w := range results {
+		fmt.Printf("%s      %14.4f%%  %13.2f%%\n",
+			w.Start.Format("15:04:05"),
+			100*w.Overall.RelativeError(), 100*session.Fraction())
+	}
+	fmt.Printf("\nfinal sampling fraction: %.1f%% (started at 5.0%%)\n",
+		100*session.Fraction())
+	return nil
+}

@@ -1,0 +1,78 @@
+// Quickstart: approximate a sliding-window SUM over a three-source
+// stream with OASRS sampling at 20%, and compare every window's estimate
+// (with its 95% error bound) against the exact answer.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"streamapprox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	events := makeStream()
+
+	// Approximate: sample 20% of every window with OASRS.
+	report, err := streamapprox.Run(streamapprox.Config{
+		Sampler:  streamapprox.OASRS,
+		Fraction: 0.20,
+		Query:    streamapprox.Sum,
+		Seed:     1,
+	}, events)
+	if err != nil {
+		return err
+	}
+
+	// Exact: the same query without sampling, for comparison.
+	exact, err := streamapprox.Exact(streamapprox.Config{Query: streamapprox.Sum}, events)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("processed %d items (%d sampled, %.1f%%) at %.0f items/s\n\n",
+		report.Items, report.Sampled,
+		100*float64(report.Sampled)/float64(report.Items), report.Throughput)
+	fmt.Println("window                estimate ± bound          exact        in-bounds")
+	for i, r := range report.Results {
+		want := exact[i].Overall.Value
+		lo, hi := r.Overall.Interval()
+		fmt.Printf("[%s, %s)  %12.0f ± %-10.0f %12.0f  %v\n",
+			r.Start.Format("15:04:05"), r.End.Format("15:04:05"),
+			r.Overall.Value, r.Overall.Bound, want, want >= lo && want <= hi)
+	}
+	return nil
+}
+
+// makeStream synthesizes 30 seconds of events from three sources with
+// very different value scales — the situation where stratified sampling
+// matters.
+func makeStream() []streamapprox.Event {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	var events []streamapprox.Event
+	for ms := 0; ms < 30000; ms++ {
+		t := base.Add(time.Duration(ms) * time.Millisecond)
+		events = append(events,
+			streamapprox.Event{Stratum: "sensor-a", Value: 10 + 5*rng.NormFloat64(), Time: t},
+			streamapprox.Event{Stratum: "sensor-b", Value: 1000 + 50*rng.NormFloat64(), Time: t},
+		)
+		// sensor-c is rare but carries large values: OASRS guarantees it
+		// is never overlooked.
+		if ms%100 == 0 {
+			events = append(events, streamapprox.Event{
+				Stratum: "sensor-c", Value: 100000 + 500*rng.NormFloat64(), Time: t,
+			})
+		}
+	}
+	return events
+}

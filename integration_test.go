@@ -1,0 +1,191 @@
+package streamapprox
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/workload"
+	"streamapprox/internal/xrand"
+)
+
+// TestEndToEndBrokerToSession exercises the full Figure-1 path: events
+// are produced to the Kafka-like aggregator over TCP, consumed by a
+// consumer group, pushed through an OASRS Session, and the per-window
+// estimates are checked against ground truth.
+func TestEndToEndBrokerToSession(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("stream", 4); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := broker.Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Produce the synthetic Gaussian workload over TCP in paper-style
+	// 200-item messages.
+	rng := xrand.New(7)
+	events := workload.Generate(rng, 20*time.Second, workload.PaperGaussian(500, 500, 500)...)
+	cli, err := broker.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	for start := 0; start < len(events); start += 200 {
+		end := start + 200
+		if end > len(events) {
+			end = len(events)
+		}
+		recs := make([]broker.Record, end-start)
+		for i, e := range events[start:end] {
+			recs[i] = broker.FromEvent(e)
+		}
+		if _, err := cli.Produce("stream", recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Consume (in-process consumer against the same broker) and stream
+	// into a Session.
+	consumer, err := broker.NewConsumer(b, "analytics", "stream", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := broker.NewEventSource(consumer, 2, 0)
+	session := NewSession(SessionConfig{Fraction: 0.5, Seed: 3})
+	consumed := 0
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := session.Push(Event(e)); err != nil {
+			t.Fatal(err)
+		}
+		consumed++
+	}
+	if consumed != len(events) {
+		t.Fatalf("consumed %d of %d produced events", consumed, len(events))
+	}
+	results := session.Close()
+	if len(results) < 3 {
+		t.Fatalf("only %d windows", len(results))
+	}
+
+	// Ground truth straight from the generated events.
+	exact, err := Exact(Config{}, toPublic(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactByStart := make(map[time.Time]float64, len(exact))
+	for _, r := range exact {
+		exactByStart[r.Start] = r.Overall.Value
+	}
+	checked := 0
+	for _, r := range results {
+		want, ok := exactByStart[r.Start]
+		if !ok {
+			continue
+		}
+		checked++
+		if loss := math.Abs(r.Overall.Value-want) / want; loss > 0.08 {
+			t.Errorf("window %v: estimate %v vs exact %v (loss %.3f)",
+				r.Start, r.Overall.Value, want, loss)
+		}
+	}
+	if checked < 3 {
+		t.Fatalf("compared only %d windows", checked)
+	}
+}
+
+func toPublic(in []stream.Event) []Event {
+	out := make([]Event, len(in))
+	for i, e := range in {
+		out[i] = Event(e)
+	}
+	return out
+}
+
+// TestHistogramQuery exercises the histogram path through the public
+// one-shot API.
+func TestHistogramQuery(t *testing.T) {
+	events := testEvents(t, 12)
+	cfg := Config{
+		Query:          Histogram,
+		HistogramEdges: []float64{0, 100, 2000, 20000},
+		Fraction:       0.5,
+		Seed:           5,
+	}
+	rep, err := Run(cfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(cfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rep.Results {
+		if len(r.Buckets) != 3 {
+			t.Fatalf("window %d has %d buckets", i, len(r.Buckets))
+		}
+		for j, b := range r.Buckets {
+			want := exact[i].Buckets[j].Count.Value
+			if want == 0 {
+				continue
+			}
+			if loss := math.Abs(b.Count.Value-want) / want; loss > 0.1 {
+				t.Errorf("window %d bucket [%v,%v): %v vs %v",
+					i, b.Lo, b.Hi, b.Count.Value, want)
+			}
+		}
+	}
+}
+
+// TestSessionAutoStratify checks that k-means auto-stratification keeps
+// estimates sane on an unlabeled bimodal stream: the clustering isolates
+// the rare huge-value mode into its own stratum, which OASRS then never
+// overlooks. (Quantile binning cannot isolate a 2% tail — its edges sit
+// inside the bulk — so this workload specifically wants k-means.)
+func TestSessionAutoStratify(t *testing.T) {
+	rng := xrand.New(31)
+	s := NewSession(SessionConfig{
+		Fraction:  0.3,
+		Stratify:  StratifyKMeans,
+		StratifyK: 2,
+		Seed:      6,
+	})
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	var trueTotal float64
+	var events []Event
+	for ms := 0; ms < 30000; ms++ {
+		v := rng.Gaussian(10, 2)
+		if ms%50 == 0 {
+			v = rng.Gaussian(100000, 500) // rare huge values
+		}
+		e := Event{Value: v, Time: base.Add(time.Duration(ms) * time.Millisecond)}
+		events = append(events, e)
+		trueTotal += v
+	}
+	for _, e := range events {
+		if err := s.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := s.Close()
+	if len(results) == 0 {
+		t.Fatal("no windows")
+	}
+	// Sum the tumbling-equivalent: every event is in exactly 2 windows,
+	// so Σ window sums = 2 × total (modulo stream edges).
+	var estTotal float64
+	for _, r := range results {
+		estTotal += r.Overall.Value
+	}
+	if rel := math.Abs(estTotal/2-trueTotal) / trueTotal; rel > 0.05 {
+		t.Errorf("auto-stratified total = %v, true %v (rel %.3f)", estTotal/2, trueTotal, rel)
+	}
+}

@@ -1,0 +1,128 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrowOnHighError(t *testing.T) {
+	c := NewController(0.01, 0.2)
+	next := c.Observe(0.05) // 5x over target
+	if next <= 0.2 {
+		t.Errorf("fraction did not grow: %v", next)
+	}
+	if c.Adjustments() != 1 {
+		t.Errorf("Adjustments = %d", c.Adjustments())
+	}
+}
+
+func TestShrinkOnLowError(t *testing.T) {
+	c := NewController(0.01, 0.8)
+	next := c.Observe(0.001) // far below target/2
+	if next >= 0.8 {
+		t.Errorf("fraction did not shrink: %v", next)
+	}
+}
+
+func TestDeadBandHolds(t *testing.T) {
+	c := NewController(0.01, 0.5)
+	// Error between target/2 and target: hold steady.
+	if next := c.Observe(0.008); next != 0.5 {
+		t.Errorf("fraction changed inside dead band: %v", next)
+	}
+	if c.Adjustments() != 0 {
+		t.Errorf("Adjustments = %d", c.Adjustments())
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	c := NewController(0.01, 0.9, WithBounds(0.1, 0.95))
+	for i := 0; i < 20; i++ {
+		c.Observe(1.0) // always over target
+	}
+	if c.Fraction() > 0.95 {
+		t.Errorf("fraction exceeded max: %v", c.Fraction())
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(0)
+	}
+	if c.Fraction() < 0.1 {
+		t.Errorf("fraction fell below min: %v", c.Fraction())
+	}
+}
+
+func TestInitialFractionClamped(t *testing.T) {
+	c := NewController(0.01, 5.0)
+	if c.Fraction() != 1.0 {
+		t.Errorf("initial fraction = %v, want 1.0", c.Fraction())
+	}
+}
+
+func TestNegativeErrorIgnored(t *testing.T) {
+	c := NewController(0.01, 0.5)
+	if next := c.Observe(-1); next != 0.5 {
+		t.Errorf("negative error changed fraction: %v", next)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	c := NewController(0.01, 0.2,
+		WithGrowFactor(3),
+		WithShrinkStep(0.2),
+		WithSlack(0.9),
+	)
+	if got := c.Observe(0.05); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("grow factor 3: got %v, want 0.6", got)
+	}
+	if got := c.Observe(0.008); math.Abs(got-0.4) > 1e-12 { // below 0.9*0.01 -> shrink 0.2
+		t.Errorf("shrink step 0.2: got %v, want 0.4", got)
+	}
+}
+
+func TestInvalidOptionsIgnored(t *testing.T) {
+	c := NewController(0.01, 0.2, WithGrowFactor(0.5), WithShrinkStep(-1), WithSlack(2))
+	if got := c.Observe(1.0); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("default grow factor should apply: %v", got)
+	}
+}
+
+func TestTargetAccessor(t *testing.T) {
+	if NewController(0.02, 0.5).Target() != 0.02 {
+		t.Error("Target accessor broken")
+	}
+}
+
+// Property: the fraction always stays within bounds regardless of the
+// error sequence.
+func TestFractionAlwaysBounded(t *testing.T) {
+	if err := quick.Check(func(errs []float64) bool {
+		c := NewController(0.01, 0.5, WithBounds(0.05, 1.0))
+		for _, e := range errs {
+			f := c.Observe(e)
+			if f < 0.05 || f > 1.0 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Convergence: a plant whose error is inversely proportional to the
+// fraction must settle near the target.
+func TestConvergesOnStationaryPlant(t *testing.T) {
+	c := NewController(0.01, 0.05)
+	plant := func(fraction float64) float64 {
+		return 0.005 / fraction // error 0.5% at fraction 1.0, 10% at 0.05
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(plant(c.Fraction()))
+	}
+	finalErr := plant(c.Fraction())
+	if finalErr > c.Target()*1.5 {
+		t.Errorf("did not converge: fraction=%v error=%v target=%v",
+			c.Fraction(), finalErr, c.Target())
+	}
+}

@@ -1,0 +1,193 @@
+package batch
+
+import (
+	"hash/fnv"
+
+	"streamapprox/internal/stream"
+)
+
+// Dataset is an immutable, partitioned collection of events — the RDD
+// analogue. Transformations return new Datasets; the input partitions are
+// never mutated. All transformations execute as data-parallel stages on
+// the owning pool, one task per partition.
+type Dataset struct {
+	pool       *Pool
+	partitions [][]stream.Event
+}
+
+// NewDataset forms a Dataset from a materialized batch, splitting it
+// round-robin into as many partitions as the pool has workers. This is
+// the "forming RDDs" step whose cost StreamApprox's pre-RDD sampling
+// avoids paying for discarded items.
+func NewDataset(pool *Pool, events []stream.Event) *Dataset {
+	return &Dataset{
+		pool:       pool,
+		partitions: stream.PartitionRoundRobin(events, pool.Size()),
+	}
+}
+
+// FromPartitions wraps pre-partitioned data without copying.
+func FromPartitions(pool *Pool, partitions [][]stream.Event) *Dataset {
+	return &Dataset{pool: pool, partitions: partitions}
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.partitions) }
+
+// Count returns the total number of events.
+func (d *Dataset) Count() int {
+	total := 0
+	for _, p := range d.partitions {
+		total += len(p)
+	}
+	return total
+}
+
+// Partition returns partition i (not a copy; callers must not mutate).
+func (d *Dataset) Partition(i int) []stream.Event { return d.partitions[i] }
+
+// Collect gathers all partitions into one slice, in partition order.
+func (d *Dataset) Collect() []stream.Event {
+	out := make([]stream.Event, 0, d.Count())
+	for _, p := range d.partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Map applies fn to every event in parallel (narrow dependency, no
+// shuffle).
+func (d *Dataset) Map(fn func(stream.Event) stream.Event) *Dataset {
+	out := make([][]stream.Event, len(d.partitions))
+	d.pool.RunN(len(d.partitions), func(i int) {
+		src := d.partitions[i]
+		dst := make([]stream.Event, len(src))
+		for j, e := range src {
+			dst[j] = fn(e)
+		}
+		out[i] = dst
+	})
+	return FromPartitions(d.pool, out)
+}
+
+// Filter keeps the events for which fn returns true (narrow dependency).
+func (d *Dataset) Filter(fn func(stream.Event) bool) *Dataset {
+	out := make([][]stream.Event, len(d.partitions))
+	d.pool.RunN(len(d.partitions), func(i int) {
+		src := d.partitions[i]
+		dst := make([]stream.Event, 0, len(src))
+		for _, e := range src {
+			if fn(e) {
+				dst = append(dst, e)
+			}
+		}
+		out[i] = dst
+	})
+	return FromPartitions(d.pool, out)
+}
+
+// GroupByKey shuffles events so that all events of one stratum land in
+// one partition (hash partitioning by stratum). This is the expensive
+// wide dependency underlying Spark's sampleByKey: a full map-side
+// partition pass, a cross-partition exchange, and a stage barrier.
+func (d *Dataset) GroupByKey() *Dataset {
+	n := len(d.partitions)
+	// Map side: each task splits its partition into n outboxes.
+	outboxes := make([][][]stream.Event, n)
+	d.pool.RunN(n, func(i int) {
+		boxes := make([][]stream.Event, n)
+		for _, e := range d.partitions[i] {
+			dst := hashStratum(e.Stratum, n)
+			boxes[dst] = append(boxes[dst], e)
+		}
+		outboxes[i] = boxes
+	})
+	// The stage barrier is implicit in RunN returning.
+	// Reduce side: each task concatenates its inboxes.
+	out := make([][]stream.Event, n)
+	d.pool.RunN(n, func(i int) {
+		var inbox []stream.Event
+		for from := 0; from < n; from++ {
+			inbox = append(inbox, outboxes[from][i]...)
+		}
+		out[i] = inbox
+	})
+	return FromPartitions(d.pool, out)
+}
+
+// ReduceByKey aggregates values per stratum: first a map-side combine
+// within each partition, then a shuffle of the combined pairs, then the
+// final reduce. fn must be associative and commutative.
+func (d *Dataset) ReduceByKey(fn func(a, b float64) float64) map[string]float64 {
+	n := len(d.partitions)
+	partials := make([]map[string]float64, n)
+	d.pool.RunN(n, func(i int) {
+		local := make(map[string]float64)
+		seen := make(map[string]bool)
+		for _, e := range d.partitions[i] {
+			if !seen[e.Stratum] {
+				local[e.Stratum] = e.Value
+				seen[e.Stratum] = true
+				continue
+			}
+			local[e.Stratum] = fn(local[e.Stratum], e.Value)
+		}
+		partials[i] = local
+	})
+	// Driver-side final merge (small: one entry per stratum per partition).
+	out := make(map[string]float64)
+	seen := make(map[string]bool)
+	for _, local := range partials {
+		for k, v := range local {
+			if !seen[k] {
+				out[k] = v
+				seen[k] = true
+				continue
+			}
+			out[k] = fn(out[k], v)
+		}
+	}
+	return out
+}
+
+// Aggregate folds every partition with seqOp and merges the per-partition
+// results with combOp on the driver.
+func Aggregate[T any](d *Dataset, zero func() T, seqOp func(T, stream.Event) T, combOp func(T, T) T) T {
+	n := len(d.partitions)
+	partials := make([]T, n)
+	d.pool.RunN(n, func(i int) {
+		acc := zero()
+		for _, e := range d.partitions[i] {
+			acc = seqOp(acc, e)
+		}
+		partials[i] = acc
+	})
+	acc := zero()
+	for _, p := range partials {
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// Sum returns the sum of all event values — the simplest data-parallel
+// job the experiments run.
+func (d *Dataset) Sum() float64 {
+	return Aggregate(d, func() float64 { return 0 },
+		func(acc float64, e stream.Event) float64 { return acc + e.Value },
+		func(a, b float64) float64 { return a + b })
+}
+
+// ForeachPartition runs fn over each partition in parallel; fn receives
+// the partition index and its events. Any shared state inside fn must be
+// synchronized by the caller.
+func (d *Dataset) ForeachPartition(fn func(i int, events []stream.Event)) {
+	d.pool.RunN(len(d.partitions), func(i int) {
+		fn(i, d.partitions[i])
+	})
+}
+
+func hashStratum(stratum string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(stratum))
+	return int(h.Sum32()) % n
+}

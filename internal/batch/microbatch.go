@@ -1,0 +1,88 @@
+package batch
+
+import (
+	"time"
+
+	"streamapprox/internal/stream"
+)
+
+// Batch is one micro-batch: the events whose times fall in
+// [Start, Start+Interval).
+type Batch struct {
+	Start  time.Time
+	End    time.Time
+	Events []stream.Event
+}
+
+// Batcher cuts a time-ordered event stream into micro-batches at a fixed
+// batch interval — the batch generator in Figure 3. Each batch is then
+// turned into a Dataset by the engine.
+//
+// Batcher is event-time driven: a batch closes when the first event at or
+// past its end arrives. This keeps experiments deterministic and lets the
+// harness replay historical datasets at full speed, which is how the
+// paper measures saturated throughput (§6.1).
+type Batcher struct {
+	interval time.Duration
+	cur      *Batch
+}
+
+// NewBatcher returns a batcher with the given batch interval (must be
+// positive; clamped to 1ms otherwise).
+func NewBatcher(interval time.Duration) *Batcher {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &Batcher{interval: interval}
+}
+
+// Interval returns the batch interval.
+func (b *Batcher) Interval() time.Duration { return b.interval }
+
+// Add routes an event; it returns the batches completed by this event's
+// timestamp (possibly several if the stream has gaps), oldest first.
+func (b *Batcher) Add(e stream.Event) []Batch {
+	var fired []Batch
+	if b.cur == nil {
+		start := e.Time.Truncate(b.interval)
+		b.cur = &Batch{Start: start, End: start.Add(b.interval)}
+	}
+	for !e.Time.Before(b.cur.End) {
+		fired = append(fired, *b.cur)
+		start := b.cur.End
+		b.cur = &Batch{Start: start, End: start.Add(b.interval)}
+		// Skip empty intervals quickly when the stream has a gap.
+		if e.Time.Sub(b.cur.Start) > 100*b.interval {
+			start = e.Time.Truncate(b.interval)
+			b.cur = &Batch{Start: start, End: start.Add(b.interval)}
+		}
+	}
+	b.cur.Events = append(b.cur.Events, e)
+	return fired
+}
+
+// Flush closes and returns the in-progress batch, if any.
+func (b *Batcher) Flush() []Batch {
+	if b.cur == nil || len(b.cur.Events) == 0 {
+		b.cur = nil
+		return nil
+	}
+	out := []Batch{*b.cur}
+	b.cur = nil
+	return out
+}
+
+// Split materializes a whole source into micro-batches — the offline path
+// used by the experiment harness.
+func Split(src stream.Source, interval time.Duration) []Batch {
+	b := NewBatcher(interval)
+	var out []Batch
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, b.Add(e)...)
+	}
+	return append(out, b.Flush()...)
+}

@@ -1,0 +1,88 @@
+// Package batch implements the batched stream processing substrate
+// (§2.2): the micro-batch model of Apache Spark Streaming. An input
+// stream is cut into batches at a fixed batch interval; each batch
+// becomes a partitioned, RDD-like Dataset; and data-parallel jobs run
+// over the partitions on a worker pool.
+//
+// The package is the substrate under three of the six evaluated systems:
+// native Spark, Spark-based SRS/STS baselines (which sample after the
+// Dataset is formed) and Spark-based StreamApprox (which samples before
+// Dataset formation, the ApproxKafkaRDD analogue).
+package batch
+
+import (
+	"sync"
+)
+
+// Pool is a fixed-size worker pool executing partition tasks. It models a
+// cluster worker set: Workers = nodes × coresPerNode. Tasks submitted via
+// Run are executed by exactly the pool's goroutines, so engine
+// parallelism — and thus the scalability experiments (Fig. 6a) — is
+// controlled by pool size rather than by GOMAXPROCS.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+	size  int
+}
+
+// NewPool starts a pool with the given number of worker goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		tasks: make(chan func()),
+		size:  workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		task()
+	}
+}
+
+// Run executes the tasks on the pool and blocks until all complete — one
+// Spark "stage" with its implicit barrier.
+func (p *Pool) Run(tasks []func()) {
+	var stage sync.WaitGroup
+	stage.Add(len(tasks))
+	for _, task := range tasks {
+		task := task
+		p.tasks <- func() {
+			defer stage.Done()
+			task()
+		}
+	}
+	stage.Wait()
+}
+
+// RunN is shorthand for running fn(i) for i in [0, n) as one stage.
+func (p *Pool) RunN(n int, fn func(i int)) {
+	tasks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() { fn(i) }
+	}
+	p.Run(tasks)
+}
+
+// Close shuts the pool down and waits for workers to exit. Tasks
+// submitted after Close panic; submit nothing after closing. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}

@@ -1,0 +1,280 @@
+// Package broker implements the stream aggregator of Figure 1: a
+// Kafka-like partitioned, append-only message log that combines incoming
+// data items from disjoint sub-streams into the single input stream
+// StreamApprox consumes.
+//
+// The model follows Kafka's essentials: named topics split into
+// partitions; producers append records (partitioned by key hash or round
+// robin); consumers fetch by (partition, offset); consumer groups share
+// the partitions of a topic and track committed offsets. Two transports
+// are provided: direct in-process calls (this file) and a length-prefixed
+// TCP protocol (transport.go) served by cmd/brokerd.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Errors returned by broker operations.
+var (
+	ErrTopicExists      = errors.New("broker: topic already exists")
+	ErrUnknownTopic     = errors.New("broker: unknown topic")
+	ErrBadPartition     = errors.New("broker: partition out of range")
+	ErrOffsetOutOfRange = errors.New("broker: offset out of range")
+	ErrClosed           = errors.New("broker: closed")
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	Topic     string    `json:"topic"`
+	Partition int       `json:"partition"`
+	Offset    int64     `json:"offset"`
+	Key       string    `json:"key"`
+	Value     float64   `json:"value"`
+	Time      time.Time `json:"time"`
+}
+
+// partitionLog is one partition's append-only record log.
+type partitionLog struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+func (p *partitionLog) append(recs []Record) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	base := int64(len(p.records))
+	for i := range recs {
+		recs[i].Offset = base + int64(i)
+		p.records = append(p.records, recs[i])
+	}
+	return base
+}
+
+// read returns up to max records starting at offset.
+func (p *partitionLog) read(offset int64, max int) ([]Record, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := int64(len(p.records))
+	if offset < 0 || offset > n {
+		return nil, ErrOffsetOutOfRange
+	}
+	end := offset + int64(max)
+	if end > n {
+		end = n
+	}
+	out := make([]Record, end-offset)
+	copy(out, p.records[offset:end])
+	return out, nil
+}
+
+func (p *partitionLog) highWatermark() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return int64(len(p.records))
+}
+
+// topic is a named set of partitions.
+type topic struct {
+	name       string
+	partitions []*partitionLog
+	rr         uint64 // round-robin cursor for keyless records
+	rrMu       sync.Mutex
+}
+
+// Broker is an in-process message broker.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+	closed bool
+
+	groupMu sync.Mutex
+	groups  map[string]*groupState // committed offsets per consumer group
+}
+
+type groupState struct {
+	offsets map[string][]int64 // topic -> per-partition committed offset
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{
+		topics: make(map[string]*topic),
+		groups: make(map[string]*groupState),
+	}
+}
+
+// Close marks the broker closed; subsequent operations fail with
+// ErrClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+// CreateTopic creates a topic with the given partition count.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions < 1 {
+		partitions = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.topics[name]; ok {
+		return ErrTopicExists
+	}
+	parts := make([]*partitionLog, partitions)
+	for i := range parts {
+		parts[i] = &partitionLog{}
+	}
+	b.topics[name] = &topic{name: name, partitions: parts}
+	return nil
+}
+
+// Topics returns the topic names, unordered.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(name string) (int, error) {
+	t, err := b.topic(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.partitions), nil
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTopic, name)
+	}
+	return t, nil
+}
+
+// partitionFor picks the partition for a record: FNV hash of the key, or
+// round-robin when the key is empty. Keyed partitioning keeps each
+// sub-stream on a stable partition, the property DistributedOASRS uses to
+// pin strata to workers.
+func (t *topic) partitionFor(key string) int {
+	if key == "" {
+		t.rrMu.Lock()
+		defer t.rrMu.Unlock()
+		p := int(t.rr % uint64(len(t.partitions)))
+		t.rr++
+		return p
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32()) % len(t.partitions)
+}
+
+// Produce appends records to a topic, routing each by its key. It returns
+// the number of records appended.
+func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	// Group records per partition to amortize locking.
+	byPart := make(map[int][]Record)
+	for _, r := range recs {
+		r.Topic = topicName
+		p := t.partitionFor(r.Key)
+		r.Partition = p
+		byPart[p] = append(byPart[p], r)
+	}
+	for p, batch := range byPart {
+		t.partitions[p].append(batch)
+	}
+	return len(recs), nil
+}
+
+// Fetch reads up to max records from one partition starting at offset.
+func (b *Broker) Fetch(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return nil, ErrBadPartition
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	return t.partitions[partition].read(offset, max)
+}
+
+// HighWatermark returns the next offset to be written in a partition.
+func (b *Broker) HighWatermark(topicName string, partition int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, ErrBadPartition
+	}
+	return t.partitions[partition].highWatermark(), nil
+}
+
+// Commit records a consumer group's committed offset for a partition.
+func (b *Broker) Commit(group, topicName string, partition int, offset int64) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return ErrBadPartition
+	}
+	b.groupMu.Lock()
+	defer b.groupMu.Unlock()
+	g, ok := b.groups[group]
+	if !ok {
+		g = &groupState{offsets: make(map[string][]int64)}
+		b.groups[group] = g
+	}
+	offs, ok := g.offsets[topicName]
+	if !ok {
+		offs = make([]int64, len(t.partitions))
+		g.offsets[topicName] = offs
+	}
+	offs[partition] = offset
+	return nil
+}
+
+// Committed returns a consumer group's committed offset for a partition
+// (zero if never committed).
+func (b *Broker) Committed(group, topicName string, partition int) (int64, error) {
+	if _, err := b.topic(topicName); err != nil {
+		return 0, err
+	}
+	b.groupMu.Lock()
+	defer b.groupMu.Unlock()
+	g, ok := b.groups[group]
+	if !ok {
+		return 0, nil
+	}
+	offs, ok := g.offsets[topicName]
+	if !ok || partition >= len(offs) {
+		return 0, nil
+	}
+	return offs[partition], nil
+}

@@ -1,0 +1,325 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"streamapprox/internal/stream"
+)
+
+func recs(key string, n int) []Record {
+	out := make([]Record, n)
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	for i := range out {
+		out[i] = Record{Key: key, Value: float64(i), Time: base.Add(time.Duration(i) * time.Millisecond)}
+	}
+	return out
+}
+
+func TestCreateTopic(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("in", 4); !errors.Is(err, ErrTopicExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	n, err := b.Partitions("in")
+	if err != nil || n != 4 {
+		t.Errorf("Partitions = %d, %v", n, err)
+	}
+	if _, err := b.Partitions("nope"); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("unknown topic: %v", err)
+	}
+	if got := b.Topics(); len(got) != 1 || got[0] != "in" {
+		t.Errorf("Topics = %v", got)
+	}
+}
+
+func TestCreateTopicClampsPartitions(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := b.Partitions("t"); n != 1 {
+		t.Errorf("partitions = %d, want 1", n)
+	}
+}
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("in", 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Produce("in", recs("tcp", 10))
+	if err != nil || n != 10 {
+		t.Fatalf("Produce = %d, %v", n, err)
+	}
+	got, err := b.Fetch("in", 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("fetched %d", len(got))
+	}
+	for i, r := range got {
+		if r.Offset != int64(i) {
+			t.Errorf("record %d offset %d", i, r.Offset)
+		}
+		if r.Topic != "in" || r.Partition != 0 {
+			t.Errorf("record metadata not stamped: %+v", r)
+		}
+	}
+}
+
+func TestFetchPagination(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	_, _ = b.Produce("in", recs("k", 10))
+	page1, err := b.Fetch("in", 0, 0, 4)
+	if err != nil || len(page1) != 4 {
+		t.Fatalf("page1 = %d, %v", len(page1), err)
+	}
+	page2, err := b.Fetch("in", 0, 4, 100)
+	if err != nil || len(page2) != 6 {
+		t.Fatalf("page2 = %d, %v", len(page2), err)
+	}
+	if page2[0].Offset != 4 {
+		t.Errorf("page2 starts at %d", page2[0].Offset)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 2)
+	if _, err := b.Fetch("in", 5, 0, 10); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("bad partition: %v", err)
+	}
+	if _, err := b.Fetch("in", 0, 99, 10); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("bad offset: %v", err)
+	}
+	if _, err := b.Fetch("in", 0, -1, 10); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("negative offset: %v", err)
+	}
+}
+
+func TestKeyedPartitioningIsStable(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 4)
+	_, _ = b.Produce("in", recs("tcp", 50))
+	_, _ = b.Produce("in", recs("udp", 50))
+	// All records with the same key must land in one partition.
+	perPartKeys := make([]map[string]bool, 4)
+	total := 0
+	for p := 0; p < 4; p++ {
+		perPartKeys[p] = map[string]bool{}
+		got, err := b.Fetch("in", p, 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(got)
+		for _, r := range got {
+			perPartKeys[p][r.Key] = true
+		}
+	}
+	if total != 100 {
+		t.Fatalf("total fetched %d", total)
+	}
+	seen := map[string]int{}
+	for _, keys := range perPartKeys {
+		for k := range keys {
+			seen[k]++
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %q spread over %d partitions", k, n)
+		}
+	}
+}
+
+func TestRoundRobinForEmptyKey(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 3)
+	_, _ = b.Produce("in", recs("", 9))
+	for p := 0; p < 3; p++ {
+		got, _ := b.Fetch("in", p, 0, 100)
+		if len(got) != 3 {
+			t.Errorf("partition %d has %d records, want 3 (round robin)", p, len(got))
+		}
+	}
+}
+
+func TestHighWatermark(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	if hwm, _ := b.HighWatermark("in", 0); hwm != 0 {
+		t.Errorf("empty hwm = %d", hwm)
+	}
+	_, _ = b.Produce("in", recs("k", 7))
+	if hwm, _ := b.HighWatermark("in", 0); hwm != 7 {
+		t.Errorf("hwm = %d, want 7", hwm)
+	}
+}
+
+func TestCommitCommitted(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 2)
+	if off, _ := b.Committed("g", "in", 0); off != 0 {
+		t.Errorf("initial committed = %d", off)
+	}
+	if err := b.Commit("g", "in", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := b.Committed("g", "in", 0); off != 42 {
+		t.Errorf("committed = %d, want 42", off)
+	}
+	if off, _ := b.Committed("g", "in", 1); off != 0 {
+		t.Errorf("other partition committed = %d, want 0", off)
+	}
+	if err := b.Commit("g", "in", 9, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("bad partition commit: %v", err)
+	}
+}
+
+func TestClosedBroker(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	b.Close()
+	if err := b.CreateTopic("x", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("create on closed: %v", err)
+	}
+	if _, err := b.Produce("in", recs("k", 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("produce on closed: %v", err)
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := b.Produce("in", recs("key", 5)); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for p := 0; p < 4; p++ {
+		hwm, _ := b.HighWatermark("in", p)
+		total += hwm
+	}
+	if total != 8*100*5 {
+		t.Errorf("total records %d, want %d", total, 8*100*5)
+	}
+}
+
+func TestConsumerGroupPartitionAssignment(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 4)
+	c0, err := NewConsumer(b, "g", "in", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := NewConsumer(b, "g", "in", 1, 2)
+	p0, p1 := c0.Partitions(), c1.Partitions()
+	if len(p0)+len(p1) != 4 {
+		t.Fatalf("assignments %v + %v do not cover 4 partitions", p0, p1)
+	}
+	seen := map[int]bool{}
+	for _, p := range append(p0, p1...) {
+		if seen[p] {
+			t.Fatalf("partition %d assigned twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConsumerPollAndLag(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 2)
+	_, _ = b.Produce("in", recs("a", 10))
+	_, _ = b.Produce("in", recs("b", 10))
+	c, err := NewConsumer(b, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag, _ := c.Lag(); lag != 20 {
+		t.Errorf("lag = %d, want 20", lag)
+	}
+	got, err := c.Poll()
+	if err != nil || len(got) != 20 {
+		t.Fatalf("poll = %d, %v", len(got), err)
+	}
+	// Poll output must be time-ordered.
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("poll output not time-ordered")
+		}
+	}
+	if lag, _ := c.Lag(); lag != 0 {
+		t.Errorf("post-poll lag = %d", lag)
+	}
+	if again, _ := c.Poll(); len(again) != 0 {
+		t.Errorf("second poll returned %d records", len(again))
+	}
+}
+
+func TestConsumerCommitResume(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	_, _ = b.Produce("in", recs("a", 10))
+	c, _ := NewConsumer(b, "g", "in", 0, 1)
+	if _, err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A new consumer in the same group resumes past the committed offset.
+	c2, _ := NewConsumer(b, "g", "in", 0, 1)
+	got, _ := c2.Poll()
+	if len(got) != 0 {
+		t.Errorf("resumed consumer re-read %d records", len(got))
+	}
+}
+
+func TestEventConversion(t *testing.T) {
+	e := stream.Event{Stratum: "tcp", Value: 42, Time: time.Unix(100, 0)}
+	r := FromEvent(e)
+	if r.Key != "tcp" || r.Value != 42 || !r.Time.Equal(e.Time) {
+		t.Errorf("FromEvent = %+v", r)
+	}
+	back := ToEvent(r)
+	if back != e {
+		t.Errorf("round trip = %+v, want %+v", back, e)
+	}
+}
+
+func TestProduceEventsAndEventSource(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 2)
+	events := make([]stream.Event, 100)
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	for i := range events {
+		events[i] = stream.Event{Stratum: "s", Value: float64(i), Time: base.Add(time.Duration(i) * time.Millisecond)}
+	}
+	if n, err := ProduceEvents(b, "in", events); err != nil || n != 100 {
+		t.Fatalf("ProduceEvents = %d, %v", n, err)
+	}
+	c, _ := NewConsumer(b, "g", "in", 0, 1)
+	src := NewEventSource(c, 2, 0)
+	drained := stream.Drain(src)
+	if len(drained) != 100 {
+		t.Errorf("drained %d events, want 100", len(drained))
+	}
+}

@@ -1,0 +1,175 @@
+package broker
+
+import (
+	"sort"
+	"time"
+
+	"streamapprox/internal/stream"
+)
+
+// Consumer reads one topic from a broker as part of a consumer group,
+// owning a fixed subset of partitions (static assignment: member i of m
+// owns partitions p with p % m == i, Kafka's range-free analogue that
+// needs no coordinator for a fixed membership).
+type Consumer struct {
+	broker    *Broker
+	group     string
+	topicName string
+	parts     []int
+	offsets   map[int]int64
+	fetchMax  int
+}
+
+// NewConsumer returns a consumer for member `member` of `members` total in
+// the group. Offsets resume from the group's committed positions.
+func NewConsumer(b *Broker, group, topicName string, member, members int) (*Consumer, error) {
+	n, err := b.Partitions(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if members < 1 {
+		members = 1
+	}
+	c := &Consumer{
+		broker:    b,
+		group:     group,
+		topicName: topicName,
+		offsets:   make(map[int]int64),
+		fetchMax:  4096,
+	}
+	for p := 0; p < n; p++ {
+		if p%members == member%members {
+			c.parts = append(c.parts, p)
+			off, err := b.Committed(group, topicName, p)
+			if err != nil {
+				return nil, err
+			}
+			c.offsets[p] = off
+		}
+	}
+	return c, nil
+}
+
+// Partitions returns the partitions this consumer owns.
+func (c *Consumer) Partitions() []int {
+	out := make([]int, len(c.parts))
+	copy(out, c.parts)
+	return out
+}
+
+// Poll fetches the next batch of records across the consumer's partitions
+// and advances (but does not commit) its offsets. It returns nil when no
+// new records are available.
+func (c *Consumer) Poll() ([]Record, error) {
+	var out []Record
+	for _, p := range c.parts {
+		recs, err := c.broker.Fetch(c.topicName, p, c.offsets[p], c.fetchMax)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			c.offsets[p] += int64(len(recs))
+			out = append(out, recs...)
+		}
+	}
+	// Present records in event-time order so the window buffer sees a
+	// near-sorted stream, as a time-synchronized aggregator would deliver.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// Commit persists the consumer's current offsets to the group.
+func (c *Consumer) Commit() error {
+	for _, p := range c.parts {
+		if err := c.broker.Commit(c.group, c.topicName, p, c.offsets[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lag returns the total number of records between the consumer's position
+// and the high watermark across its partitions.
+func (c *Consumer) Lag() (int64, error) {
+	var lag int64
+	for _, p := range c.parts {
+		hw, err := c.broker.HighWatermark(c.topicName, p)
+		if err != nil {
+			return 0, err
+		}
+		lag += hw - c.offsets[p]
+	}
+	return lag, nil
+}
+
+// ToEvent converts a record to the engine's event type: the record key is
+// the stratum (sub-stream id).
+func ToEvent(r Record) stream.Event {
+	return stream.Event{Stratum: r.Key, Value: r.Value, Time: r.Time}
+}
+
+// FromEvent converts an engine event to a broker record.
+func FromEvent(e stream.Event) Record {
+	return Record{Key: e.Stratum, Value: e.Value, Time: e.Time}
+}
+
+// ProduceEvents is a convenience producer: it converts events to records
+// and appends them to the topic.
+func ProduceEvents(b *Broker, topicName string, events []stream.Event) (int, error) {
+	recs := make([]Record, len(events))
+	for i, e := range events {
+		recs[i] = FromEvent(e)
+	}
+	return b.Produce(topicName, recs)
+}
+
+// EventSource adapts a Consumer to the stream.Source interface: Next
+// returns records one at a time, polling the broker when its buffer runs
+// dry and giving up after `idle` empty polls (treating the stream as
+// exhausted — appropriate for replayed finite datasets).
+type EventSource struct {
+	consumer *Consumer
+	buf      []Record
+	pos      int
+	idle     int
+	maxIdle  int
+	backoff  time.Duration
+}
+
+// NewEventSource wraps a consumer. maxIdle is the number of consecutive
+// empty polls after which the source reports end-of-stream; backoff is
+// the pause between empty polls (0 for busy polling in tests).
+func NewEventSource(c *Consumer, maxIdle int, backoff time.Duration) *EventSource {
+	if maxIdle < 1 {
+		maxIdle = 1
+	}
+	return &EventSource{consumer: c, maxIdle: maxIdle, backoff: backoff}
+}
+
+var _ stream.Source = (*EventSource)(nil)
+
+// Next implements stream.Source.
+func (s *EventSource) Next() (stream.Event, bool) {
+	for s.pos >= len(s.buf) {
+		recs, err := s.consumer.Poll()
+		if err != nil {
+			return stream.Event{}, false
+		}
+		if len(recs) == 0 {
+			s.idle++
+			if s.idle >= s.maxIdle {
+				return stream.Event{}, false
+			}
+			if s.backoff > 0 {
+				time.Sleep(s.backoff)
+			}
+			continue
+		}
+		s.idle = 0
+		s.buf = recs
+		s.pos = 0
+	}
+	e := ToEvent(s.buf[s.pos])
+	s.pos++
+	return e, true
+}

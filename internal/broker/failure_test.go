@@ -1,0 +1,118 @@
+package broker
+
+import (
+	"testing"
+
+	"streamapprox/internal/stream"
+)
+
+// Failure-injection tests: the system must degrade cleanly, not hang or
+// panic, when parts of the aggregator tier disappear mid-stream.
+
+func TestEventSourceStopsOnBrokerClose(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	_, _ = b.Produce("in", recs("a", 10))
+	c, err := NewConsumer(b, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewEventSource(c, 3, 0)
+	// Drain the first event, then kill the broker under the source.
+	if _, ok := src.Next(); !ok {
+		t.Fatal("no first event")
+	}
+	b.Close()
+	// The source's buffered records may still drain, but after that it
+	// must report end-of-stream instead of spinning or panicking.
+	for i := 0; i < 100; i++ {
+		if _, ok := src.Next(); !ok {
+			return
+		}
+	}
+	t.Fatal("source kept yielding events after broker close")
+}
+
+func TestConsumerPollErrorOnClosedBroker(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	c, err := NewConsumer(b, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := c.Poll(); err == nil {
+		t.Error("poll on closed broker succeeded")
+	}
+	if _, err := c.Lag(); err == nil {
+		t.Error("lag on closed broker succeeded")
+	}
+}
+
+func TestClientErrorsAfterServerClose(t *testing.T) {
+	b := New()
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cli.Fetch("t", 0, 0, 1); err == nil {
+		t.Error("fetch after server close succeeded")
+	}
+	// Subsequent calls must keep failing fast rather than deadlocking.
+	if _, err := cli.HighWatermark("t", 0); err == nil {
+		t.Error("hwm after server close succeeded")
+	}
+}
+
+func TestTwoGroupsSeeIndependentOffsets(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 1)
+	_, _ = b.Produce("in", recs("a", 10))
+
+	c1, _ := NewConsumer(b, "group-1", "in", 0, 1)
+	c2, _ := NewConsumer(b, "group-2", "in", 0, 1)
+	r1, _ := c1.Poll()
+	_ = c1.Commit()
+	r2, _ := c2.Poll()
+	if len(r1) != 10 || len(r2) != 10 {
+		t.Errorf("groups interfered: %d / %d", len(r1), len(r2))
+	}
+}
+
+func TestGroupMembersSplitWorkWithoutOverlap(t *testing.T) {
+	b := New()
+	_ = b.CreateTopic("in", 4)
+	var events []stream.Event
+	for i := 0; i < 400; i++ {
+		events = append(events, stream.Event{Stratum: string(rune('a' + i%7)), Value: float64(i)})
+	}
+	if _, err := ProduceEvents(b, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := NewConsumer(b, "g", "in", 0, 2)
+	c1, _ := NewConsumer(b, "g", "in", 1, 2)
+	r0, _ := c0.Poll()
+	r1, _ := c1.Poll()
+	if len(r0)+len(r1) != 400 {
+		t.Fatalf("members read %d + %d, want 400 total", len(r0), len(r1))
+	}
+	seen := map[int64]map[int]bool{}
+	for _, r := range append(r0, r1...) {
+		if seen[r.Offset] == nil {
+			seen[r.Offset] = map[int]bool{}
+		}
+		if seen[r.Offset][r.Partition] {
+			t.Fatalf("record (p=%d, off=%d) read twice", r.Partition, r.Offset)
+		}
+		seen[r.Offset][r.Partition] = true
+	}
+}

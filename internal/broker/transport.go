@@ -1,0 +1,306 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The wire protocol is deliberately simple: each message is a 4-byte
+// big-endian length followed by a JSON document. Requests carry an Op and
+// op-specific fields; responses carry either the result or an Err string.
+// Max frame size guards against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// request operations.
+const (
+	opCreate    = "create"
+	opProduce   = "produce"
+	opFetch     = "fetch"
+	opHWM       = "hwm"
+	opCommit    = "commit"
+	opCommitted = "committed"
+)
+
+type wireRequest struct {
+	Op         string   `json:"op"`
+	Topic      string   `json:"topic,omitempty"`
+	Partitions int      `json:"partitions,omitempty"`
+	Partition  int      `json:"partition,omitempty"`
+	Offset     int64    `json:"offset,omitempty"`
+	Max        int      `json:"max,omitempty"`
+	Group      string   `json:"group,omitempty"`
+	Records    []Record `json:"records,omitempty"`
+}
+
+type wireResponse struct {
+	Err     string   `json:"err,omitempty"`
+	N       int      `json:"n,omitempty"`
+	Offset  int64    `json:"offset,omitempty"`
+	Records []Record `json:"records,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshal frame: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// Server exposes a Broker over TCP.
+type Server struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Serve starts serving the broker on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound. Stop the server with Close.
+func Serve(b *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker listen: %w", err)
+	}
+	s := &Server{
+		broker: b,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections, closes live ones, and waits for the
+// handler goroutines to exit. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		_ = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error; keep serving.
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req wireRequest
+		if err := readFrame(br, &req); err != nil {
+			return // EOF or broken connection
+		}
+		resp := s.dispatch(&req)
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wireRequest) wireResponse {
+	switch req.Op {
+	case opCreate:
+		if err := s.broker.CreateTopic(req.Topic, req.Partitions); err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{}
+	case opProduce:
+		n, err := s.broker.Produce(req.Topic, req.Records)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{N: n}
+	case opFetch:
+		recs, err := s.broker.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Records: recs, N: len(recs)}
+	case opHWM:
+		hwm, err := s.broker.HighWatermark(req.Topic, req.Partition)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Offset: hwm}
+	case opCommit:
+		if err := s.broker.Commit(req.Group, req.Topic, req.Partition, req.Offset); err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{}
+	case opCommitted:
+		off, err := s.broker.Committed(req.Group, req.Topic, req.Partition)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Offset: off}
+	default:
+		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a TCP client for a broker Server. Methods mirror Broker's.
+// Client serializes requests over one connection; it is safe for
+// concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a broker server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker dial: %w", err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp wireResponse
+	if err := readFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// CreateTopic creates a topic on the remote broker.
+func (c *Client) CreateTopic(name string, partitions int) error {
+	_, err := c.roundTrip(&wireRequest{Op: opCreate, Topic: name, Partitions: partitions})
+	return err
+}
+
+// Produce appends records to a remote topic.
+func (c *Client) Produce(topicName string, recs []Record) (int, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opProduce, Topic: topicName, Records: recs})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Fetch reads records from a remote partition.
+func (c *Client) Fetch(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	resp, err := c.roundTrip(&wireRequest{
+		Op: opFetch, Topic: topicName, Partition: partition, Offset: offset, Max: max,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// HighWatermark returns the remote partition's next write offset.
+func (c *Client) HighWatermark(topicName string, partition int) (int64, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opHWM, Topic: topicName, Partition: partition})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Commit persists a group offset remotely.
+func (c *Client) Commit(group, topicName string, partition int, offset int64) error {
+	_, err := c.roundTrip(&wireRequest{
+		Op: opCommit, Group: group, Topic: topicName, Partition: partition, Offset: offset,
+	})
+	return err
+}
+
+// Committed reads a group's committed offset remotely.
+func (c *Client) Committed(group, topicName string, partition int) (int64, error) {
+	resp, err := c.roundTrip(&wireRequest{
+		Op: opCommitted, Group: group, Topic: topicName, Partition: partition,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}

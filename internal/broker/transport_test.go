@@ -1,0 +1,148 @@
+package broker
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	b := New()
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return srv, cli
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cli.Produce("in", recs("tcp", 25))
+	if err != nil || n != 25 {
+		t.Fatalf("produce = %d, %v", n, err)
+	}
+	var fetched int
+	for p := 0; p < 2; p++ {
+		got, err := cli.Fetch("in", p, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetched += len(got)
+	}
+	if fetched != 25 {
+		t.Errorf("fetched %d records over TCP, want 25", fetched)
+	}
+}
+
+func TestTCPErrorsPropagate(t *testing.T) {
+	_, cli := startServer(t)
+	if _, err := cli.Fetch("missing", 0, 0, 10); err == nil ||
+		!strings.Contains(err.Error(), "unknown topic") {
+		t.Errorf("fetch from missing topic: %v", err)
+	}
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateTopic("t", 1); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Errorf("duplicate create over TCP: %v", err)
+	}
+}
+
+func TestTCPHighWatermarkAndOffsets(t *testing.T) {
+	_, cli := startServer(t)
+	_ = cli.CreateTopic("in", 1)
+	_, _ = cli.Produce("in", recs("k", 5))
+	hwm, err := cli.HighWatermark("in", 0)
+	if err != nil || hwm != 5 {
+		t.Errorf("hwm = %d, %v", hwm, err)
+	}
+	if err := cli.Commit("g", "in", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	off, err := cli.Committed("g", "in", 0)
+	if err != nil || off != 3 {
+		t.Errorf("committed = %d, %v", off, err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	cli0, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli0.Close()
+	if err := cli0.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := cli.Produce("in", recs("key", 2)); err != nil {
+					t.Errorf("produce: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for p := 0; p < 4; p++ {
+		hwm, err := cli0.HighWatermark("in", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hwm
+	}
+	if total != 4*50*2 {
+		t.Errorf("total = %d, want %d", total, 4*50*2)
+	}
+}
+
+func TestTCPRecordFidelity(t *testing.T) {
+	_, cli := startServer(t)
+	_ = cli.CreateTopic("in", 1)
+	when := time.Date(2017, 12, 11, 1, 2, 3, 0, time.UTC)
+	_, err := cli.Produce("in", []Record{{Key: "tcp", Value: 123.456, Time: when}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Fetch("in", 0, 0, 1)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("fetch: %v (%d)", err, len(got))
+	}
+	r := got[0]
+	if r.Key != "tcp" || r.Value != 123.456 || !r.Time.Equal(when) || r.Offset != 0 {
+		t.Errorf("record mangled in transit: %+v", r)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, cli := startServer(t)
+	_ = cli.CreateTopic("in", 1)
+	srv.Close()
+	if _, err := cli.Produce("in", recs("k", 1)); err == nil {
+		t.Error("produce after server close should fail")
+	}
+}

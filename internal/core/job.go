@@ -1,0 +1,80 @@
+package core
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"streamapprox/internal/batch"
+	"streamapprox/internal/stream"
+)
+
+// recordCost models the per-record processing cost a real engine pays for
+// every item that reaches the data-parallel job: serialization of the
+// record to bytes and a digest over them (standing in for Spark's
+// record (de)serialization and Flink's network-buffer serialization).
+// This cost is what makes sampling profitable — the entire premise of
+// approximate computing is that processing an item downstream costs much
+// more than deciding whether to keep it (§1).
+func recordCost(e stream.Event) uint64 {
+	// Encode the record (what the engine pays to ship it to a task)...
+	var buf [48]byte
+	b := strconv.AppendFloat(buf[:0], e.Value, 'g', -1, 64)
+	mark := len(b)
+	b = append(b, '|')
+	b = append(b, e.Stratum...)
+	b = strconv.AppendInt(b, e.Time.UnixNano(), 10)
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	// ...and decode it on the task side.
+	v, err := strconv.ParseFloat(string(b[:mark]), 64)
+	if err != nil || v != e.Value {
+		// Round-trip corruption is a programming error; fold it into the
+		// checksum rather than panicking in a hot loop.
+		return h.Sum64() ^ 1
+	}
+	return h.Sum64()
+}
+
+// jobResult is the output of the data-parallel job over one batch.
+type jobResult struct {
+	sum      float64
+	checksum uint64
+	count    int64
+}
+
+func (a jobResult) merge(b jobResult) jobResult {
+	return jobResult{
+		sum:      a.sum + b.sum,
+		checksum: a.checksum ^ b.checksum,
+		count:    a.count + b.count,
+	}
+}
+
+// runJob executes the per-batch data-parallel job over a dataset: every
+// record is serialized, digested and aggregated in parallel across the
+// pool.
+func runJob(ds *batch.Dataset) jobResult {
+	return batch.Aggregate(ds,
+		func() jobResult { return jobResult{} },
+		func(acc jobResult, e stream.Event) jobResult {
+			acc.sum += e.Value
+			acc.checksum ^= recordCost(e)
+			acc.count++
+			return acc
+		},
+		jobResult.merge,
+	)
+}
+
+// runJobSerial executes the same per-record work single-threaded — the
+// form used inside a pipelined operator, which is already one parallel
+// replica of the chain.
+func runJobSerial(events []stream.Event) jobResult {
+	var acc jobResult
+	for _, e := range events {
+		acc.sum += e.Value
+		acc.checksum ^= recordCost(e)
+		acc.count++
+	}
+	return acc
+}

@@ -1,0 +1,225 @@
+// Package estimate implements StreamApprox's error-estimation mechanism
+// (paper §3.3): rigorous variance estimates for the approximate SUM and
+// MEAN of a stratified sample, converted into error bounds via the
+// 68-95-99.7 rule.
+//
+// Given X sub-streams where stratum i contributed Ci items of which Yi
+// were sampled (values Ii,1..Ii,Yi):
+//
+//	Var^(SUM)  = Σ_i Ci·(Ci−Yi)·s²i/Yi                       (Eq. 6)
+//	Var^(MEAN) = Σ_i ω²i·(s²i/Yi)·(Ci−Yi)/Ci, ωi = Ci/ΣC     (Eq. 9)
+//
+// with s²i the sample variance of stratum i's sampled items (Eq. 7).
+// The (Ci−Yi)/Ci term is the finite-population correction: strata sampled
+// exhaustively (Yi = Ci) contribute zero variance.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"streamapprox/internal/sampling"
+)
+
+// Confidence selects the error-bound multiplier per the 68-95-99.7 rule.
+type Confidence int
+
+// Supported confidence levels.
+const (
+	Conf68  Confidence = iota + 1 // ±1σ
+	Conf95                        // ±2σ
+	Conf997                       // ±3σ
+)
+
+// Sigmas returns the standard-deviation multiplier for the level.
+func (c Confidence) Sigmas() float64 {
+	switch c {
+	case Conf68:
+		return 1
+	case Conf997:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// String returns the human-readable confidence level.
+func (c Confidence) String() string {
+	switch c {
+	case Conf68:
+		return "68%"
+	case Conf997:
+		return "99.7%"
+	default:
+		return "95%"
+	}
+}
+
+// Estimate is an approximate query result with its error bound:
+// the true value lies in [Value−Bound, Value+Bound] with probability
+// Confidence (under the CLT assumptions of §7).
+type Estimate struct {
+	Value      float64
+	Variance   float64
+	Bound      float64
+	Confidence Confidence
+}
+
+// String renders "value ± bound (conf)".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (%s)", e.Value, e.Bound, e.Confidence)
+}
+
+// Interval returns the estimate's confidence interval [lo, hi].
+func (e Estimate) Interval() (lo, hi float64) {
+	return e.Value - e.Bound, e.Value + e.Bound
+}
+
+// Contains reports whether v falls inside the confidence interval.
+func (e Estimate) Contains(v float64) bool {
+	lo, hi := e.Interval()
+	return v >= lo && v <= hi
+}
+
+// stratumStats holds the per-stratum sufficient statistics.
+type stratumStats struct {
+	ci     float64 // total items observed
+	yi     float64 // items sampled
+	sum    float64 // Σ sampled values
+	mean   float64
+	s2     float64 // sample variance (Eq. 7)
+	weight float64
+}
+
+func statsFor(st *sampling.StratumSample) stratumStats {
+	yi := float64(len(st.Items))
+	var sum float64
+	for _, it := range st.Items {
+		sum += it.Value
+	}
+	mean := 0.0
+	if yi > 0 {
+		mean = sum / yi
+	}
+	var s2 float64
+	if yi > 1 {
+		for _, it := range st.Items {
+			d := it.Value - mean
+			s2 += d * d
+		}
+		s2 /= yi - 1
+	}
+	return stratumStats{
+		ci:     float64(st.Count),
+		yi:     yi,
+		sum:    sum,
+		mean:   mean,
+		s2:     s2,
+		weight: st.Weight,
+	}
+}
+
+// Sum returns the approximate weighted sum of all items received from all
+// sub-streams (Eqs. 2–3) with its error bound (Eq. 6).
+func Sum(s *sampling.Sample, conf Confidence) Estimate {
+	var value, variance float64
+	for i := range s.Strata {
+		st := statsFor(&s.Strata[i])
+		value += st.sum * st.weight // SUMi = (Σ Ii,j) · Wi      (Eq. 2)
+		if st.yi > 0 {
+			variance += st.ci * (st.ci - st.yi) * st.s2 / st.yi // (Eq. 6)
+		}
+	}
+	return finish(value, variance, conf)
+}
+
+// Mean returns the approximate mean of all items (Eq. 4) with its error
+// bound (Eq. 9).
+func Mean(s *sampling.Sample, conf Confidence) Estimate {
+	total := float64(s.TotalCount())
+	if total == 0 {
+		return Estimate{Confidence: conf}
+	}
+	var value, variance float64
+	for i := range s.Strata {
+		st := statsFor(&s.Strata[i])
+		if st.ci == 0 {
+			continue
+		}
+		omega := st.ci / total
+		value += omega * st.mean // MEAN = Σ ωi·MEANi          (Eq. 8)
+		if st.yi > 0 {
+			fpc := (st.ci - st.yi) / st.ci
+			variance += omega * omega * (st.s2 / st.yi) * fpc // (Eq. 9)
+		}
+	}
+	return finish(value, variance, conf)
+}
+
+// Count returns the estimated total number of items (exact for OASRS and
+// STS since counters track arrivals; the bound is therefore zero).
+func Count(s *sampling.Sample, conf Confidence) Estimate {
+	return Estimate{Value: float64(s.TotalCount()), Confidence: conf}
+}
+
+// LinearFunc estimates Σ f(item) over the original stream: a generic
+// linear query (§3.2 "OASRS supports any types of approximate linear
+// queries"). The variance formula is Eq. 6 applied to the transformed
+// values.
+func LinearFunc(s *sampling.Sample, f func(v float64) float64, conf Confidence) Estimate {
+	var value, variance float64
+	for i := range s.Strata {
+		st := &s.Strata[i]
+		yi := float64(len(st.Items))
+		if yi == 0 {
+			continue
+		}
+		var sum float64
+		vals := make([]float64, len(st.Items))
+		for j, it := range st.Items {
+			vals[j] = f(it.Value)
+			sum += vals[j]
+		}
+		mean := sum / yi
+		var s2 float64
+		if yi > 1 {
+			for _, v := range vals {
+				d := v - mean
+				s2 += d * d
+			}
+			s2 /= yi - 1
+		}
+		ci := float64(st.Count)
+		value += sum * st.Weight
+		variance += ci * (ci - yi) * s2 / yi
+	}
+	return finish(value, variance, conf)
+}
+
+func finish(value, variance float64, conf Confidence) Estimate {
+	if variance < 0 {
+		variance = 0
+	}
+	if conf == 0 {
+		conf = Conf95
+	}
+	return Estimate{
+		Value:      value,
+		Variance:   variance,
+		Bound:      conf.Sigmas() * math.Sqrt(variance),
+		Confidence: conf,
+	}
+}
+
+// AccuracyLoss computes the paper's accuracy-loss metric (§6.1):
+// |approx − exact| / |exact|. It returns 0 when exact is 0 and approx is
+// 0, and +Inf when exact is 0 but approx is not.
+func AccuracyLoss(approx, exact float64) float64 {
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(approx-exact) / math.Abs(exact)
+}

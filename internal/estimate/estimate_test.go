@@ -1,0 +1,234 @@
+package estimate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+func sampleFrom(items map[string][]float64, counts map[string]int64) *sampling.Sample {
+	var s sampling.Sample
+	for stratum, vals := range items {
+		evs := make([]stream.Event, len(vals))
+		for i, v := range vals {
+			evs[i] = stream.Event{Stratum: stratum, Value: v}
+		}
+		ci := counts[stratum]
+		w := 1.0
+		if ci > int64(len(vals)) && len(vals) > 0 {
+			w = float64(ci) / float64(len(vals))
+		}
+		s.Strata = append(s.Strata, sampling.StratumSample{
+			Stratum: stratum, Items: evs, Count: ci, Weight: w,
+		})
+	}
+	return &s
+}
+
+func TestSumFullySampledIsExact(t *testing.T) {
+	// When Yi = Ci the estimate is the exact sum with zero variance
+	// (finite-population correction).
+	s := sampleFrom(
+		map[string][]float64{"a": {1, 2, 3}, "b": {10, 20}},
+		map[string]int64{"a": 3, "b": 2},
+	)
+	got := Sum(s, Conf95)
+	if got.Value != 36 {
+		t.Errorf("Sum = %v, want 36", got.Value)
+	}
+	if got.Variance != 0 || got.Bound != 0 {
+		t.Errorf("fully-sampled variance = %v, bound = %v, want 0", got.Variance, got.Bound)
+	}
+}
+
+func TestSumWeighted(t *testing.T) {
+	// 10 of 100 items sampled, each representing 10 originals.
+	s := sampleFrom(
+		map[string][]float64{"a": {1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		map[string]int64{"a": 100},
+	)
+	got := Sum(s, Conf95)
+	if got.Value != 100 {
+		t.Errorf("Sum = %v, want 100", got.Value)
+	}
+	// Identical values => zero sample variance => zero bound.
+	if got.Bound != 0 {
+		t.Errorf("Bound = %v, want 0 for constant values", got.Bound)
+	}
+}
+
+func TestSumVarianceEquation6(t *testing.T) {
+	// Hand-computed: values {0, 2}, Ci=10, Yi=2.
+	// mean=1, s² = ((0-1)²+(2-1)²)/(2-1) = 2.
+	// Var = Ci(Ci-Yi)s²/Yi = 10*8*2/2 = 80.
+	s := sampleFrom(map[string][]float64{"a": {0, 2}}, map[string]int64{"a": 10})
+	got := Sum(s, Conf95)
+	if math.Abs(got.Variance-80) > 1e-9 {
+		t.Errorf("Variance = %v, want 80", got.Variance)
+	}
+	if math.Abs(got.Bound-2*math.Sqrt(80)) > 1e-9 {
+		t.Errorf("Bound = %v, want 2*sqrt(80)", got.Bound)
+	}
+}
+
+func TestMeanEquation8And9(t *testing.T) {
+	// Stratum a: Ci=10, values {0,2} -> mean 1, s²=2.
+	// Stratum b: Ci=30, values {4,6} -> mean 5, s²=2.
+	// MEAN = (10/40)*1 + (30/40)*5 = 0.25 + 3.75 = 4.
+	// Var = (10/40)²*(2/2)*(8/10) + (30/40)²*(2/2)*(28/30)
+	//     = 0.0625*0.8 + 0.5625*0.9333... = 0.05 + 0.525 = 0.575.
+	s := sampleFrom(
+		map[string][]float64{"a": {0, 2}, "b": {4, 6}},
+		map[string]int64{"a": 10, "b": 30},
+	)
+	got := Mean(s, Conf95)
+	if math.Abs(got.Value-4) > 1e-9 {
+		t.Errorf("Mean = %v, want 4", got.Value)
+	}
+	if math.Abs(got.Variance-0.575) > 1e-9 {
+		t.Errorf("Variance = %v, want 0.575", got.Variance)
+	}
+}
+
+func TestMeanEmptySample(t *testing.T) {
+	got := Mean(&sampling.Sample{}, Conf95)
+	if got.Value != 0 || got.Bound != 0 {
+		t.Errorf("empty sample mean = %+v", got)
+	}
+}
+
+func TestCountIsExact(t *testing.T) {
+	s := sampleFrom(map[string][]float64{"a": {1}}, map[string]int64{"a": 12345})
+	got := Count(s, Conf95)
+	if got.Value != 12345 || got.Bound != 0 {
+		t.Errorf("Count = %+v", got)
+	}
+}
+
+func TestLinearFuncMatchesSumForIdentity(t *testing.T) {
+	s := sampleFrom(map[string][]float64{"a": {1, 3, 5, 7}}, map[string]int64{"a": 40})
+	sum := Sum(s, Conf95)
+	lin := LinearFunc(s, func(v float64) float64 { return v }, Conf95)
+	if math.Abs(sum.Value-lin.Value) > 1e-9 || math.Abs(sum.Variance-lin.Variance) > 1e-9 {
+		t.Errorf("LinearFunc(identity) = %+v, Sum = %+v", lin, sum)
+	}
+}
+
+func TestLinearFuncTransform(t *testing.T) {
+	// Query: count items with value > 2 (indicator function — a linear
+	// query per the paper's histogram example).
+	s := sampleFrom(map[string][]float64{"a": {1, 3, 5, 1}}, map[string]int64{"a": 8})
+	got := LinearFunc(s, func(v float64) float64 {
+		if v > 2 {
+			return 1
+		}
+		return 0
+	}, Conf95)
+	// 2 of 4 sampled qualify, weight 2 => estimate 4.
+	if got.Value != 4 {
+		t.Errorf("indicator estimate = %v, want 4", got.Value)
+	}
+}
+
+func TestConfidenceLevels(t *testing.T) {
+	s := sampleFrom(map[string][]float64{"a": {0, 2}}, map[string]int64{"a": 10})
+	b68 := Sum(s, Conf68).Bound
+	b95 := Sum(s, Conf95).Bound
+	b997 := Sum(s, Conf997).Bound
+	if !(b68 < b95 && b95 < b997) {
+		t.Errorf("bounds not ordered: %v %v %v", b68, b95, b997)
+	}
+	if math.Abs(b95/b68-2) > 1e-9 || math.Abs(b997/b68-3) > 1e-9 {
+		t.Errorf("sigma multipliers wrong: %v %v %v", b68, b95, b997)
+	}
+	if Conf68.String() != "68%" || Conf95.String() != "95%" || Conf997.String() != "99.7%" {
+		t.Error("confidence String() wrong")
+	}
+	if Confidence(0).Sigmas() != 2 {
+		t.Error("zero confidence should default to 2 sigmas")
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := Estimate{Value: 10, Bound: 2, Confidence: Conf95}
+	lo, hi := e.Interval()
+	if lo != 8 || hi != 12 {
+		t.Errorf("Interval = [%v, %v]", lo, hi)
+	}
+	if !e.Contains(9) || e.Contains(13) {
+		t.Error("Contains broken")
+	}
+	if !strings.Contains(e.String(), "±") || !strings.Contains(e.String(), "95%") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestAccuracyLoss(t *testing.T) {
+	for _, tc := range []struct {
+		approx, exact, want float64
+	}{
+		{100, 100, 0},
+		{101, 100, 0.01},
+		{99, 100, 0.01},
+		{0, 0, 0},
+		{-105, -100, 0.05},
+	} {
+		if got := AccuracyLoss(tc.approx, tc.exact); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("AccuracyLoss(%v, %v) = %v, want %v", tc.approx, tc.exact, got, tc.want)
+		}
+	}
+	if !math.IsInf(AccuracyLoss(1, 0), 1) {
+		t.Error("AccuracyLoss(1, 0) should be +Inf")
+	}
+}
+
+// TestCoverage95 is the statistical soundness check of the whole §3.3
+// machinery: across many independent OASRS runs, the 95% interval must
+// contain the true sum roughly 95% of the time (within Monte-Carlo noise).
+func TestCoverage95(t *testing.T) {
+	rng := xrand.New(99)
+	// Build a fixed population of 3 Gaussian strata.
+	var population []stream.Event
+	var trueSum float64
+	for i := 0; i < 2000; i++ {
+		for s, mu := range map[string]float64{"a": 10, "b": 1000, "c": 10000} {
+			v := rng.Gaussian(mu, mu/10)
+			population = append(population, stream.Event{Stratum: s, Value: v})
+			trueSum += v
+		}
+	}
+	const trials = 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		o := sampling.NewOASRS(600, nil, rng.Split())
+		for _, e := range population {
+			o.Add(e)
+		}
+		est := Sum(o.Finish(), Conf95)
+		if est.Contains(trueSum) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 1.0 {
+		t.Errorf("95%% interval coverage = %.3f over %d trials; error bounds are miscalibrated", rate, trials)
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	rng := xrand.New(1)
+	o := sampling.NewOASRS(3000, nil, rng)
+	for i := 0; i < 100000; i++ {
+		o.Add(stream.Event{Stratum: string(rune('a' + i%3)), Value: rng.Gaussian(100, 10)})
+	}
+	s := o.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(s, Conf95)
+	}
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"time"
+
+	"streamapprox/internal/core"
+	"streamapprox/internal/estimate"
+	"streamapprox/internal/query"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/workload"
+	"streamapprox/internal/xrand"
+)
+
+// netflowDataset synthesizes the §6.2 case-study input: the query is
+// "total size of TCP/UDP/ICMP traffic per window", i.e. group-by-sum over
+// the protocol strata.
+func netflowDataset(o Options) ([]stream.Event, query.Query) {
+	rng := xrand.New(o.Seed)
+	n := o.scaled(150000)
+	return workload.NetFlowEvents(rng, n, 30*time.Second), query.NewGroupBySum(estimate.Conf95)
+}
+
+// taxiDataset synthesizes the §6.3 case-study input: the query is
+// "average trip distance per start borough", i.e. group-by-mean.
+func taxiDataset(o Options) ([]stream.Event, query.Query) {
+	rng := xrand.New(o.Seed)
+	n := o.scaled(150000)
+	return workload.TaxiEvents(rng, n, 30*time.Second), query.NewGroupByMean(estimate.Conf95)
+}
+
+// caseStudyThroughput regenerates the "(a) Throughput vs sampling
+// fraction" panel shared by Figs. 8 and 9.
+func caseStudyThroughput(o Options, id, title string, events []stream.Event, q query.Query) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"system", "fraction", "throughput(items/s)"},
+	}
+	for _, frac := range []float64{0.10, 0.20, 0.40, 0.60, 0.80} {
+		for _, sys := range samplingSystems() {
+			tput, _, _, err := runOnce(core.Config{
+				System: sys, Fraction: frac, Workers: o.Workers, Seed: o.Seed, Query: q,
+			}, events, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{sys.String(), fmtFraction(frac), fmtThroughput(tput)})
+		}
+	}
+	for _, sys := range []core.System{core.NativeFlink, core.NativeSpark} {
+		tput, _, _, err := runOnce(core.Config{
+			System: sys, Workers: o.Workers, Seed: o.Seed, Query: q,
+		}, events, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{sys.String(), "native", fmtThroughput(tput)})
+	}
+	return t, nil
+}
+
+// caseStudyAccuracy regenerates the "(b) Accuracy loss vs sampling
+// fraction" panel shared by Figs. 8 and 9.
+func caseStudyAccuracy(o Options, id, title string, events []stream.Event, q query.Query) (*Table, error) {
+	cfg := core.Config{Workers: o.Workers, Seed: o.Seed, Query: q}
+	truth := core.GroundTruth(cfg, events)
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"system", "fraction", "accuracy-loss"},
+	}
+	for _, frac := range []float64{0.10, 0.20, 0.40, 0.60, 0.80, 0.90} {
+		for _, sys := range samplingSystems() {
+			_, loss, _, err := runOnce(core.Config{
+				System: sys, Fraction: frac, Workers: o.Workers, Seed: o.Seed, Query: q,
+			}, events, truth)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{sys.String(), fmtFraction(frac), fmtLoss(loss)})
+		}
+	}
+	return t, nil
+}
+
+// Fig8a: network-traffic throughput vs sampling fraction.
+func Fig8a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := netflowDataset(o)
+	return caseStudyThroughput(o, "fig8a",
+		"Network traffic analytics: throughput vs sampling fraction", events, q)
+}
+
+// Fig8b: network-traffic accuracy loss vs sampling fraction.
+func Fig8b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := netflowDataset(o)
+	return caseStudyAccuracy(o, "fig8b",
+		"Network traffic analytics: accuracy loss vs sampling fraction", events, q)
+}
+
+// Fig8c: network-traffic throughput at fixed accuracy loss.
+func Fig8c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := netflowDataset(o)
+	return throughputAtLoss(o, "fig8c",
+		"Network traffic analytics: throughput at fixed accuracy loss",
+		events, q, []float64{0.01, 0.02})
+}
+
+// Fig9a: taxi throughput vs sampling fraction.
+func Fig9a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := taxiDataset(o)
+	return caseStudyThroughput(o, "fig9a",
+		"NYC taxi analytics: throughput vs sampling fraction", events, q)
+}
+
+// Fig9b: taxi accuracy loss vs sampling fraction.
+func Fig9b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := taxiDataset(o)
+	return caseStudyAccuracy(o, "fig9b",
+		"NYC taxi analytics: accuracy loss vs sampling fraction", events, q)
+}
+
+// Fig9c: taxi throughput at fixed accuracy loss.
+func Fig9c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	events, q := taxiDataset(o)
+	return throughputAtLoss(o, "fig9c",
+		"NYC taxi analytics: throughput at fixed accuracy loss",
+		events, q, []float64{0.001, 0.004})
+}
+
+// Fig10: dataset-processing latency for the three Spark-based systems on
+// both case-study datasets (fraction 60%).
+func Fig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Latency to process the case-study datasets (fraction 60%)",
+		Columns: []string{"system", "dataset", "latency"},
+	}
+	type ds struct {
+		name   string
+		events []stream.Event
+		q      query.Query
+	}
+	nf, nfq := netflowDataset(o)
+	tx, txq := taxiDataset(o)
+	for _, d := range []ds{{"network-traffic", nf, nfq}, {"nyc-taxi", tx, txq}} {
+		for _, sys := range []core.System{core.SparkSTS, core.SparkSRS, core.SparkApprox} {
+			_, _, elapsed, err := runOnce(core.Config{
+				System: sys, Fraction: 0.6, Workers: o.Workers, Seed: o.Seed, Query: d.q,
+			}, d.events, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{sys.String(), d.name, elapsed.Round(time.Millisecond).String()})
+		}
+	}
+	return t, nil
+}

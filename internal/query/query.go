@@ -1,0 +1,255 @@
+// Package query defines the approximate linear queries StreamApprox
+// supports (§3.2): SUM, COUNT, MEAN, histograms, and per-stratum group-by
+// aggregates, all evaluated over weighted samples with rigorous error
+// bounds from internal/estimate.
+//
+// A Query is evaluated once per sliding-window interval (Algorithm 2):
+// the engine samples the interval's items, and the query turns the
+// weighted sample into a Result.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"streamapprox/internal/estimate"
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/stream"
+)
+
+// Kind enumerates the built-in aggregate kinds.
+type Kind int
+
+// Supported aggregates.
+const (
+	KindSum Kind = iota + 1
+	KindCount
+	KindMean
+	KindHistogram
+)
+
+// String returns the aggregate's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSum:
+		return "sum"
+	case KindCount:
+		return "count"
+	case KindMean:
+		return "mean"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Result is the output of one query evaluation over one window: the
+// overall estimate, plus per-group estimates for group-by queries, plus
+// per-bucket estimates for histogram queries.
+type Result struct {
+	Kind    Kind
+	Overall estimate.Estimate
+	Groups  map[string]estimate.Estimate
+	Buckets []HistogramBucket
+}
+
+// Query evaluates an aggregate over one interval's weighted sample.
+type Query interface {
+	// Name identifies the query in logs and experiment output.
+	Name() string
+	// Evaluate computes the approximate result for the sample.
+	Evaluate(s *sampling.Sample) Result
+}
+
+// Aggregate is a whole-stream aggregate (SUM/COUNT/MEAN over all items
+// from all sub-streams).
+type Aggregate struct {
+	kind Kind
+	conf estimate.Confidence
+}
+
+// NewSum returns a query computing the approximate sum of all items.
+func NewSum(conf estimate.Confidence) *Aggregate { return &Aggregate{kind: KindSum, conf: conf} }
+
+// NewCount returns a query computing the total item count.
+func NewCount(conf estimate.Confidence) *Aggregate { return &Aggregate{kind: KindCount, conf: conf} }
+
+// NewMean returns a query computing the approximate mean of all items.
+func NewMean(conf estimate.Confidence) *Aggregate { return &Aggregate{kind: KindMean, conf: conf} }
+
+var _ Query = (*Aggregate)(nil)
+
+// Name implements Query.
+func (a *Aggregate) Name() string { return a.kind.String() }
+
+// Evaluate implements Query.
+func (a *Aggregate) Evaluate(s *sampling.Sample) Result {
+	var est estimate.Estimate
+	switch a.kind {
+	case KindSum:
+		est = estimate.Sum(s, a.conf)
+	case KindCount:
+		est = estimate.Count(s, a.conf)
+	default:
+		est = estimate.Mean(s, a.conf)
+	}
+	return Result{Kind: a.kind, Overall: est}
+}
+
+// GroupBy aggregates per stratum: e.g. "total traffic size per protocol"
+// (§6.2) or "mean trip distance per borough" (§6.3). Each group's estimate
+// is computed over the single-stratum restriction of the sample.
+type GroupBy struct {
+	kind Kind
+	conf estimate.Confidence
+}
+
+// NewGroupBySum returns a per-stratum SUM query.
+func NewGroupBySum(conf estimate.Confidence) *GroupBy { return &GroupBy{kind: KindSum, conf: conf} }
+
+// NewGroupByMean returns a per-stratum MEAN query.
+func NewGroupByMean(conf estimate.Confidence) *GroupBy { return &GroupBy{kind: KindMean, conf: conf} }
+
+// NewGroupByCount returns a per-stratum COUNT query.
+func NewGroupByCount(conf estimate.Confidence) *GroupBy { return &GroupBy{kind: KindCount, conf: conf} }
+
+var _ Query = (*GroupBy)(nil)
+
+// Name implements Query.
+func (g *GroupBy) Name() string { return "groupby-" + g.kind.String() }
+
+// Evaluate implements Query.
+//
+// Groups are formed from the *items'* strata, not from the sample-entry
+// keys. For stratified samplers the two coincide, but a stratum-blind
+// sampler (simple random sampling) reports one pseudo-stratum holding a
+// mixed-strata sample; its per-group population counts are unknown and
+// estimated by the expansion estimator (weight × items seen in the
+// group), which is exactly why SRS group estimates are noisier and can
+// miss rare groups entirely (§5.7).
+//
+// A sample may carry several entries with the same stratum key (one per
+// micro-batch or slide segment); all entries of a key are evaluated
+// together as independent sub-samples of that group.
+func (g *GroupBy) Evaluate(s *sampling.Sample) Result {
+	byKey := make(map[string][]sampling.StratumSample, len(s.Strata))
+	for i := range s.Strata {
+		st := &s.Strata[i]
+		if itemsMatchKey(st) {
+			byKey[st.Stratum] = append(byKey[st.Stratum], *st)
+			continue
+		}
+		// Mixed-strata entry: explode by item stratum with expansion
+		// counts.
+		for key, items := range groupItems(st.Items) {
+			byKey[key] = append(byKey[key], sampling.StratumSample{
+				Stratum: key,
+				Items:   items,
+				Count:   int64(st.Weight*float64(len(items)) + 0.5),
+				Weight:  st.Weight,
+			})
+		}
+	}
+	groups := make(map[string]estimate.Estimate, len(byKey))
+	for key, strata := range byKey {
+		sub := &sampling.Sample{Strata: strata}
+		switch g.kind {
+		case KindSum:
+			groups[key] = estimate.Sum(sub, g.conf)
+		case KindCount:
+			groups[key] = estimate.Count(sub, g.conf)
+		default:
+			groups[key] = estimate.Mean(sub, g.conf)
+		}
+	}
+	var overall estimate.Estimate
+	switch g.kind {
+	case KindSum:
+		overall = estimate.Sum(s, g.conf)
+	case KindCount:
+		overall = estimate.Count(s, g.conf)
+	default:
+		overall = estimate.Mean(s, g.conf)
+	}
+	return Result{Kind: g.kind, Overall: overall, Groups: groups}
+}
+
+// itemsMatchKey reports whether every item in the entry belongs to the
+// entry's stratum key (true for stratified samplers).
+func itemsMatchKey(st *sampling.StratumSample) bool {
+	for i := range st.Items {
+		if st.Items[i].Stratum != st.Stratum {
+			return false
+		}
+	}
+	return true
+}
+
+// groupItems partitions items by their stratum.
+func groupItems(items []stream.Event) map[string][]stream.Event {
+	out := make(map[string][]stream.Event)
+	for _, it := range items {
+		out[it.Stratum] = append(out[it.Stratum], it)
+	}
+	return out
+}
+
+// HistogramBucket is one bucket of an approximate histogram.
+type HistogramBucket struct {
+	Lo, Hi float64
+	Count  estimate.Estimate
+}
+
+// Histogram estimates the count of items per value bucket — a family of
+// indicator-function linear queries (§3.2).
+type Histogram struct {
+	edges []float64
+	conf  estimate.Confidence
+}
+
+// NewHistogram returns a histogram query over the buckets defined by the
+// sorted edge values: bucket i covers [edges[i], edges[i+1]).
+func NewHistogram(edges []float64, conf estimate.Confidence) *Histogram {
+	sorted := make([]float64, len(edges))
+	copy(sorted, edges)
+	sort.Float64s(sorted)
+	return &Histogram{edges: sorted, conf: conf}
+}
+
+var _ Query = (*Histogram)(nil)
+
+// Name implements Query.
+func (h *Histogram) Name() string { return "histogram" }
+
+// Evaluate implements Query: the overall estimate is the total COUNT and
+// Buckets carries the per-bucket counts.
+func (h *Histogram) Evaluate(s *sampling.Sample) Result {
+	return Result{
+		Kind:    KindHistogram,
+		Overall: estimate.Count(s, h.conf),
+		Buckets: h.Buckets(s),
+	}
+}
+
+// Buckets estimates per-bucket item counts in the original stream.
+func (h *Histogram) Buckets(s *sampling.Sample) []HistogramBucket {
+	if len(h.edges) < 2 {
+		return nil
+	}
+	out := make([]HistogramBucket, len(h.edges)-1)
+	for i := range out {
+		lo, hi := h.edges[i], h.edges[i+1]
+		out[i] = HistogramBucket{
+			Lo: lo,
+			Hi: hi,
+			Count: estimate.LinearFunc(s, func(v float64) float64 {
+				if v >= lo && v < hi {
+					return 1
+				}
+				return 0
+			}, h.conf),
+		}
+	}
+	return out
+}

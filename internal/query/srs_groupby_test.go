@@ -1,0 +1,71 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"streamapprox/internal/estimate"
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/stream"
+)
+
+// A stratum-blind (SRS-style) sample must still yield per-stratum group
+// estimates, derived from the items' own strata with expansion counts.
+func TestGroupByOnMixedStrataSample(t *testing.T) {
+	// 4 items sampled out of 40 (weight 10): 3 tcp, 1 udp.
+	s := &sampling.Sample{Strata: []sampling.StratumSample{{
+		Stratum: sampling.SRSPseudoStratum,
+		Items: []stream.Event{
+			{Stratum: "tcp", Value: 100},
+			{Stratum: "tcp", Value: 200},
+			{Stratum: "tcp", Value: 300},
+			{Stratum: "udp", Value: 50},
+		},
+		Count:  40,
+		Weight: 10,
+	}}}
+
+	sums := NewGroupBySum(estimate.Conf95).Evaluate(s)
+	if len(sums.Groups) != 2 {
+		t.Fatalf("groups = %v", sums.Groups)
+	}
+	// tcp sum estimate = (100+200+300) * 10 = 6000.
+	if got := sums.Groups["tcp"].Value; got != 6000 {
+		t.Errorf("tcp sum = %v, want 6000", got)
+	}
+	if got := sums.Groups["udp"].Value; got != 500 {
+		t.Errorf("udp sum = %v, want 500", got)
+	}
+
+	counts := NewGroupByCount(estimate.Conf95).Evaluate(s)
+	// Expansion estimator: tcp count ≈ 3*10 = 30, udp ≈ 10.
+	if got := counts.Groups["tcp"].Value; got != 30 {
+		t.Errorf("tcp count = %v, want 30", got)
+	}
+	if got := counts.Groups["udp"].Value; got != 10 {
+		t.Errorf("udp count = %v, want 10", got)
+	}
+
+	means := NewGroupByMean(estimate.Conf95).Evaluate(s)
+	if got := means.Groups["tcp"].Value; math.Abs(got-200) > 1e-9 {
+		t.Errorf("tcp mean = %v, want 200", got)
+	}
+}
+
+// A rare stratum entirely absent from the SRS sample must be absent from
+// the groups (the failure mode Fig. 7 visualizes).
+func TestGroupByMixedSampleMissesAbsentStratum(t *testing.T) {
+	s := &sampling.Sample{Strata: []sampling.StratumSample{{
+		Stratum: sampling.SRSPseudoStratum,
+		Items:   []stream.Event{{Stratum: "tcp", Value: 1}},
+		Count:   1000,
+		Weight:  1000,
+	}}}
+	res := NewGroupBySum(estimate.Conf95).Evaluate(s)
+	if _, ok := res.Groups["icmp"]; ok {
+		t.Error("absent stratum conjured from nowhere")
+	}
+	if len(res.Groups) != 1 {
+		t.Errorf("groups = %v", res.Groups)
+	}
+}

@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// SizePolicy determines the per-stratum reservoir size Ni given the total
+// sample-size budget from the cost function and the set of strata seen so
+// far in the interval (the paper's getSampleSize step in Algorithm 3).
+type SizePolicy interface {
+	// StratumSize returns Ni for a (possibly new) stratum when numStrata
+	// sub-streams have been observed in the current interval.
+	StratumSize(totalBudget, numStrata int) int
+}
+
+// EqualShare divides the total budget equally among the strata observed so
+// far, with a floor of one item per stratum. This is the paper's default:
+// each sub-stream gets a fixed-size reservoir regardless of its arrival
+// rate, which is exactly what makes OASRS cheaper than proportional STS.
+type EqualShare struct{}
+
+// StratumSize implements SizePolicy.
+func (EqualShare) StratumSize(totalBudget, numStrata int) int {
+	if numStrata <= 0 {
+		numStrata = 1
+	}
+	n := totalBudget / numStrata
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FixedPerStratum gives every stratum the same constant reservoir size,
+// ignoring the total budget. Useful when the budget is expressed directly
+// as "keep N items per sub-stream".
+type FixedPerStratum struct{ N int }
+
+// StratumSize implements SizePolicy.
+func (f FixedPerStratum) StratumSize(int, int) int {
+	if f.N < 1 {
+		return 1
+	}
+	return f.N
+}
+
+// OASRS implements Online Adaptive Stratified Reservoir Sampling (paper
+// Algorithm 3). It stratifies the input stream by Event.Stratum, runs an
+// independent reservoir per stratum, counts arrivals per stratum (Ci), and
+// on Finish emits the weighted sample of the interval with weights per
+// Equation 1.
+//
+// Properties (§3.2): no sub-stream is overlooked regardless of popularity;
+// no advance knowledge of sub-stream statistics is needed; sampling is
+// on-the-fly (no batch materialization); and the algorithm adapts to
+// fluctuating arrival rates because Ci is re-counted every interval.
+//
+// OASRS is not safe for concurrent use; for parallel execution see
+// DistributedOASRS.
+type OASRS struct {
+	budget int
+	policy SizePolicy
+	rng    *xrand.Rand
+
+	reservoirs map[string]*Reservoir
+	order      []string // strata in first-seen order, for stable iteration
+
+	// expected is the stratum count observed in the previous interval;
+	// Algorithm 3 re-derives the per-stratum size Ni each interval from
+	// the updated sub-stream set S, so reservoir sizing converges to
+	// budget/|S| after the first interval instead of over-allocating the
+	// first-seen stratum.
+	expected int
+}
+
+// NewOASRS returns an OASRS sampler with the given total sample-size
+// budget per interval. policy may be nil, in which case EqualShare is
+// used.
+func NewOASRS(budget int, policy SizePolicy, rng *xrand.Rand) *OASRS {
+	if policy == nil {
+		policy = EqualShare{}
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	return &OASRS{
+		budget:     budget,
+		policy:     policy,
+		rng:        rng,
+		reservoirs: make(map[string]*Reservoir),
+	}
+}
+
+var _ Sampler = (*OASRS)(nil)
+var _ BatchSampler = (*OASRS)(nil)
+
+// SetBudget adjusts the total sample-size budget. It takes effect for
+// strata first seen after the call (existing reservoirs keep their size
+// until the next interval), mirroring the paper's per-interval budget
+// re-evaluation (Algorithm 2: the cost function runs once per interval).
+func (o *OASRS) SetBudget(budget int) {
+	if budget < 1 {
+		budget = 1
+	}
+	o.budget = budget
+}
+
+// Budget returns the current total sample-size budget.
+func (o *OASRS) Budget() int { return o.budget }
+
+// Add offers one item to the sampler.
+func (o *OASRS) Add(e stream.Event) {
+	res, ok := o.reservoirs[e.Stratum]
+	if !ok {
+		// New sub-stream Si: determine its sample size Ni adaptively,
+		// assuming at least as many strata as the previous interval saw.
+		n := len(o.order) + 1
+		if o.expected > n {
+			n = o.expected
+		}
+		res = NewReservoir(o.policy.StratumSize(o.budget, n), o.rng)
+		o.reservoirs[e.Stratum] = res
+		o.order = append(o.order, e.Stratum)
+	}
+	res.Add(e)
+}
+
+// Finish returns the weighted sample for the interval and resets the
+// sampler for the next one. Reservoir sizes are re-derived at the start of
+// the next interval, so arrival-rate changes and budget changes are picked
+// up automatically.
+func (o *OASRS) Finish() *Sample {
+	strata := make([]StratumSample, 0, len(o.order))
+	for _, key := range o.order {
+		res := o.reservoirs[key]
+		items := res.Items()
+		strata = append(strata, StratumSample{
+			Stratum: key,
+			Items:   items,
+			Count:   res.Seen(),
+			Weight:  weightFor(res.Seen(), len(items)),
+		})
+	}
+	sortStrata(strata)
+	o.expected = len(o.order)
+	o.reservoirs = make(map[string]*Reservoir)
+	o.order = o.order[:0]
+	return &Sample{Strata: strata}
+}
+
+// SampleBatch implements BatchSampler by feeding the whole batch through
+// Add and finishing. It exists so OASRS can slot into batch-style engines
+// for comparison, although its real advantage is sampling before batch
+// formation.
+func (o *OASRS) SampleBatch(events []stream.Event) *Sample {
+	for _, e := range events {
+		o.Add(e)
+	}
+	return o.Finish()
+}

@@ -1,0 +1,186 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+func mkEvents(stratum string, n int) []stream.Event {
+	out := make([]stream.Event, n)
+	for i := range out {
+		out[i] = stream.Event{Stratum: stratum, Value: float64(i)}
+	}
+	return out
+}
+
+func TestReservoirFillsBelowCapacity(t *testing.T) {
+	r := NewReservoir(10, xrand.New(1))
+	for _, e := range mkEvents("a", 5) {
+		r.Add(e)
+	}
+	if got := len(r.Items()); got != 5 {
+		t.Errorf("got %d items, want 5 (all kept when under capacity)", got)
+	}
+	if r.Seen() != 5 {
+		t.Errorf("Seen = %d, want 5", r.Seen())
+	}
+}
+
+func TestReservoirCapsAtCapacity(t *testing.T) {
+	r := NewReservoir(10, xrand.New(2))
+	for _, e := range mkEvents("a", 10000) {
+		r.Add(e)
+	}
+	if got := len(r.Items()); got != 10 {
+		t.Errorf("got %d items, want exactly 10", got)
+	}
+	if r.Seen() != 10000 {
+		t.Errorf("Seen = %d, want 10000", r.Seen())
+	}
+}
+
+func TestReservoirNonPositiveCapacity(t *testing.T) {
+	r := NewReservoir(0, xrand.New(3))
+	r.Add(stream.Event{Value: 1})
+	if r.Capacity() != 1 || len(r.Items()) != 1 {
+		t.Error("capacity <= 0 should clamp to 1")
+	}
+}
+
+// TestReservoirUniformity verifies the defining invariant of reservoir
+// sampling: after the stream ends, every item has equal probability N/n of
+// being in the sample. We run many trials and chi-square-ish check the
+// per-item selection frequencies.
+func TestReservoirUniformity(t *testing.T) {
+	const n, capN, trials = 100, 10, 20000
+	counts := make([]int, n)
+	rng := xrand.New(42)
+	events := mkEvents("a", n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capN, rng)
+		for _, e := range events {
+			r.Add(e)
+		}
+		for _, it := range r.Items() {
+			counts[int(it.Value)]++
+		}
+	}
+	want := float64(trials) * capN / n // expected selections per item
+	sd := math.Sqrt(want * (1 - float64(capN)/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Errorf("item %d selected %d times, want %.0f±%.0f", i, c, want, 3*sd)
+		}
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(5, xrand.New(4))
+	for _, e := range mkEvents("a", 20) {
+		r.Add(e)
+	}
+	r.Reset()
+	if r.Seen() != 0 || len(r.Items()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	r.Add(stream.Event{Value: 9})
+	if got := r.Items(); len(got) != 1 || got[0].Value != 9 {
+		t.Error("reservoir unusable after Reset")
+	}
+}
+
+func TestReservoirItemsIsACopy(t *testing.T) {
+	r := NewReservoir(2, xrand.New(5))
+	r.Add(stream.Event{Value: 1})
+	items := r.Items()
+	items[0].Value = 99
+	if r.Items()[0].Value != 1 {
+		t.Error("Items leaked internal state")
+	}
+}
+
+func TestSkipReservoirMatchesSemantics(t *testing.T) {
+	s := NewSkipReservoir(10, xrand.New(6))
+	for _, e := range mkEvents("a", 10000) {
+		s.Add(e)
+	}
+	if got := len(s.Items()); got != 10 {
+		t.Errorf("got %d items, want 10", got)
+	}
+	if s.Seen() != 10000 {
+		t.Errorf("Seen = %d", s.Seen())
+	}
+}
+
+func TestSkipReservoirUnderfill(t *testing.T) {
+	s := NewSkipReservoir(10, xrand.New(7))
+	for _, e := range mkEvents("a", 4) {
+		s.Add(e)
+	}
+	if got := len(s.Items()); got != 4 {
+		t.Errorf("got %d items, want all 4", got)
+	}
+}
+
+// TestSkipReservoirUniformity checks Algorithm L yields the same uniform
+// marginal selection probabilities as Algorithm R.
+func TestSkipReservoirUniformity(t *testing.T) {
+	const n, capN, trials = 100, 10, 20000
+	counts := make([]int, n)
+	rng := xrand.New(43)
+	events := mkEvents("a", n)
+	for trial := 0; trial < trials; trial++ {
+		s := NewSkipReservoir(capN, rng)
+		for _, e := range events {
+			s.Add(e)
+		}
+		for _, it := range s.Items() {
+			counts[int(it.Value)]++
+		}
+	}
+	want := float64(trials) * capN / n
+	sd := math.Sqrt(want * (1 - float64(capN)/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Errorf("item %d selected %d times, want %.0f±%.0f", i, c, want, 3*sd)
+		}
+	}
+}
+
+func TestSkipReservoirReset(t *testing.T) {
+	s := NewSkipReservoir(5, xrand.New(8))
+	for _, e := range mkEvents("a", 100) {
+		s.Add(e)
+	}
+	s.Reset()
+	if s.Seen() != 0 || len(s.Items()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	for _, e := range mkEvents("a", 100) {
+		s.Add(e)
+	}
+	if len(s.Items()) != 5 {
+		t.Error("skip reservoir broken after Reset")
+	}
+}
+
+func BenchmarkReservoirAdd(b *testing.B) {
+	r := NewReservoir(1000, xrand.New(1))
+	e := stream.Event{Stratum: "a", Value: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(e)
+	}
+}
+
+func BenchmarkSkipReservoirAdd(b *testing.B) {
+	r := NewSkipReservoir(1000, xrand.New(1))
+	e := stream.Event{Stratum: "a", Value: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(e)
+	}
+}

@@ -1,0 +1,123 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// RandomSortSRS reproduces Apache Spark's simple random sampling operator
+// (`sample`, §4.1.1): every item is tagged with a uniform random key, and
+// the k items with the smallest keys form the sample. Because sorting a
+// whole batch is expensive, Spark bounds the sort with two thresholds
+// (Meng's ScaSRS): items with key < q2 are accepted outright, items with
+// key > q1 are rejected outright, and only the "waitlist" in between is
+// sorted. We implement exactly that, so the baseline pays exactly the
+// costs Spark pays.
+//
+// SRS is oblivious to strata: the resulting Sample has a single pseudo
+// stratum with a uniform weight n/k. That is precisely why SRS "loses the
+// capability of considering each sub-stream fairly" (§5.2) — rare but
+// significant sub-streams may not be represented at all.
+type RandomSortSRS struct {
+	fraction float64
+	delta    float64
+	rng      *xrand.Rand
+}
+
+// SRSPseudoStratum is the stratum key under which RandomSortSRS reports
+// its (stratification-free) sample.
+const SRSPseudoStratum = "__srs__"
+
+// NewRandomSortSRS returns an SRS batch sampler selecting the given
+// fraction of each batch. The failure probability for the threshold bounds
+// is fixed at 1e-4, matching Spark's SamplingUtils default.
+func NewRandomSortSRS(fraction float64, rng *xrand.Rand) *RandomSortSRS {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	return &RandomSortSRS{fraction: fraction, delta: 1e-4, rng: rng}
+}
+
+var _ BatchSampler = (*RandomSortSRS)(nil)
+
+// thresholds computes the accept/reject key thresholds (q2, q1) for
+// selecting k = ceil(f*n) out of n items with failure probability delta.
+func (s *RandomSortSRS) thresholds(n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	f := s.fraction
+	g1 := -math.Log(s.delta) / float64(n)
+	g2 := -2 * math.Log(s.delta) / (3 * float64(n))
+	hi = math.Min(1, f+g1+math.Sqrt(g1*g1+2*g1*f))
+	lo = math.Max(0, f+g2-math.Sqrt(g2*g2+3*g2*f))
+	return lo, hi
+}
+
+type keyed struct {
+	key float64
+	ev  stream.Event
+}
+
+// SampleBatch selects ceil(fraction*len(events)) items via bounded random
+// sort and returns them as a single pseudo-stratum sample weighted n/k.
+func (s *RandomSortSRS) SampleBatch(events []stream.Event) *Sample {
+	n := len(events)
+	k := int(math.Ceil(s.fraction * float64(n)))
+	if k >= n {
+		items := make([]stream.Event, n)
+		copy(items, events)
+		return &Sample{Strata: []StratumSample{{
+			Stratum: SRSPseudoStratum, Items: items, Count: int64(n), Weight: 1,
+		}}}
+	}
+	if k == 0 {
+		return &Sample{Strata: []StratumSample{{
+			Stratum: SRSPseudoStratum, Count: int64(n), Weight: 1,
+		}}}
+	}
+
+	lo, hi := s.thresholds(n)
+	accepted := make([]stream.Event, 0, k)
+	waitlist := make([]keyed, 0, n/16+8)
+	for _, e := range events {
+		key := s.rng.Float64()
+		switch {
+		case key < lo:
+			accepted = append(accepted, e)
+		case key < hi:
+			waitlist = append(waitlist, keyed{key: key, ev: e})
+		}
+	}
+	if len(accepted) < k {
+		// Sort only the waitlist — this is the step whose cost Spark's
+		// thresholds bound but cannot eliminate.
+		sort.Slice(waitlist, func(i, j int) bool { return waitlist[i].key < waitlist[j].key })
+		need := k - len(accepted)
+		if need > len(waitlist) {
+			need = len(waitlist)
+		}
+		for i := 0; i < need; i++ {
+			accepted = append(accepted, waitlist[i].ev)
+		}
+	} else if len(accepted) > k {
+		// Thresholding overshot (probability <= delta); trim uniformly.
+		s.rng.Shuffle(len(accepted), func(i, j int) {
+			accepted[i], accepted[j] = accepted[j], accepted[i]
+		})
+		accepted = accepted[:k]
+	}
+
+	return &Sample{Strata: []StratumSample{{
+		Stratum: SRSPseudoStratum,
+		Items:   accepted,
+		Count:   int64(n),
+		Weight:  weightFor(int64(n), len(accepted)),
+	}}}
+}

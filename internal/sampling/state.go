@@ -1,0 +1,69 @@
+package sampling
+
+import (
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// This file provides checkpoint/restore state for the samplers, the
+// basis of the public Session.Snapshot fault-tolerance API. States are
+// plain data with JSON tags; restoring a state yields a sampler that
+// continues exactly where the original left off (given the captured RNG
+// state is restored alongside, which the Session does).
+
+// ReservoirState is a Reservoir's serializable state.
+type ReservoirState struct {
+	Capacity int            `json:"capacity"`
+	Seen     int64          `json:"seen"`
+	Items    []stream.Event `json:"items"`
+}
+
+// State captures the reservoir's contents and counters.
+func (r *Reservoir) State() ReservoirState {
+	return ReservoirState{Capacity: r.capacity, Seen: r.seen, Items: r.Items()}
+}
+
+// RestoreReservoir rebuilds a reservoir from a state.
+func RestoreReservoir(st ReservoirState, rng *xrand.Rand) *Reservoir {
+	r := NewReservoir(st.Capacity, rng)
+	r.seen = st.Seen
+	r.items = append(r.items[:0], st.Items...)
+	if len(r.items) > r.capacity {
+		r.items = r.items[:r.capacity]
+	}
+	return r
+}
+
+// OASRSState is an OASRS sampler's serializable state.
+type OASRSState struct {
+	Budget     int                       `json:"budget"`
+	Expected   int                       `json:"expected"`
+	Order      []string                  `json:"order"`
+	Reservoirs map[string]ReservoirState `json:"reservoirs"`
+}
+
+// State captures the sampler's per-stratum reservoirs and counters.
+func (o *OASRS) State() OASRSState {
+	st := OASRSState{
+		Budget:     o.budget,
+		Expected:   o.expected,
+		Order:      append([]string(nil), o.order...),
+		Reservoirs: make(map[string]ReservoirState, len(o.reservoirs)),
+	}
+	for key, res := range o.reservoirs {
+		st.Reservoirs[key] = res.State()
+	}
+	return st
+}
+
+// RestoreOASRS rebuilds an OASRS sampler from a state. policy may be nil
+// for the default EqualShare.
+func RestoreOASRS(st OASRSState, policy SizePolicy, rng *xrand.Rand) *OASRS {
+	o := NewOASRS(st.Budget, policy, rng)
+	o.expected = st.Expected
+	o.order = append(o.order[:0], st.Order...)
+	for key, rs := range st.Reservoirs {
+		o.reservoirs[key] = RestoreReservoir(rs, rng)
+	}
+	return o
+}

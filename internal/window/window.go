@@ -1,0 +1,177 @@
+// Package window implements the time-based sliding-window computation
+// model both engines support (§2.2): a window of size w slides by step δ;
+// newly arriving items enter the window and items older than w leave it.
+// The number of items per window varies with the arrival rate.
+package window
+
+import (
+	"time"
+
+	"streamapprox/internal/stream"
+)
+
+// Window identifies one window instance by its half-open time span
+// [Start, End).
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Size returns the window length.
+func (w Window) Size() time.Duration { return w.End.Sub(w.Start) }
+
+// Assigner maps an event time to the set of sliding windows it belongs
+// to. With size w and slide δ, an event belongs to ⌈w/δ⌉ windows.
+type Assigner struct {
+	size  time.Duration
+	slide time.Duration
+}
+
+// NewAssigner returns a sliding-window assigner. slide must be positive;
+// size must be >= slide (a tumbling window has size == slide).
+func NewAssigner(size, slide time.Duration) *Assigner {
+	if slide <= 0 {
+		slide = size
+	}
+	if size < slide {
+		size = slide
+	}
+	return &Assigner{size: size, slide: slide}
+}
+
+// Size returns the window size w.
+func (a *Assigner) Size() time.Duration { return a.size }
+
+// Slide returns the slide step δ.
+func (a *Assigner) Slide() time.Duration { return a.slide }
+
+// WindowsPerEvent returns ⌈w/δ⌉, the number of windows each event joins.
+func (a *Assigner) WindowsPerEvent() int {
+	return int((a.size + a.slide - 1) / a.slide)
+}
+
+// Assign returns every window containing t, earliest first. A window
+// [start, start+size) contains t iff start <= t < start+size with start a
+// multiple of the slide step.
+func (a *Assigner) Assign(t time.Time) []Window {
+	out := make([]Window, 0, a.WindowsPerEvent())
+	// The latest window start at or before t.
+	lastStart := t.Truncate(a.slide)
+	// Walk backwards while the window still covers t (start > t - size).
+	for start := lastStart; start.After(t.Add(-a.size)); start = start.Add(-a.slide) {
+		out = append(out, Window{Start: start, End: start.Add(a.size)})
+	}
+	// Reverse to earliest-first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Buffer accumulates events and emits completed windows in event-time
+// order. It is the bookkeeping both engines share: the batch engine fires
+// a window when the batch timeline passes the window end; the pipelined
+// engine fires on a per-item watermark.
+//
+// Buffer assumes events arrive in non-decreasing event-time order (the
+// stream aggregator's merged order); late events are counted and dropped.
+type Buffer struct {
+	assigner  *Assigner
+	pending   map[time.Time][]stream.Event // keyed by window start
+	watermark time.Time
+	late      int64
+}
+
+// NewBuffer returns an empty window buffer for the assigner.
+func NewBuffer(a *Assigner) *Buffer {
+	return &Buffer{assigner: a, pending: make(map[time.Time][]stream.Event)}
+}
+
+// Late returns the number of dropped late events.
+func (b *Buffer) Late() int64 { return b.late }
+
+// Add routes an event into every window it belongs to and returns the
+// windows completed by the advance of event time, in ascending order.
+func (b *Buffer) Add(e stream.Event) []Fired {
+	if e.Time.Before(b.watermark) {
+		b.late++
+		return nil
+	}
+	for _, w := range b.assigner.Assign(e.Time) {
+		b.pending[w.Start] = append(b.pending[w.Start], e)
+	}
+	return b.advance(e.Time)
+}
+
+// Fired is a completed window with its events.
+type Fired struct {
+	Window Window
+	Events []stream.Event
+}
+
+// advance fires every pending window whose end is <= now.
+func (b *Buffer) advance(now time.Time) []Fired {
+	var fired []Fired
+	for start, events := range b.pending {
+		end := start.Add(b.assigner.size)
+		if end.After(now) {
+			continue
+		}
+		fired = append(fired, Fired{
+			Window: Window{Start: start, End: end},
+			Events: events,
+		})
+		delete(b.pending, start)
+	}
+	if len(fired) > 1 {
+		sortFired(fired)
+	}
+	if now.After(b.watermark) {
+		b.watermark = now
+	}
+	return fired
+}
+
+// Flush fires all remaining windows regardless of completeness — called
+// at end of stream.
+func (b *Buffer) Flush() []Fired {
+	fired := make([]Fired, 0, len(b.pending))
+	for start, events := range b.pending {
+		fired = append(fired, Fired{
+			Window: Window{Start: start, End: start.Add(b.assigner.size)},
+			Events: events,
+		})
+		delete(b.pending, start)
+	}
+	sortFired(fired)
+	return fired
+}
+
+func sortFired(fired []Fired) {
+	for i := 1; i < len(fired); i++ {
+		for j := i; j > 0 && fired[j].Window.Start.Before(fired[j-1].Window.Start); j-- {
+			fired[j], fired[j-1] = fired[j-1], fired[j]
+		}
+	}
+}
+
+// Slice splits a fully materialized, time-ordered event slice into
+// consecutive sliding windows — the offline evaluation path used by the
+// experiment harness to compute ground truth.
+func Slice(events []stream.Event, size, slide time.Duration) []Fired {
+	if len(events) == 0 {
+		return nil
+	}
+	a := NewAssigner(size, slide)
+	b := NewBuffer(a)
+	var out []Fired
+	for _, e := range events {
+		out = append(out, b.Add(e)...)
+	}
+	return append(out, b.Flush()...)
+}

@@ -1,0 +1,192 @@
+package window
+
+import (
+	"testing"
+	"time"
+
+	"streamapprox/internal/stream"
+)
+
+var base = time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+
+func at(offset time.Duration) time.Time { return base.Add(offset) }
+
+func evAt(offset time.Duration, v float64) stream.Event {
+	return stream.Event{Stratum: "s", Value: v, Time: at(offset)}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: at(0), End: at(10 * time.Second)}
+	if !w.Contains(at(0)) {
+		t.Error("start should be inclusive")
+	}
+	if w.Contains(at(10 * time.Second)) {
+		t.Error("end should be exclusive")
+	}
+	if !w.Contains(at(5 * time.Second)) {
+		t.Error("midpoint should be contained")
+	}
+	if w.Size() != 10*time.Second {
+		t.Errorf("Size = %v", w.Size())
+	}
+}
+
+func TestAssignerPaperConfig(t *testing.T) {
+	// The paper's case-study config: w = 10s, δ = 5s -> each event joins
+	// exactly two windows.
+	a := NewAssigner(10*time.Second, 5*time.Second)
+	if a.WindowsPerEvent() != 2 {
+		t.Fatalf("WindowsPerEvent = %d, want 2", a.WindowsPerEvent())
+	}
+	ws := a.Assign(at(7 * time.Second))
+	if len(ws) != 2 {
+		t.Fatalf("assigned %d windows, want 2: %v", len(ws), ws)
+	}
+	if !ws[0].Start.Equal(at(0)) || !ws[1].Start.Equal(at(5*time.Second)) {
+		t.Errorf("window starts = %v, %v", ws[0].Start, ws[1].Start)
+	}
+	for _, w := range ws {
+		if !w.Contains(at(7 * time.Second)) {
+			t.Errorf("assigned window %v does not contain the event", w)
+		}
+	}
+}
+
+func TestAssignerTumbling(t *testing.T) {
+	a := NewAssigner(10*time.Second, 10*time.Second)
+	ws := a.Assign(at(12 * time.Second))
+	if len(ws) != 1 {
+		t.Fatalf("tumbling window assigned %d, want 1", len(ws))
+	}
+	if !ws[0].Start.Equal(at(10 * time.Second)) {
+		t.Errorf("start = %v", ws[0].Start)
+	}
+}
+
+func TestAssignerBoundaryEvent(t *testing.T) {
+	a := NewAssigner(10*time.Second, 5*time.Second)
+	// An event exactly on a slide boundary starts a new window and is
+	// excluded from the window that just ended.
+	ws := a.Assign(at(10 * time.Second))
+	for _, w := range ws {
+		if !w.Contains(at(10 * time.Second)) {
+			t.Errorf("window %v does not contain boundary event", w)
+		}
+		if w.Start.Equal(at(0)) {
+			t.Error("event at t=10s wrongly assigned to window [0,10)")
+		}
+	}
+	if len(ws) != 2 {
+		t.Errorf("boundary event assigned %d windows, want 2", len(ws))
+	}
+}
+
+func TestAssignerClampsBadParams(t *testing.T) {
+	a := NewAssigner(time.Second, 0)
+	if a.Slide() != time.Second || a.Size() != time.Second {
+		t.Errorf("zero slide should become tumbling: size=%v slide=%v", a.Size(), a.Slide())
+	}
+	a = NewAssigner(time.Second, 5*time.Second)
+	if a.Size() != 5*time.Second {
+		t.Errorf("size < slide should clamp to slide, got %v", a.Size())
+	}
+}
+
+func TestBufferFiresCompletedWindows(t *testing.T) {
+	b := NewBuffer(NewAssigner(10*time.Second, 5*time.Second))
+	var fired []Fired
+	for sec := 0; sec < 21; sec++ {
+		fired = append(fired, b.Add(evAt(time.Duration(sec)*time.Second, float64(sec)))...)
+	}
+	// Windows [-5,5) [0,10) [5,15) [10,20) all complete by t=20.
+	if len(fired) != 4 {
+		t.Fatalf("fired %d windows, want 4: %+v", len(fired), fired)
+	}
+	// Window [0, 10) holds events 0..9.
+	w010 := fired[1]
+	if !w010.Window.Start.Equal(at(0)) {
+		t.Fatalf("second fired window starts %v", w010.Window.Start)
+	}
+	if len(w010.Events) != 10 {
+		t.Errorf("window [0,10) has %d events, want 10", len(w010.Events))
+	}
+}
+
+func TestBufferFiresInOrder(t *testing.T) {
+	b := NewBuffer(NewAssigner(10*time.Second, 5*time.Second))
+	var fired []Fired
+	for sec := 0; sec <= 60; sec += 1 {
+		fired = append(fired, b.Add(evAt(time.Duration(sec)*time.Second, 1))...)
+	}
+	fired = append(fired, b.Flush()...)
+	for i := 1; i < len(fired); i++ {
+		if fired[i].Window.Start.Before(fired[i-1].Window.Start) {
+			t.Fatal("windows fired out of order")
+		}
+	}
+}
+
+func TestBufferDropsLateEvents(t *testing.T) {
+	b := NewBuffer(NewAssigner(10*time.Second, 5*time.Second))
+	b.Add(evAt(30*time.Second, 1))
+	b.Add(evAt(2*time.Second, 2)) // far behind the watermark
+	if b.Late() != 1 {
+		t.Errorf("Late = %d, want 1", b.Late())
+	}
+}
+
+func TestBufferFlush(t *testing.T) {
+	b := NewBuffer(NewAssigner(10*time.Second, 5*time.Second))
+	b.Add(evAt(time.Second, 1))
+	fired := b.Flush()
+	if len(fired) == 0 {
+		t.Fatal("Flush fired nothing")
+	}
+	total := 0
+	for _, f := range fired {
+		total += len(f.Events)
+	}
+	if total < 1 {
+		t.Error("flushed windows lost the pending event")
+	}
+	if len(b.Flush()) != 0 {
+		t.Error("second Flush should fire nothing")
+	}
+}
+
+func TestSliceGroundTruth(t *testing.T) {
+	var events []stream.Event
+	for sec := 0; sec < 30; sec++ {
+		events = append(events, evAt(time.Duration(sec)*time.Second, 1))
+	}
+	fired := Slice(events, 10*time.Second, 5*time.Second)
+	if len(fired) == 0 {
+		t.Fatal("Slice produced no windows")
+	}
+	// Every full interior window must hold exactly 10 events.
+	for _, f := range fired {
+		if f.Window.Start.Equal(at(5*time.Second)) && len(f.Events) != 10 {
+			t.Errorf("window [5,15) has %d events, want 10", len(f.Events))
+		}
+	}
+	if got := Slice(nil, time.Second, time.Second); got != nil {
+		t.Error("Slice(nil) should be nil")
+	}
+}
+
+func TestEventInAllItsWindows(t *testing.T) {
+	// Each event with w=20s, δ=5s joins 4 windows.
+	a := NewAssigner(20*time.Second, 5*time.Second)
+	if a.WindowsPerEvent() != 4 {
+		t.Fatalf("WindowsPerEvent = %d", a.WindowsPerEvent())
+	}
+	ws := a.Assign(at(17 * time.Second))
+	if len(ws) != 4 {
+		t.Fatalf("assigned %d windows: %v", len(ws), ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if !ws[i].Start.After(ws[i-1].Start) {
+			t.Error("windows not earliest-first")
+		}
+	}
+}

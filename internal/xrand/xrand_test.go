@@ -1,0 +1,296 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently-seeded generators collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("standard normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("standard normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	const mu, sigma = 1000.0, 50.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Gaussian(mu, sigma)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-mu) > 1 {
+		t.Errorf("mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(sd-sigma) > 1 {
+		t.Errorf("stddev = %v, want ~%v", sd, sigma)
+	}
+}
+
+func TestPoissonSmallLambda(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	const lambda = 10.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.Poisson(lambda))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-lambda) > 0.1 {
+		t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+	}
+	if math.Abs(variance-lambda) > 0.3 {
+		t.Errorf("Poisson(%v) variance = %v", lambda, variance)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := New(6)
+	const n = 50000
+	const lambda = 1e8
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(lambda))
+	}
+	mean := sum / n
+	// Relative error should be far below the sampling-noise scale.
+	if math.Abs(mean-lambda)/lambda > 1e-4 {
+		t.Errorf("Poisson(%v) mean = %v (relative error too large)", lambda, mean)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(8)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-5); got != 0 {
+		t.Errorf("Poisson(-5) = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(10)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Errorf("shuffle lost elements: %v", s)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(11)
+	child := parent.Split()
+	// The child stream must not be a shifted copy of the parent stream.
+	a, b := New(11), child
+	matches := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Errorf("split stream overlaps parent stream (%d matches)", matches)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(12)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 1.2, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate and counts must be monotonically non-increasing
+	// in expectation; allow small noise by comparing rank 0 vs rank 9.
+	if counts[0] <= counts[9]*3 {
+		t.Errorf("Zipf skew too weak: first=%d last=%d", counts[0], counts[9])
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("Zipf rank %d never drawn", i)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(14)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkGaussian(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gaussian(1000, 50)
+	}
+}

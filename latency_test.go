@@ -1,0 +1,73 @@
+package streamapprox
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSessionTargetLatencyCapsBudget injects a fake clock that charges a
+// fixed cost per sampler Add, and checks the latency cost function caps
+// the per-segment sample budget at what fits the target.
+func TestSessionTargetLatencyCapsBudget(t *testing.T) {
+	s := NewSession(SessionConfig{
+		Fraction:      1.0, // ask for everything; latency must cap it
+		TargetLatency: time.Millisecond,
+		Seed:          2,
+	})
+	// Fake clock: every Push's sampler work appears to take 10µs, so at
+	// most ~100 items fit the 1ms target.
+	var fake time.Time
+	s.now = func() time.Time {
+		fake = fake.Add(5 * time.Microsecond) // called twice per Push
+		return fake
+	}
+
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	for sec := 0; sec < 30; sec++ {
+		for k := 0; k < 1000; k++ {
+			e := Event{
+				Stratum: "s",
+				Value:   1,
+				Time:    base.Add(time.Duration(sec)*time.Second + time.Duration(k)*time.Millisecond),
+			}
+			if err := s.Push(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	results := s.Close()
+	if len(results) < 3 {
+		t.Fatalf("only %d windows", len(results))
+	}
+	// Skip the bootstrap windows; steady-state windows must be capped
+	// well below the 10000 items they observe (2 segments x 5000).
+	for _, r := range results[2 : len(results)-1] {
+		if r.Sampled > 500 {
+			t.Errorf("window %v sampled %d items; latency budget did not cap (~200 expected)",
+				r.Start, r.Sampled)
+		}
+		if r.Sampled < 2 {
+			t.Errorf("window %v sampled %d; budget collapsed", r.Start, r.Sampled)
+		}
+	}
+}
+
+// TestSessionTargetLatencySurvivesSnapshot ensures the config round-trips.
+func TestSessionTargetLatencySurvivesSnapshot(t *testing.T) {
+	s := NewSession(SessionConfig{TargetLatency: 5 * time.Millisecond, Seed: 3})
+	_ = s.Push(Event{Stratum: "a", Value: 1, Time: time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)})
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSession(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.TargetLatency != 5*time.Millisecond {
+		t.Errorf("TargetLatency = %v after restore", r.cfg.TargetLatency)
+	}
+	if r.latency == nil {
+		t.Error("latency model not rebuilt after restore")
+	}
+}

@@ -1,0 +1,285 @@
+package streamapprox
+
+import (
+	"errors"
+	"time"
+
+	"streamapprox/internal/adaptive"
+	"streamapprox/internal/budget"
+	"streamapprox/internal/query"
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/stratify"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/window"
+	"streamapprox/internal/xrand"
+)
+
+// SessionConfig configures an incremental Session.
+type SessionConfig struct {
+	// Query is the per-window aggregate (default Sum).
+	Query Query
+	// WindowSize and WindowSlide configure the sliding window (defaults
+	// 10s / 5s).
+	WindowSize  time.Duration
+	WindowSlide time.Duration
+	// Fraction is the initial sampling fraction (default 0.6).
+	Fraction float64
+	// TargetError, when positive, enables the adaptive feedback
+	// mechanism (§4.2.1): if a window's relative error bound exceeds
+	// TargetError, the sampling fraction is increased for subsequent
+	// windows; when comfortably below it, the fraction decays to reclaim
+	// throughput.
+	TargetError float64
+	// TargetLatency, when positive, bounds the *processing* time per
+	// slide segment via the §7 latency cost function: a per-item cost
+	// model is fitted online from observed segment processing times, and
+	// the next segment's sample budget is capped at what fits in the
+	// target. It composes with Fraction/TargetError: the effective
+	// budget is the minimum of the two.
+	TargetLatency time.Duration
+	// Confidence is the error-bound level (default Confidence95).
+	Confidence Confidence
+	// HistogramEdges defines the bucket edges for the Histogram query
+	// (ignored otherwise).
+	HistogramEdges []float64
+	// Stratify selects how strata are assigned when the stream has no
+	// reliable source labels (default: trust Event.Stratum).
+	Stratify Stratify
+	// StratifyK is the number of synthetic strata for StratifyQuantile /
+	// StratifyKMeans (default 4).
+	StratifyK int
+	// Seed makes the session reproducible (default 1).
+	Seed uint64
+}
+
+// Session processes an unbounded stream incrementally: Push events in
+// event-time order, collect completed windows from Poll (or all of them
+// from Close). Each slide segment is sampled on-the-fly with OASRS; the
+// per-segment budget follows the previous segment's arrival count times
+// the current sampling fraction.
+//
+// Session is not safe for concurrent use.
+type Session struct {
+	cfg        SessionConfig
+	q          query.Query
+	assigner   *window.Assigner
+	sampler    *sampling.OASRS
+	rng        *xrand.Rand
+	controller *adaptive.Controller
+	stratifier stratify.Stratifier
+	latency    *budget.Latency
+	segWork    time.Duration // processing time spent in the current segment
+	now        func() time.Time
+
+	segStart  time.Time
+	segCount  int
+	lastCount int
+	pending   map[time.Time]*sampling.Sample
+	ready     []WindowResult
+	watermark time.Time
+	late      int64
+	closed    bool
+}
+
+// ErrClosedSession is returned by Push after Close.
+var ErrClosedSession = errors.New("streamapprox: session closed")
+
+// NewSession returns a ready Session.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 10 * time.Second
+	}
+	if cfg.WindowSlide <= 0 {
+		cfg.WindowSlide = 5 * time.Second
+	}
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		cfg.Fraction = 0.6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Query == 0 {
+		cfg.Query = Sum
+	}
+	if cfg.StratifyK < 2 {
+		cfg.StratifyK = 4
+	}
+	s := &Session{
+		cfg:      cfg,
+		q:        cfg.Query.internal(cfg.Confidence.internal(), cfg.HistogramEdges),
+		assigner: window.NewAssigner(cfg.WindowSize, cfg.WindowSlide),
+		rng:      xrand.New(cfg.Seed),
+		pending:  make(map[time.Time]*sampling.Sample),
+	}
+	if cfg.TargetError > 0 {
+		s.controller = adaptive.NewController(cfg.TargetError, cfg.Fraction)
+	}
+	switch cfg.Stratify {
+	case StratifyQuantile:
+		s.stratifier = stratify.NewQuantile(cfg.StratifyK, 64*cfg.StratifyK, 1024, s.rng.Split())
+	case StratifyKMeans:
+		s.stratifier = stratify.NewKMeans(cfg.StratifyK, s.rng.Split())
+	}
+	if cfg.TargetLatency > 0 {
+		s.latency = budget.NewLatency(cfg.TargetLatency)
+		s.now = time.Now
+	}
+	return s
+}
+
+// Fraction returns the session's current sampling fraction (moved by the
+// adaptive controller when TargetError is set).
+func (s *Session) Fraction() float64 {
+	if s.controller != nil {
+		return s.controller.Fraction()
+	}
+	return s.cfg.Fraction
+}
+
+// Late returns the number of dropped late events.
+func (s *Session) Late() int64 { return s.late }
+
+// Push offers one event. Events must arrive in non-decreasing event-time
+// order; events behind the watermark are counted and dropped.
+func (s *Session) Push(e Event) error {
+	if s.closed {
+		return ErrClosedSession
+	}
+	if e.Time.Before(s.watermark) {
+		s.late++
+		return nil
+	}
+	seg := e.Time.Truncate(s.cfg.WindowSlide)
+	if s.segStart.IsZero() {
+		s.startSegment(seg)
+	} else if seg.After(s.segStart) {
+		s.finishSegment()
+		s.startSegment(seg)
+	}
+	s.segCount++
+	ie := stream.Event(e)
+	if s.stratifier != nil {
+		ie.Stratum = s.stratifier.Assign(ie)
+	}
+	if s.latency != nil {
+		start := s.now()
+		s.sampler.Add(ie)
+		s.segWork += s.now().Sub(start)
+	} else {
+		s.sampler.Add(ie)
+	}
+	if e.Time.After(s.watermark) {
+		s.watermark = e.Time
+	}
+	return nil
+}
+
+// Poll returns windows completed so far and clears the ready list.
+func (s *Session) Poll() []WindowResult {
+	out := s.ready
+	s.ready = nil
+	return out
+}
+
+// Close flushes the in-progress segment and all pending windows and
+// returns every remaining result. Further Push calls fail.
+func (s *Session) Close() []WindowResult {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.segStart.IsZero() {
+		s.finishSegment()
+	}
+	for start := range s.pending {
+		s.fireWindow(start)
+	}
+	sortWindowResults(s.ready)
+	out := s.ready
+	s.ready = nil
+	return out
+}
+
+func (s *Session) startSegment(seg time.Time) {
+	s.segStart = seg
+	s.segCount = 0
+	size := int(s.Fraction() * float64(s.lastCount))
+	if size < 1 {
+		size = 64 // bootstrap before any arrival count is known
+	}
+	// The latency cost function caps the budget at what the observed
+	// per-item cost says fits in the target (§7).
+	if s.latency != nil && s.lastCount > 0 {
+		if fit := s.latency.SampleSize(s.lastCount); fit < size {
+			size = fit
+		}
+	}
+	if s.sampler == nil {
+		s.sampler = sampling.NewOASRS(size, nil, s.rng)
+		return
+	}
+	s.sampler.SetBudget(size)
+}
+
+func (s *Session) finishSegment() {
+	sample := s.sampler.Finish()
+	if s.latency != nil && s.segCount > 0 && s.segWork > 0 {
+		s.latency.Observe(s.segCount, s.segWork)
+		s.segWork = 0
+	}
+	s.lastCount = s.segCount
+	for _, win := range s.assigner.Assign(s.segStart) {
+		agg, ok := s.pending[win.Start]
+		if !ok {
+			agg = &sampling.Sample{}
+			s.pending[win.Start] = agg
+		}
+		agg.Strata = append(agg.Strata, sample.Strata...)
+	}
+	// Fire every pending window that ended at or before the segment end.
+	segEnd := s.segStart.Add(s.cfg.WindowSlide)
+	for start := range s.pending {
+		if !start.Add(s.cfg.WindowSize).After(segEnd) {
+			s.fireWindow(start)
+		}
+	}
+	sortWindowResults(s.ready)
+}
+
+func (s *Session) fireWindow(start time.Time) {
+	agg := s.pending[start]
+	delete(s.pending, start)
+	res := s.q.Evaluate(agg)
+	wr := WindowResult{
+		Start:   start,
+		End:     start.Add(s.cfg.WindowSize),
+		Overall: fromInternalEstimate(res.Overall),
+		Items:   agg.TotalCount(),
+		Sampled: agg.SampledCount(),
+	}
+	if len(res.Groups) > 0 {
+		wr.Groups = make(map[string]Estimate, len(res.Groups))
+		for k, v := range res.Groups {
+			wr.Groups[k] = fromInternalEstimate(v)
+		}
+	}
+	for _, b := range res.Buckets {
+		wr.Buckets = append(wr.Buckets, HistogramBucket{
+			Lo: b.Lo, Hi: b.Hi, Count: fromInternalEstimate(b.Count),
+		})
+	}
+	s.ready = append(s.ready, wr)
+	// Adaptive feedback: grow the fraction when the bound is too loose,
+	// decay it when comfortably tight (§4.2.1).
+	if s.controller != nil {
+		s.controller.Observe(wr.Overall.RelativeError())
+	}
+}
+
+func sortWindowResults(rs []WindowResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Start.Before(rs[j-1].Start); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
