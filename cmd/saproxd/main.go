@@ -1,0 +1,104 @@
+// Command saproxd runs the sharded, multi-tenant approximate-query
+// service: it consumes a brokerd topic with one OASRS worker per
+// partition and serves registered queries' merged per-window
+// "result ± error" streams over HTTP.
+//
+// Usage:
+//
+//	saproxd [-addr host:port] [-broker host:port] [-topic name]
+//	        [-group name] [-checkpoint-dir dir] [-checkpoint-every d]
+//
+// API:
+//
+//	POST   /v1/queries              register {"kind":"mean","window":"10s",...}
+//	GET    /v1/queries              list registered queries
+//	GET    /v1/queries/{id}         one query's spec and shard counters
+//	DELETE /v1/queries/{id}         flush and remove a query
+//	GET    /v1/queries/{id}/results?since=N   poll merged windows
+//	GET    /v1/queries/{id}/stream  NDJSON stream of merged windows
+//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text exposition
+//
+// With -checkpoint-dir set, shard sessions, consumer offsets and
+// partially merged windows are checkpointed periodically and restored on
+// restart, so a killed daemon resumes where it left off.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "saproxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9090", "HTTP listen address")
+	brokerAddr := flag.String("broker", "127.0.0.1:9092", "brokerd address")
+	topic := flag.String("topic", "stream", "topic to consume")
+	group := flag.String("group", "saproxd", "consumer-group prefix")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for shard checkpoints (empty disables)")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Second, "checkpoint interval")
+	flag.Parse()
+
+	cli, err := broker.Dial(*brokerAddr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cli.Close() }()
+
+	logger := log.New(os.Stdout, "saproxd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Cluster: cli,
+		// One TCP connection per shard worker so partition fetches run
+		// in parallel instead of serializing on a shared client.
+		DialShard:       func() (broker.Cluster, error) { return broker.Dial(*brokerAddr) },
+		Topic:           *topic,
+		Group:           *group,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	logger.Printf("serving on %s (broker %s, topic %q, %d partitions)",
+		*addr, *brokerAddr, *topic, srv.Partitions())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+	logger.Printf("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	return nil
+}

@@ -1,0 +1,3 @@
+module streamapprox
+
+go 1.24

@@ -2,6 +2,7 @@ package streamapprox
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -108,6 +109,200 @@ func toPublic(in []stream.Event) []Event {
 		out[i] = Event(e)
 	}
 	return out
+}
+
+// TestTCPConsumerGroupRebalanceFeedsTwoShards exercises the broker TCP
+// transport end to end through a consumer-group "rebalance": a single
+// member consumes part of a 4-partition topic and commits, then the
+// group is re-formed as two members — each over its own TCP client —
+// which resume from the committed offsets and feed two concurrent shard
+// Sessions. No record may be lost or read twice across the rebalance.
+func TestTCPConsumerGroupRebalanceFeedsTwoShards(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("stream", 4); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := broker.Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rng := xrand.New(23)
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	var events []stream.Event
+	for i := 0; i < 10000; i++ {
+		events = append(events, stream.Event{
+			Stratum: string(rune('a' + i%11)),
+			Value:   rng.Gaussian(100, 10),
+			Time:    base.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+	produce := func(cli *broker.Client, evs []stream.Event) {
+		t.Helper()
+		for start := 0; start < len(evs); start += 200 {
+			end := start + 200
+			if end > len(evs) {
+				end = len(evs)
+			}
+			recs := make([]broker.Record, end-start)
+			for i, e := range evs[start:end] {
+				recs[i] = broker.FromEvent(e)
+			}
+			if _, err := cli.Produce("stream", recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	producer, err := broker.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = producer.Close() }()
+	if n, err := producer.Partitions("stream"); err != nil || n != 4 {
+		t.Fatalf("remote partitions = %d, %v", n, err)
+	}
+
+	type key struct {
+		part int
+		off  int64
+	}
+	seen := make(map[key]bool)
+	record := func(recs []broker.Record) {
+		t.Helper()
+		for _, r := range recs {
+			k := key{r.Partition, r.Offset}
+			if seen[k] {
+				t.Fatalf("record (p=%d, off=%d) read twice across rebalance", r.Partition, r.Offset)
+			}
+			seen[k] = true
+		}
+	}
+
+	// Generation 1: one member over TCP consumes the first batch of
+	// records and commits its offsets.
+	produce(producer, events[:3000])
+	cli1, err := broker.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli1.Close() }()
+	solo, err := broker.NewConsumer(cli1, "shards", "stream", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1 := 0
+	for {
+		recs, err := solo.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		record(recs)
+		gen1 += len(recs)
+	}
+	if gen1 != 3000 {
+		t.Fatalf("generation 1 consumed %d of 3000", gen1)
+	}
+	if err := solo.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebalance: the group re-forms as two members, each on its own TCP
+	// connection, after more records arrive. Each member feeds its own
+	// concurrent shard Session.
+	produce(producer, events[3000:])
+	type shardOut struct {
+		recs    []broker.Record
+		windows int
+		err     error
+	}
+	outs := make([]shardOut, 2)
+	var wg sync.WaitGroup
+	for member := 0; member < 2; member++ {
+		wg.Add(1)
+		go func(member int) {
+			defer wg.Done()
+			out := &outs[member]
+			cli, err := broker.Dial(srv.Addr())
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer func() { _ = cli.Close() }()
+			cons, err := broker.NewConsumer(cli, "shards", "stream", member, 2)
+			if err != nil {
+				out.err = err
+				return
+			}
+			sess := NewSession(SessionConfig{
+				WindowSize:  2 * time.Second,
+				WindowSlide: time.Second,
+				Fraction:    0.5,
+				Seed:        uint64(member + 1),
+			})
+			src := broker.NewEventSource(cons, 3, 0)
+			for {
+				e, ok := src.Next()
+				if !ok {
+					break
+				}
+				if err := sess.Push(Event(e)); err != nil {
+					out.err = err
+					return
+				}
+			}
+			out.windows = len(sess.Close())
+			// Re-read the consumed span (committed gen-1 position up to
+			// the final offset) for the exactly-once check.
+			offs := cons.Offsets()
+			for _, p := range cons.Partitions() {
+				start, err := b.Committed("shards", "stream", p)
+				if err != nil {
+					out.err = err
+					return
+				}
+				recs, err := b.Fetch("stream", p, start, int(offs[p]-start))
+				if err != nil {
+					out.err = err
+					return
+				}
+				out.recs = append(out.recs, recs...)
+			}
+		}(member)
+	}
+	wg.Wait()
+
+	gen2 := 0
+	for member, out := range outs {
+		if out.err != nil {
+			t.Fatalf("member %d: %v", member, out.err)
+		}
+		if out.windows == 0 {
+			t.Errorf("member %d produced no windows", member)
+		}
+		record(out.recs)
+		gen2 += len(out.recs)
+	}
+	if gen1+gen2 != len(events) {
+		t.Fatalf("consumed %d + %d records, want %d total (lost across rebalance)",
+			gen1, gen2, len(events))
+	}
+	// Every partition/offset pair must have been covered exactly once.
+	for p := 0; p < 4; p++ {
+		hwm, err := b.HighWatermark("stream", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := int64(0); off < hwm; off++ {
+			if !seen[key{p, off}] {
+				t.Fatalf("record (p=%d, off=%d) never consumed", p, off)
+			}
+		}
+	}
 }
 
 // TestHistogramQuery exercises the histogram path through the public

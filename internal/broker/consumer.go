@@ -7,12 +7,29 @@ import (
 	"streamapprox/internal/stream"
 )
 
+// Cluster is the read/commit surface a consumer needs from a broker. It
+// is satisfied both by the in-process *Broker and by the TCP *Client, so
+// the same consumer-group machinery works against a local aggregator and
+// a remote brokerd.
+type Cluster interface {
+	Partitions(topic string) (int, error)
+	Fetch(topic string, partition int, offset int64, max int) ([]Record, error)
+	HighWatermark(topic string, partition int) (int64, error)
+	Commit(group, topic string, partition int, offset int64) error
+	Committed(group, topic string, partition int) (int64, error)
+}
+
+var (
+	_ Cluster = (*Broker)(nil)
+	_ Cluster = (*Client)(nil)
+)
+
 // Consumer reads one topic from a broker as part of a consumer group,
 // owning a fixed subset of partitions (static assignment: member i of m
 // owns partitions p with p % m == i, Kafka's range-free analogue that
 // needs no coordinator for a fixed membership).
 type Consumer struct {
-	broker    *Broker
+	broker    Cluster
 	group     string
 	topicName string
 	parts     []int
@@ -22,7 +39,7 @@ type Consumer struct {
 
 // NewConsumer returns a consumer for member `member` of `members` total in
 // the group. Offsets resume from the group's committed positions.
-func NewConsumer(b *Broker, group, topicName string, member, members int) (*Consumer, error) {
+func NewConsumer(b Cluster, group, topicName string, member, members int) (*Consumer, error) {
 	n, err := b.Partitions(topicName)
 	if err != nil {
 		return nil, err
@@ -55,6 +72,29 @@ func (c *Consumer) Partitions() []int {
 	out := make([]int, len(c.parts))
 	copy(out, c.parts)
 	return out
+}
+
+// Offsets returns the consumer's current (uncommitted) position per owned
+// partition.
+func (c *Consumer) Offsets() map[int]int64 {
+	out := make(map[int]int64, len(c.offsets))
+	for p, off := range c.offsets {
+		out[p] = off
+	}
+	return out
+}
+
+// Seek moves the consumer's position for an owned partition; it is a
+// no-op for partitions the consumer does not own. Used to resume from a
+// checkpointed offset instead of the group's committed one.
+func (c *Consumer) Seek(partition int, offset int64) {
+	if _, ok := c.offsets[partition]; !ok {
+		return
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	c.offsets[partition] = offset
 }
 
 // Poll fetches the next batch of records across the consumer's partitions

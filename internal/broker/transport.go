@@ -25,6 +25,7 @@ const (
 	opHWM       = "hwm"
 	opCommit    = "commit"
 	opCommitted = "committed"
+	opParts     = "parts"
 )
 
 type wireRequest struct {
@@ -205,6 +206,12 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{Offset: off}
+	case opParts:
+		n, err := s.broker.Partitions(req.Topic)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{N: n}
 	default:
 		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -292,6 +299,15 @@ func (c *Client) Commit(group, topicName string, partition int, offset int64) er
 		Op: opCommit, Group: group, Topic: topicName, Partition: partition, Offset: offset,
 	})
 	return err
+}
+
+// Partitions returns the remote topic's partition count.
+func (c *Client) Partitions(topicName string) (int, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: opParts, Topic: topicName})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
 }
 
 // Committed reads a group's committed offset remotely.

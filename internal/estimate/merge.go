@@ -1,0 +1,91 @@
+package estimate
+
+// This file implements cross-shard estimate merging for sharded
+// execution: each shard samples and estimates a *disjoint* slice of the
+// stream (one broker partition), and the merged per-window result must
+// carry a combined error bound. Because shards sample independently and
+// their populations are disjoint, variances are additive for totals and
+// combine with squared population weights for means — the same algebra
+// the paper applies across strata (Eqs. 6 and 9), lifted one level up to
+// shards.
+
+// FromBound reconstructs an Estimate from a (value, bound, confidence)
+// triple, recovering the variance from the bound via the 68-95-99.7
+// rule. It is the inverse of finish for consumers that only see public
+// bounds (e.g. merged WindowResults) and need variance algebra.
+func FromBound(value, bound float64, conf Confidence) Estimate {
+	if conf == 0 {
+		conf = Conf95
+	}
+	z := conf.Sigmas()
+	return Estimate{
+		Value:      value,
+		Variance:   (bound / z) * (bound / z),
+		Bound:      bound,
+		Confidence: conf,
+	}
+}
+
+// MergeSums combines per-shard SUM (or any additive total, e.g. a
+// histogram bucket count) estimates over disjoint sub-populations: the
+// merged value is the sum of the parts and, by independence of the
+// shards' samplers, the merged variance is the sum of the variances.
+// The confidence level of the first part is kept (parts are expected to
+// share one level). Merging zero parts yields a zero estimate.
+func MergeSums(parts []Estimate) Estimate {
+	var value, variance float64
+	var conf Confidence
+	for _, p := range parts {
+		value += p.Value
+		variance += p.Variance
+		if conf == 0 {
+			conf = p.Confidence
+		}
+	}
+	return finish(value, variance, conf)
+}
+
+// MergeCounts combines per-shard COUNT estimates. Counts are exact for
+// OASRS (arrival counters track every item), so the merged bound stays
+// zero unless a part carries variance.
+func MergeCounts(parts []Estimate) Estimate {
+	return MergeSums(parts)
+}
+
+// MergeMeans combines per-shard MEAN estimates over disjoint
+// sub-populations, weighting each part by its population size
+// (the shard's observed item count):
+//
+//	MEAN  = Σ ωi·MEANi          ωi = Ci/ΣC
+//	Var^  = Σ ω²i·Var^i
+//
+// — Eq. 8/9 applied with shards in place of strata. Parts with zero
+// weight are skipped; if all weights are zero the merged estimate is
+// zero with the first part's confidence.
+func MergeMeans(parts []Estimate, counts []int64) Estimate {
+	var total float64
+	for i := range parts {
+		if i < len(counts) && counts[i] > 0 {
+			total += float64(counts[i])
+		}
+	}
+	var conf Confidence
+	for _, p := range parts {
+		if conf == 0 {
+			conf = p.Confidence
+		}
+	}
+	if total == 0 {
+		return finish(0, 0, conf)
+	}
+	var value, variance float64
+	for i, p := range parts {
+		if i >= len(counts) || counts[i] <= 0 {
+			continue
+		}
+		omega := float64(counts[i]) / total
+		value += omega * p.Value
+		variance += omega * omega * p.Variance
+	}
+	return finish(value, variance, conf)
+}

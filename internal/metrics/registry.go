@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the observability surface the serving tier exposes at
+// /metrics: a minimal Prometheus-style registry of labelled counters and
+// gauges rendered in the text exposition format. It is dependency-free
+// on purpose — the daemon must not pull a client library into the
+// container image — and implements just the subset saproxd needs:
+// monotonically increasing counters, settable gauges, and deterministic
+// text output.
+
+// Labels name one metric series within a family.
+type Labels map[string]string
+
+// value is a float64 stored as atomic bits so hot paths never take the
+// registry lock.
+type value struct {
+	bits atomic.Uint64
+}
+
+func (v *value) add(delta float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) get() float64  { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing metric series.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.v.add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.get() }
+
+// Gauge is a metric series that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.v.set(x) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v.get() }
+
+// series is one labelled time series within a family.
+type series struct {
+	labels Labels
+	metric any // *Counter or *Gauge
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" or "gauge"
+	series map[string]series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series for (name, labels), creating family
+// and series on first use. Registering the same name as a different type
+// panics — that is a programming error, not an operational one.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.lookup(name, help, "counter", labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.lookup(name, help, "gauge", labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+func (r *Registry) lookup(name, help, typ string, labels Labels, mk func() any) any {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]series)}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, fam.typ, typ))
+	}
+	s, ok := fam.series[key]
+	if !ok {
+		labelsCopy := make(Labels, len(labels))
+		for k, v := range labels {
+			labelsCopy[k] = v
+		}
+		s = series{labels: labelsCopy, metric: mk()}
+		fam.series[key] = s
+	}
+	return s.metric
+}
+
+// RemoveMatching deletes every series whose labels contain all of
+// match's pairs, across all families — e.g. RemoveMatching(Labels
+// {"query": "q-0"}) drops a deregistered tenant's series so a
+// long-running multi-tenant daemon's registry does not grow without
+// bound. Families left empty disappear from the rendered output.
+func (r *Registry) RemoveMatching(match Labels) {
+	if len(match) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, fam := range r.families {
+		for key, s := range fam.series {
+			keep := false
+			for k, v := range match {
+				if s.labels[k] != v {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				delete(fam.series, key)
+			}
+		}
+		if len(fam.series) == 0 {
+			delete(r.families, name)
+		}
+	}
+}
+
+// renderLabels serializes labels deterministically: {a="1",b="2"}.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTo renders every family in the text exposition format, sorted by
+// family name and series labels for deterministic scrapes.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, name := range names {
+		fam := r.families[name]
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, fam.help, name, fam.typ)
+		total += int64(n)
+		if err != nil {
+			r.mu.Unlock()
+			return total, err
+		}
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			var v float64
+			switch s := fam.series[k].metric.(type) {
+			case *Counter:
+				v = s.Value()
+			case *Gauge:
+				v = s.Value()
+			}
+			n, err := fmt.Fprintf(w, "%s%s %g\n", name, k, v)
+			total += int64(n)
+			if err != nil {
+				r.mu.Unlock()
+				return total, err
+			}
+		}
+	}
+	r.mu.Unlock()
+	return total, nil
+}
+
+// Render returns WriteTo's output as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRendersPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("saproxd_shard_records_total", "records consumed per shard", Labels{"query": "q-1", "shard": "0"})
+	c.Add(41)
+	c.Inc()
+	r.Counter("saproxd_shard_records_total", "records consumed per shard", Labels{"query": "q-1", "shard": "1"}).Add(7)
+	r.Gauge("saproxd_queries_active", "registered queries", nil).Set(2)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP saproxd_queries_active registered queries",
+		"# TYPE saproxd_queries_active gauge",
+		"saproxd_queries_active 2",
+		"# TYPE saproxd_shard_records_total counter",
+		`saproxd_shard_records_total{query="q-1",shard="0"} 42`,
+		`saproxd_shard_records_total{query="q-1",shard="1"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Each HELP/TYPE header must appear once per family, not per series.
+	if got := strings.Count(out, "# TYPE saproxd_shard_records_total counter"); got != 1 {
+		t.Errorf("TYPE header appears %d times", got)
+	}
+}
+
+func TestRegistrySeriesIdentityAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"k": "v"})
+	b := r.Counter("x_total", "", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct series")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("x_total", "", Labels{"k": "v"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Value(); got != 8000 {
+		t.Fatalf("concurrent increments lost: %v", got)
+	}
+	a.Add(-5)
+	if got := a.Value(); got != 8000 {
+		t.Fatalf("counter decreased: %v", got)
+	}
+}
+
+func TestRegistryRemoveMatching(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shard_records_total", "", Labels{"query": "q-0", "shard": "0"}).Inc()
+	r.Counter("shard_records_total", "", Labels{"query": "q-1", "shard": "0"}).Inc()
+	r.Gauge("merge_latency", "", Labels{"query": "q-0"}).Set(1)
+	r.RemoveMatching(Labels{"query": "q-0"})
+	out := r.Render()
+	if strings.Contains(out, `query="q-0"`) {
+		t.Errorf("q-0 series survived removal:\n%s", out)
+	}
+	if !strings.Contains(out, `query="q-1"`) {
+		t.Errorf("q-1 series removed too:\n%s", out)
+	}
+	if strings.Contains(out, "merge_latency") {
+		t.Errorf("emptied family still rendered:\n%s", out)
+	}
+	// Removal must not orphan live handles: re-requesting recreates.
+	r.Counter("shard_records_total", "", Labels{"query": "q-0", "shard": "0"}).Inc()
+	if !strings.Contains(r.Render(), `query="q-0"`) {
+		t.Error("series not recreatable after removal")
+	}
+	r.RemoveMatching(nil) // no-op
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	r.Gauge("m", "", nil)
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker"
+)
+
+// BenchmarkShardedWindowThroughput measures served windowed throughput
+// as the partition count (= shard workers per query) grows. One
+// iteration produces a fixed dataset into an N-partition topic,
+// registers a sum query and waits until every record has flowed through
+// the shard sessions and the merged windows are out. The items/s metric
+// should scale from 1 to 4 shards — the scale surface the serving tier
+// adds.
+//
+//	go test ./internal/server -bench Sharded -benchtime 3x
+func BenchmarkShardedWindowThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			events := makeEvents(5, 60000) // 60s of data, 16 strata
+			var items int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bk := broker.New()
+				if err := bk.CreateTopic("in", shards); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := broker.ProduceEvents(bk, "in", events); err != nil {
+					b.Fatal(err)
+				}
+				s, err := New(Config{Cluster: bk, Topic: "in", PollBackoff: 100 * time.Microsecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				id, err := s.Register(Spec{
+					Kind:     "sum",
+					Window:   10 * time.Second,
+					Slide:    5 * time.Second,
+					Fraction: 0.6,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				j, _ := s.job(id)
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					var consumed int64
+					for _, sh := range j.shards {
+						consumed += sh.records.Load()
+					}
+					if consumed == int64(len(events)) && len(j.resultsSince(-1)) >= 5 {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("consumed %d of %d within deadline", consumed, len(events))
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+				items += int64(len(events))
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(items)/elapsed, "items/s")
+			}
+		})
+	}
+}

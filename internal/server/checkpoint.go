@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"streamapprox"
+)
+
+// Shard checkpointing: every CheckpointEvery the server persists, per
+// query, each shard's Session snapshot (the public fault-tolerance API)
+// together with its consumer offset, plus the merger's partially merged
+// windows and the result sequence counter. A restarted saproxd re-reads
+// the checkpoint directory, re-registers every query and resumes exactly
+// where the shards left off — offsets, in-flight reservoirs, pending
+// windows and sequence numbers all recover.
+
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk form of one query's state.
+type checkpointFile struct {
+	Version int    `json:"version"`
+	ID      string `json:"id"`
+	Spec    Spec   `json:"spec"`
+	Seq     int64  `json:"seq"`
+
+	Shards  []shardCheckpoint   `json:"shards"`
+	Pending []pendingCheckpoint `json:"pending,omitempty"`
+	Marks   []time.Time         `json:"marks,omitempty"`
+	// Fired lists recently merged window starts so a restarted merger
+	// keeps suppressing shard stragglers for windows already served.
+	Fired []time.Time `json:"fired,omitempty"`
+}
+
+// shardCheckpoint is one shard's resumable state.
+type shardCheckpoint struct {
+	Partition int             `json:"partition"`
+	Offset    int64           `json:"offset"`
+	Watermark time.Time       `json:"watermark"`
+	Records   int64           `json:"records"`
+	Sampled   int64           `json:"sampled"`
+	Session   json.RawMessage `json:"session"`
+}
+
+// pendingCheckpoint is one partially merged window: the per-shard parts
+// received so far (nil for shards that have not reported).
+type pendingCheckpoint struct {
+	Start   time.Time                    `json:"start"`
+	FirstAt time.Time                    `json:"firstAt"`
+	Parts   []*streamapprox.WindowResult `json:"parts"`
+}
+
+// checkpoint captures the job's state. Shard locks and the job lock are
+// taken one at a time, never nested, so the data path stays unblocked.
+func (j *job) checkpoint() (*checkpointFile, error) {
+	cf := &checkpointFile{
+		Version: checkpointVersion,
+		ID:      j.id,
+		Spec:    j.spec,
+	}
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		snap, err := sh.sess.Snapshot()
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("shard %d snapshot: %w", sh.idx, err)
+		}
+		offset := sh.offset
+		wm := sh.watermark
+		sh.mu.Unlock()
+		cf.Shards = append(cf.Shards, shardCheckpoint{
+			Partition: sh.idx,
+			Offset:    offset,
+			Watermark: wm,
+			Records:   sh.records.Load(),
+			Sampled:   sh.sampled.Load(),
+			Session:   snap,
+		})
+		// Best effort, outside sh.mu (it is a network round trip):
+		// mirror the offset into the broker group so lag is observable
+		// with broker tooling.
+		_ = sh.cluster.Commit(j.group(), j.srv.cfg.Topic, sh.idx, offset)
+	}
+	j.mu.Lock()
+	cf.Seq = j.seq
+	cf.Marks = append([]time.Time(nil), j.merger.marks...)
+	for start := range j.merger.fired {
+		cf.Fired = append(cf.Fired, start)
+	}
+	sort.Slice(cf.Fired, func(i, k int) bool { return cf.Fired[i].Before(cf.Fired[k]) })
+	starts := make([]time.Time, 0, len(j.merger.pending))
+	for start := range j.merger.pending {
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, k int) bool { return starts[i].Before(starts[k]) })
+	for _, start := range starts {
+		pm := j.merger.pending[start]
+		cf.Pending = append(cf.Pending, pendingCheckpoint{
+			Start:   start,
+			FirstAt: pm.firstAt,
+			Parts:   append([]*streamapprox.WindowResult(nil), pm.parts...),
+		})
+	}
+	j.mu.Unlock()
+	return cf, nil
+}
+
+// restore rebuilds the job's shards and merger from a checkpoint.
+func (j *job) restore(cf *checkpointFile) error {
+	byPart := make(map[int]shardCheckpoint, len(cf.Shards))
+	for _, sc := range cf.Shards {
+		byPart[sc.Partition] = sc
+	}
+	for _, sh := range j.shards {
+		sc, ok := byPart[sh.idx]
+		if !ok {
+			// Partition added since the checkpoint: start it fresh.
+			sh.sess = streamapprox.NewSession(j.spec.sessionConfig(sh.idx))
+			continue
+		}
+		sess, err := streamapprox.RestoreSession(sc.Session)
+		if err != nil {
+			return fmt.Errorf("shard %d session: %w", sh.idx, err)
+		}
+		sh.sess = sess
+		sh.watermark = sc.Watermark
+		sh.records.Store(sc.Records)
+		sh.recordsMetric.Add(float64(sc.Records))
+		sh.sampled.Store(sc.Sampled)
+		sh.sampledMetric.Add(float64(sc.Sampled))
+		sh.offset = sc.Offset
+	}
+	j.seq = cf.Seq
+	for _, start := range cf.Fired {
+		j.merger.fired[start] = true
+	}
+	for i, mark := range cf.Marks {
+		if i < len(j.merger.marks) {
+			j.merger.marks[i] = mark
+		}
+	}
+	for _, pc := range cf.Pending {
+		pm := &pendingMerge{
+			parts:   make([]*streamapprox.WindowResult, j.srv.parts),
+			firstAt: pc.FirstAt,
+		}
+		for i, p := range pc.Parts {
+			if i >= len(pm.parts) {
+				break
+			}
+			if p != nil {
+				pm.parts[i] = p
+				pm.got++
+			}
+		}
+		j.merger.pending[pc.Start] = pm
+	}
+	return nil
+}
+
+// checkpointPath is dir/<id>.json.
+func checkpointPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+// saveCheckpoint writes the checkpoint atomically (temp file + rename).
+func saveCheckpoint(dir string, cf *checkpointFile) error {
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return fmt.Errorf("marshal checkpoint %s: %w", cf.ID, err)
+	}
+	tmp, err := os.CreateTemp(dir, cf.ID+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), checkpointPath(dir, cf.ID))
+}
+
+// loadCheckpoints reads every query checkpoint in dir, sorted by id.
+func loadCheckpoints(dir string) ([]*checkpointFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*checkpointFile
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var cf checkpointFile
+		if err := json.Unmarshal(data, &cf); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", e.Name(), err)
+		}
+		if cf.Version != checkpointVersion {
+			return nil, fmt.Errorf("checkpoint %s: unsupported version %d", e.Name(), cf.Version)
+		}
+		out = append(out, &cf)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/stream"
+)
+
+// TestCheckpointRestartResumes kills a server mid-stream and restarts it
+// from the checkpoint directory: the query must come back without
+// re-registration, resume from the saved offsets and sequence counter,
+// and never emit a window twice.
+func TestCheckpointRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	b := broker.New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(19, 16000) // 16s of data
+	half := len(events) / 2
+	if _, err := broker.ProduceEvents(b, "in", events[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		Cluster:         b,
+		Topic:           "in",
+		CheckpointDir:   dir,
+		CheckpointEvery: 20 * time.Millisecond,
+		PollBackoff:     time.Millisecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, _ := s1.job(id)
+	deadline := time.Now().Add(10 * time.Second)
+	var before []MergedWindow
+	for {
+		before = j1.resultsSince(-1)
+		if len(before) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first server produced only %d windows", len(before))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close checkpoints (without flushing partial windows) and stops.
+	s1.Close()
+	maxSeq := before[len(before)-1].Seq
+	var consumed1 int64
+	for _, sh := range j1.shards {
+		consumed1 += sh.records.Load()
+	}
+	if consumed1 == 0 {
+		t.Fatal("first server consumed nothing")
+	}
+
+	// Restart from the checkpoint and feed the rest of the stream.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j2, ok := s2.job(id)
+	if !ok {
+		t.Fatalf("query %s not restored; have %v", id, s2.jobs())
+	}
+	if j2.spec.Kind != "sum" || j2.spec.Window != 2*time.Second {
+		t.Fatalf("restored spec = %+v", j2.spec)
+	}
+	if _, err := broker.ProduceEvents(b, "in", events[half:]); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline = time.Now().Add(10 * time.Second)
+	var after []MergedWindow
+	for {
+		after = j2.resultsSince(-1)
+		if len(after) >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted server produced only %d new windows", len(after))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Sequence numbers continue past the first run's; no window start is
+	// served twice across the runs.
+	seen := map[time.Time]int64{}
+	for _, r := range before {
+		seen[r.Start] = r.Seq
+	}
+	for _, r := range after {
+		if r.Seq <= maxSeq {
+			t.Errorf("restarted window %v reuses seq %d (first run ended at %d)", r.Start, r.Seq, maxSeq)
+		}
+		if firstSeq, dup := seen[r.Start]; dup {
+			t.Errorf("window %v served twice (seq %d and %d)", r.Start, firstSeq, r.Seq)
+		}
+	}
+
+	// The two runs together must account for every produced record
+	// exactly once: restored counters carry the first run's records.
+	var consumed2 int64
+	for _, sh := range j2.shards {
+		consumed2 += sh.records.Load()
+	}
+	waitTotal := time.Now().Add(10 * time.Second)
+	for consumed2 < int64(len(events)) && time.Now().Before(waitTotal) {
+		time.Sleep(5 * time.Millisecond)
+		consumed2 = 0
+		for _, sh := range j2.shards {
+			consumed2 += sh.records.Load()
+		}
+	}
+	if consumed2 != int64(len(events)) {
+		t.Errorf("total consumed across runs = %d, want %d (offsets not resumed)", consumed2, len(events))
+	}
+
+	// A registration after restart picks a fresh id.
+	id2, err := s2.Register(Spec{Kind: "count", Window: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Errorf("restarted server reissued id %s", id)
+	}
+}
+
+// TestCheckpointSurvivesEmptyPartition checkpoints a query whose topic
+// has a never-written partition — its shard session must snapshot (nil
+// sampler) and restore.
+func TestCheckpointSurvivesEmptyPartition(t *testing.T) {
+	dir := t.TempDir()
+	b := broker.New()
+	if err := b.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Only one stratum → at most one active partition.
+	var events []stream.Event
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4000; i++ {
+		events = append(events, stream.Event{Stratum: "only", Value: 1, Time: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	if _, err := broker.ProduceEvents(b, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cluster: b, Topic: "in", CheckpointDir: dir,
+		CheckpointEvery: 20 * time.Millisecond, PollBackoff: time.Millisecond}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Register(Spec{Kind: "count", Window: time.Second, Slide: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := s1.job(id)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(j1.resultsSince(-1)) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no windows merged from a single active partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, r := range j1.resultsSince(-1) {
+		if r.Items > 0 && r.Items != 1000 && r.End.Before(base.Add(4*time.Second)) {
+			t.Errorf("window %v: items %d", r.Start, r.Items)
+		}
+	}
+	s1.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart with empty partitions: %v", err)
+	}
+	if _, ok := s2.job(id); !ok {
+		t.Error("query not restored")
+	}
+	s2.Close()
+}

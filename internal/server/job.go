@@ -1,0 +1,416 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamapprox"
+	"streamapprox/internal/broker"
+	"streamapprox/internal/metrics"
+)
+
+// A job is one registered query: one consumer group on the topic, one
+// shard worker per partition (each running its own OASRS Session), and
+// one merger fanning shard windows into the served result stream. Shards
+// share nothing on the data path — the paper's synchronization-free
+// parallel sampling, stretched across consumer-group partitions.
+type job struct {
+	id   string
+	spec Spec
+	srv  *Server
+
+	shards []*shard
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// mu guards the merger and the served result state.
+	mu      sync.Mutex
+	merger  *merger
+	results []MergedWindow // ring of recent results for /results polling
+	seq     int64          // seq of the next merged window
+	subs    map[int]chan MergedWindow
+	nextSub int
+	stopped bool
+
+	windowsMerged *metrics.Counter
+	mergeLatency  *metrics.Gauge
+	partsDropped  *metrics.Counter
+}
+
+// maxKept bounds the per-query result ring.
+const maxKept = 4096
+
+// shard is one partition worker feeding one Session. It manages its
+// single partition's offset directly so the blocking Fetch can run
+// outside sh.mu — only applying a fetched batch (push + offset advance +
+// merger delivery) needs to be atomic against the checkpointer.
+type shard struct {
+	job     *job
+	idx     int // shard index == partition
+	cluster broker.Cluster
+	conn    io.Closer // dedicated broker connection, nil when shared
+
+	// mu guards sess, offset and the watermark against the
+	// checkpointer. records/sampled are atomic so the merge path never
+	// nests shard and job locks. offset is written only by the shard
+	// loop (and restore, before start).
+	mu        sync.Mutex
+	sess      *streamapprox.Session
+	offset    int64
+	watermark time.Time
+	records   atomic.Int64
+	sampled   atomic.Int64
+
+	recordsMetric *metrics.Counter
+	sampledMetric *metrics.Counter
+	lateMetric    *metrics.Gauge
+	lagMetric     *metrics.Gauge
+}
+
+// newJob builds a job and its shards. When restore is non-nil the shards
+// resume from checkpointed sessions and offsets and the merger resumes
+// its pending windows; otherwise shards start per spec.From.
+func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, error) {
+	j := &job{
+		id:   id,
+		spec: spec,
+		srv:  srv,
+		done: make(chan struct{}),
+		subs: make(map[int]chan MergedWindow),
+
+		windowsMerged: srv.reg.Counter("saproxd_windows_merged_total",
+			"windows merged across shards", metrics.Labels{"query": id}),
+		mergeLatency: srv.reg.Gauge("saproxd_window_merge_latency_seconds",
+			"wall-clock latency from first shard part to merged emission, last window",
+			metrics.Labels{"query": id}),
+		partsDropped: srv.reg.Counter("saproxd_window_parts_dropped_total",
+			"shard window parts arriving after their window merged", metrics.Labels{"query": id}),
+	}
+	j.merger = newMerger(&j.spec, srv.parts, nil)
+	for p := 0; p < srv.parts; p++ {
+		cluster := srv.cfg.Cluster
+		var closer io.Closer
+		if srv.cfg.DialShard != nil {
+			c, err := srv.cfg.DialShard()
+			if err != nil {
+				j.closeShardConns()
+				return nil, fmt.Errorf("shard %d dial: %w", p, err)
+			}
+			cluster = c
+			closer, _ = c.(io.Closer)
+		}
+		sh := &shard{job: j, idx: p, cluster: cluster, conn: closer}
+		labels := metrics.Labels{"query": id, "shard": strconv.Itoa(p)}
+		sh.recordsMetric = srv.reg.Counter("saproxd_shard_records_total",
+			"records consumed per shard", labels)
+		sh.sampledMetric = srv.reg.Counter("saproxd_shard_samples_total",
+			"items sampled into emitted windows per shard", labels)
+		sh.lateMetric = srv.reg.Gauge("saproxd_shard_late_events",
+			"late events dropped per shard", labels)
+		sh.lagMetric = srv.reg.Gauge("saproxd_shard_lag_records",
+			"records between shard position and partition high watermark", labels)
+		j.shards = append(j.shards, sh)
+	}
+
+	if restore != nil {
+		if err := j.restore(restore); err != nil {
+			j.closeShardConns()
+			return nil, err
+		}
+		return j, nil
+	}
+	for _, sh := range j.shards {
+		sh.sess = streamapprox.NewSession(spec.sessionConfig(sh.idx))
+		var err error
+		switch spec.From {
+		case "earliest":
+			sh.offset = 0
+		case "latest":
+			sh.offset, err = sh.cluster.HighWatermark(srv.cfg.Topic, sh.idx)
+		default: // committed: resume the group position (0 for fresh groups)
+			sh.offset, err = sh.cluster.Committed(j.group(), srv.cfg.Topic, sh.idx)
+		}
+		if err != nil {
+			j.closeShardConns()
+			return nil, fmt.Errorf("shard %d start offset: %w", sh.idx, err)
+		}
+	}
+	return j, nil
+}
+
+// group is the job's consumer-group name on the broker.
+func (j *job) group() string { return j.srv.cfg.Group + "-" + j.id }
+
+// start launches the shard workers.
+func (j *job) start() {
+	for _, sh := range j.shards {
+		j.wg.Add(1)
+		go sh.loop()
+	}
+}
+
+// stop halts the shard workers. When flush is true every in-progress
+// session segment and pending merge is forced out to subscribers first —
+// the DELETE path; graceful server shutdown keeps them pending so a
+// restart resumes from the checkpoint without double-emitting windows.
+func (j *job) stop(flush bool) {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return
+	}
+	j.stopped = true
+	j.mu.Unlock()
+	close(j.done)
+	j.wg.Wait()
+	if flush {
+		for _, sh := range j.shards {
+			sh.mu.Lock()
+			sh.deliver(sh.sess.Close(), time.Time{})
+			sh.mu.Unlock()
+		}
+		j.mu.Lock()
+		for _, fw := range j.merger.flush() {
+			j.emitLocked(fw)
+		}
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	j.mu.Unlock()
+	j.closeShardConns()
+}
+
+// closeShardConns closes any dedicated per-shard broker connections.
+func (j *job) closeShardConns() {
+	for _, sh := range j.shards {
+		if sh.conn != nil {
+			_ = sh.conn.Close()
+			sh.conn = nil
+		}
+	}
+}
+
+// emitLocked assigns the next sequence number and publishes one merged
+// window. Callers hold j.mu.
+func (j *job) emitLocked(fw firedWindow) {
+	fw.result.Seq = j.seq
+	fw.result.Query = j.id
+	j.seq++
+	j.results = append(j.results, fw.result)
+	if len(j.results) > maxKept {
+		j.results = j.results[len(j.results)-maxKept:]
+	}
+	j.windowsMerged.Inc()
+	j.mergeLatency.Set(fw.latency.Seconds())
+	for _, ch := range j.subs {
+		select {
+		case ch <- fw.result:
+		default: // slow subscriber: drop rather than stall the shard path
+		}
+	}
+}
+
+// isStopped reports whether stop has begun.
+func (j *job) isStopped() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stopped
+}
+
+// resultsSince returns served results with Seq > since, oldest first.
+func (j *job) resultsSince(since int64) []MergedWindow {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]MergedWindow, 0, len(j.results))
+	for _, r := range j.results {
+		if r.Seq > since {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// subscribe registers a live result channel; the returned cancel
+// unregisters it. The channel is closed when the job stops.
+func (j *job) subscribe() (<-chan MergedWindow, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	id := j.nextSub
+	j.nextSub++
+	ch := make(chan MergedWindow, 64)
+	if j.stopped {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+	}
+}
+
+// maxWatermark returns the highest event-time watermark across shards.
+func (j *job) maxWatermark() time.Time {
+	var max time.Time
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		if sh.watermark.After(max) {
+			max = sh.watermark
+		}
+		sh.mu.Unlock()
+	}
+	return max
+}
+
+// fetchMax bounds one fetch's record count.
+const fetchMax = 4096
+
+// loop is the shard worker: fetch the partition (no locks held — the
+// fetch may be a network round trip), apply the batch to the session,
+// and hand completed windows to the merger. On an idle partition it
+// adopts the peers' watermark so gap windows still merge
+// (idle-partition punctuation).
+func (sh *shard) loop() {
+	defer sh.job.wg.Done()
+	cfg := sh.job.srv.cfg
+	idle := 0
+	for {
+		select {
+		case <-sh.job.done:
+			return
+		default:
+		}
+		sh.mu.Lock()
+		offset := sh.offset
+		sh.mu.Unlock()
+		recs, err := sh.cluster.Fetch(cfg.Topic, sh.idx, offset, fetchMax)
+		if err != nil {
+			if !sleepOrDone(sh.job.done, cfg.PollBackoff) {
+				return
+			}
+			continue
+		}
+		if len(recs) == 0 {
+			idle++
+			if idle >= idleAdvanceAfter {
+				sh.advanceIdle()
+			}
+			if !sleepOrDone(sh.job.done, cfg.PollBackoff) {
+				return
+			}
+			continue
+		}
+		idle = 0
+		// Present the batch in event-time order, as a time-synchronized
+		// aggregator would deliver it.
+		sort.SliceStable(recs, func(i, k int) bool { return recs[i].Time.Before(recs[k].Time) })
+
+		// Apply atomically w.r.t. the checkpointer: push + offset
+		// advance + merger delivery under one sh.mu hold, so a window
+		// drained from the session already sits in the merger when a
+		// checkpoint can observe either (no torn checkpoint).
+		sh.mu.Lock()
+		for _, r := range recs {
+			_ = sh.sess.Push(streamapprox.Event(broker.ToEvent(r)))
+			if r.Time.After(sh.watermark) {
+				sh.watermark = r.Time
+			}
+		}
+		sh.offset = offset + int64(len(recs))
+		sh.records.Add(int64(len(recs)))
+		sh.recordsMetric.Add(float64(len(recs)))
+		sh.lateMetric.Set(float64(sh.sess.Late()))
+		sh.sess.Advance(sh.watermark)
+		sh.deliver(sh.sess.Poll(), sh.watermark)
+		sh.mu.Unlock()
+
+		if hwm, err := sh.cluster.HighWatermark(cfg.Topic, sh.idx); err == nil {
+			sh.lagMetric.Set(float64(hwm - (offset + int64(len(recs)))))
+		}
+	}
+}
+
+// idleAdvanceAfter is the number of consecutive empty polls after which
+// an idle shard adopts the peers' watermark. High enough that a shard
+// that has merely caught up with a live producer does not race ahead and
+// drop the producer's next records as late.
+const idleAdvanceAfter = 10
+
+// advanceIdle pushes an idle shard's session forward to the job-wide
+// maximum watermark, flushing windows a sparsely keyed partition would
+// otherwise hold back forever.
+func (sh *shard) advanceIdle() {
+	mark := sh.job.maxWatermark()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !mark.After(sh.watermark) {
+		return
+	}
+	sh.watermark = mark
+	sh.sess.Advance(mark)
+	sh.deliver(sh.sess.Poll(), mark)
+}
+
+// deliver hands window results and the shard's watermark to the merger
+// and publishes whatever fires. Callers hold sh.mu; deliver nests j.mu
+// inside it (the one place the two locks nest — the checkpointer takes
+// them one at a time, so the order stays acyclic).
+func (sh *shard) deliver(results []streamapprox.WindowResult, mark time.Time) {
+	j := sh.job
+	j.mu.Lock()
+	for _, wr := range results {
+		sh.noteSampled(wr)
+		if j.merger.fired[wr.Start] {
+			j.partsDropped.Inc()
+			continue
+		}
+		for _, fw := range j.merger.offer(sh.idx, wr) {
+			j.emitLocked(fw)
+		}
+	}
+	if !mark.IsZero() {
+		for _, fw := range j.merger.advance(sh.idx, mark) {
+			j.emitLocked(fw)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// noteSampled accounts a window's sampled items to the shard metrics.
+func (sh *shard) noteSampled(wr streamapprox.WindowResult) {
+	sh.sampled.Add(int64(wr.Sampled))
+	sh.sampledMetric.Add(float64(wr.Sampled))
+}
+
+// sleepOrDone pauses for d, returning false if the job stopped.
+func sleepOrDone(done chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,527 @@
+// Package server implements saproxd, the serving tier on top of the
+// stream-aggregator (broker) tier: a sharded, multi-tenant
+// approximate-query service.
+//
+// Figure 1 of the paper ends at a single in-process computation; this
+// package makes that computation a long-running, horizontally sharded
+// service. Clients register queries (aggregate kind, sliding window,
+// sampling budget) over HTTP/JSON; each registered query consumes the
+// input topic through its own consumer group with one OASRS worker per
+// partition — the paper's synchronization-free parallel sampling
+// stretched across a Kafka-style consumer group — and the per-shard
+// windows are merged into a single "result ± error" stream with a
+// combined error bound (internal/estimate's disjoint-population merge).
+// Liveness and load are observable at /healthz and a Prometheus-style
+// /metrics endpoint, and periodic shard checkpoints make the whole
+// daemon crash-restartable.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/metrics"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Cluster is the broker to consume: the in-process *broker.Broker or
+	// a TCP *broker.Client pointed at brokerd.
+	Cluster broker.Cluster
+	// DialShard, when set, opens a dedicated broker connection per shard
+	// worker (the TCP client serializes requests per connection, so
+	// sharing one across all shards would serialize the fetch path).
+	// Connections implementing io.Closer are closed when their query
+	// stops. When nil every shard shares Cluster — right for the
+	// in-process broker.
+	DialShard func() (broker.Cluster, error)
+	// Topic is the input topic all queries consume.
+	Topic string
+	// Group prefixes the per-query consumer groups (default "saproxd").
+	Group string
+	// CheckpointDir enables periodic shard checkpoints and restart
+	// recovery when non-empty.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval (default 5s).
+	CheckpointEvery time.Duration
+	// PollBackoff is the shard idle-poll pause (default 10ms).
+	PollBackoff time.Duration
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the multi-tenant approximate-query service.
+type Server struct {
+	cfg   Config
+	parts int
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	queries map[string]*job
+	nextID  int
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	activeGauge    *metrics.Gauge
+	checkpoints    *metrics.Counter
+	checkpointErrs *metrics.Counter
+}
+
+// New connects to the topic, restores any checkpointed queries from
+// cfg.CheckpointDir, and starts the checkpoint loop. Close stops it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("server: nil cluster")
+	}
+	if cfg.Topic == "" {
+		return nil, fmt.Errorf("server: empty topic")
+	}
+	if cfg.Group == "" {
+		cfg.Group = "saproxd"
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 5 * time.Second
+	}
+	if cfg.PollBackoff <= 0 {
+		cfg.PollBackoff = 10 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	parts, err := cfg.Cluster.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, fmt.Errorf("server: topic %q: %w", cfg.Topic, err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		parts:   parts,
+		reg:     metrics.NewRegistry(),
+		queries: make(map[string]*job),
+		done:    make(chan struct{}),
+	}
+	s.activeGauge = s.reg.Gauge("saproxd_queries_active", "registered queries", nil)
+	s.checkpoints = s.reg.Counter("saproxd_checkpoints_total", "successful checkpoints", nil)
+	s.checkpointErrs = s.reg.Counter("saproxd_checkpoint_errors_total", "failed checkpoints", nil)
+	s.buildMux()
+
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+		cfs, err := loadCheckpoints(cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: load checkpoints: %w", err)
+		}
+		// Restore everything before starting anything so a bad
+		// checkpoint cannot leave earlier queries' workers running
+		// behind the returned error.
+		for _, cf := range cfs {
+			j, err := newJob(cf.ID, cf.Spec, s, cf)
+			if err != nil {
+				return nil, fmt.Errorf("server: restore query %s: %w", cf.ID, err)
+			}
+			s.queries[cf.ID] = j
+			if n, err := strconv.Atoi(strings.TrimPrefix(cf.ID, "q-")); err == nil && n >= s.nextID {
+				s.nextID = n + 1
+			}
+		}
+		for _, j := range s.jobs() {
+			j.start()
+			cfg.Logf("restored query %s (%s) from checkpoint", j.id, j.spec.Kind)
+		}
+		s.activeGauge.Set(float64(len(s.queries)))
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// Partitions returns the consumed topic's partition count (= shards per
+// query).
+func (s *Server) Partitions() int { return s.parts }
+
+// Registry exposes the server's metric registry (for embedding tests).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register adds a query and starts its shard workers, returning the
+// assigned id.
+func (s *Server) Register(spec Spec) (string, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", fmt.Errorf("server closed")
+	}
+	id := "q-" + strconv.Itoa(s.nextID)
+	s.nextID++
+	s.mu.Unlock()
+
+	j, err := newJob(id, spec, s, nil)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		j.stop(false)
+		return "", fmt.Errorf("server closed")
+	}
+	s.queries[id] = j
+	s.activeGauge.Set(float64(len(s.queries)))
+	s.mu.Unlock()
+	j.start()
+	s.cfg.Logf("registered query %s: %s over %v/%v, fraction %v",
+		id, spec.Kind, spec.Window, spec.Slide, spec.Fraction)
+	return id, nil
+}
+
+// Deregister flushes and removes a query and deletes its checkpoint.
+func (s *Server) Deregister(id string) error {
+	s.mu.Lock()
+	j, ok := s.queries[id]
+	if ok {
+		delete(s.queries, id)
+		s.activeGauge.Set(float64(len(s.queries)))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown query %q", id)
+	}
+	j.stop(true)
+	if s.cfg.CheckpointDir != "" {
+		_ = os.Remove(checkpointPath(s.cfg.CheckpointDir, id))
+	}
+	// Drop the tenant's metric series so the registry does not grow
+	// without bound as queries come and go.
+	s.reg.RemoveMatching(metrics.Labels{"query": id})
+	s.cfg.Logf("deregistered query %s", id)
+	return nil
+}
+
+// job looks up a registered query.
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.queries[id]
+	return j, ok
+}
+
+// jobs returns the registered queries sorted by id.
+func (s *Server) jobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.queries))
+	for _, j := range s.queries {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
+
+// Close checkpoints every query and stops the shard workers without
+// flushing partial windows, so a restarted server resumes seamlessly.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	for _, j := range s.jobs() {
+		j.stop(false)
+	}
+	s.checkpointAll()
+}
+
+// checkpointLoop checkpoints all queries on a ticker until Close.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.checkpointAll()
+		}
+	}
+}
+
+// checkpointAll persists every query's state.
+func (s *Server) checkpointAll() {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	s.mu.Lock()
+	closing := s.closed
+	s.mu.Unlock()
+	for _, j := range s.jobs() {
+		if j.isStopped() && !closing {
+			continue // being deregistered; don't resurrect its file
+		}
+		cf, err := j.checkpoint()
+		if err == nil {
+			err = saveCheckpoint(s.cfg.CheckpointDir, cf)
+		}
+		if err != nil {
+			s.checkpointErrs.Inc()
+			s.cfg.Logf("checkpoint %s: %v", j.id, err)
+			continue
+		}
+		s.checkpoints.Inc()
+		// A Deregister racing this save may have already removed the
+		// file; re-check and undo so a deleted query cannot come back
+		// on restart.
+		if _, ok := s.job(j.id); !ok {
+			_ = os.Remove(checkpointPath(s.cfg.CheckpointDir, j.id))
+		}
+	}
+}
+
+// ---- HTTP API ----
+
+// queryInfo is the wire form of a registered query's status.
+type queryInfo struct {
+	ID      string  `json:"id"`
+	Spec    Spec    `json:"spec"`
+	Shards  int     `json:"shards"`
+	Windows int64   `json:"windows"`
+	Records []int64 `json:"shard_records"`
+	Sampled []int64 `json:"shard_sampled"`
+}
+
+func (s *Server) info(j *job) queryInfo {
+	j.mu.Lock()
+	seq := j.seq
+	j.mu.Unlock()
+	qi := queryInfo{ID: j.id, Spec: j.spec, Shards: len(j.shards), Windows: seq}
+	for _, sh := range j.shards {
+		qi.Records = append(qi.Records, sh.records.Load())
+		qi.Sampled = append(qi.Sampled, sh.sampled.Load())
+	}
+	return qi
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/queries", s.handleRegister)
+	mux.HandleFunc("GET /v1/queries", s.handleList)
+	mux.HandleFunc("GET /v1/queries/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/queries/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/queries/{id}/stream", s.handleStream)
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.queries)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"topic":      s.cfg.Topic,
+		"partitions": s.parts,
+		"queries":    n,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.reg.WriteTo(w)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	id, err := s.Register(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, ok := s.job(id)
+	if !ok { // deregistered concurrently before we could report it
+		writeError(w, http.StatusGone, "query %s was deleted", id)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.info(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs()
+	out := make([]queryInfo, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.info(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(j))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Deregister(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// handleResults returns merged windows with seq > ?since (default -1:
+// everything retained). ?wait=500ms long-polls until a result arrives or
+// the wait expires.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	since := int64(-1)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "since: %v", err)
+			return
+		}
+		since = n
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "wait: %v", err)
+			return
+		}
+		wait = d
+	}
+	results := j.resultsSince(since)
+	if len(results) == 0 && wait > 0 {
+		// Subscribe before re-checking so a window merged between the
+		// first check and the subscription still wakes (or is seen by)
+		// this request.
+		ch, cancel := j.subscribe()
+		defer cancel()
+		if results = j.resultsSince(since); len(results) == 0 {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+			case <-ch:
+			}
+			results = j.resultsSince(since)
+		}
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+// handleStream streams merged windows as NDJSON: first the retained
+// backlog after ?since (default: none), then live results as they merge,
+// until the client disconnects or the query is deleted.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", r.PathValue("id"))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush() // push headers so clients can start reading
+	}
+	enc := json.NewEncoder(w)
+
+	last := int64(-1)
+	send := func(mw MergedWindow) bool {
+		if mw.Seq <= last {
+			return true
+		}
+		if err := enc.Encode(mw); err != nil {
+			return false
+		}
+		last = mw.Seq
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// Subscribe before draining the backlog so no window is missed
+	// between the two; send dedups by seq.
+	ch, cancel := j.subscribe()
+	defer cancel()
+	since := int64(-1)
+	if v := r.URL.Query().Get("since"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			since = n
+		}
+	} else {
+		j.mu.Lock()
+		since = j.seq - 1
+		j.mu.Unlock()
+	}
+	for _, mw := range j.resultsSince(since) {
+		if !send(mw) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+			// The channel is only a wake-up: re-drain from the retained
+			// ring so windows dropped on a full subscriber buffer are
+			// still delivered in order.
+			for _, mw := range j.resultsSince(last) {
+				if !send(mw) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// makeEvents builds a deterministic ms-spaced stream with enough strata
+// to touch every partition of a 4-way topic.
+func makeEvents(seed uint64, n int) []stream.Event {
+	rng := xrand.New(seed)
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	events := make([]stream.Event, n)
+	for i := range events {
+		events[i] = stream.Event{
+			Stratum: fmt.Sprintf("s%02d", i%16),
+			Value:   rng.Gaussian(100, 15),
+			Time:    base.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	return events
+}
+
+// exactWindowSums computes the ground-truth sliding-window sums.
+func exactWindowSums(events []stream.Event, size, slide time.Duration) map[time.Time]float64 {
+	out := make(map[time.Time]float64)
+	for _, e := range events {
+		last := e.Time.Truncate(slide)
+		for start := last; start.After(e.Time.Add(-size)); start = start.Add(-slide) {
+			out[start] += e.Value
+		}
+	}
+	return out
+}
+
+func postQuery(t *testing.T, url string, spec string) queryInfo {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/queries", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %s: %s", resp.Status, body)
+	}
+	var qi queryInfo
+	if err := json.Unmarshal(body, &qi); err != nil {
+		t.Fatal(err)
+	}
+	return qi
+}
+
+func getResults(t *testing.T, url, id string, since int64) []MergedWindow {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/queries/%s/results?since=%d", url, id, since))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var out []MergedWindow
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func waitForResults(t *testing.T, url, id string, min int, deadline time.Duration) []MergedWindow {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		results := getResults(t, url, id, -1)
+		if len(results) >= min {
+			return results
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("only %d results after %v, want >= %d", len(results), deadline, min)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServedSumQueryMergesShards is the acceptance path: a 4-partition
+// topic, one OASRS worker per partition, merged per-window sums with
+// combined error bounds, verified against ground truth, with /healthz
+// and per-shard /metrics reporting.
+func TestServedSumQueryMergesShards(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(11, 20000) // 20s of data
+	if _, err := broker.ProduceEvents(b, "in", events); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Cluster: b, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Partitions() != 4 {
+		t.Fatalf("partitions = %d", s.Partitions())
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qi := postQuery(t, ts.URL, `{"kind":"sum","window":"4s","slide":"2s","fraction":0.5,"seed":7}`)
+	if qi.Shards != 4 {
+		t.Fatalf("query info = %+v", qi)
+	}
+
+	results := waitForResults(t, ts.URL, qi.ID, 5, 15*time.Second)
+	exact := exactWindowSums(events, 4*time.Second, 2*time.Second)
+	base := events[0].Time
+	last := events[len(events)-1].Time
+	checked := 0
+	for _, r := range results {
+		want, ok := exact[r.Start]
+		if !ok || r.Start.Before(base) || r.End.After(last) {
+			continue // edge windows see a truncated population
+		}
+		checked++
+		if r.Error <= 0 {
+			t.Errorf("window %v: error bound %v not positive", r.Start, r.Error)
+		}
+		if loss := math.Abs(r.Value-want) / want; loss > 0.1 {
+			t.Errorf("window %v: merged %v vs exact %v (loss %.3f)", r.Start, r.Value, want, loss)
+		}
+		if r.Items != 4000 {
+			t.Errorf("window %v: items %d, want 4000 (events lost across shards)", r.Start, r.Items)
+		}
+		if r.Sampled <= 0 || r.Sampled >= int(r.Items) {
+			t.Errorf("window %v: sampled %d of %d — not approximating", r.Start, r.Sampled, r.Items)
+		}
+		if r.Shards != 4 {
+			t.Errorf("window %v: merged from %d shards, want 4", r.Start, r.Shards)
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("checked only %d interior windows", checked)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Seq != results[i-1].Seq+1 {
+			t.Errorf("seq gap: %d then %d", results[i-1].Seq, results[i].Seq)
+		}
+		if results[i].Start.Equal(results[i-1].Start) {
+			t.Errorf("window %v emitted twice", results[i].Start)
+		}
+	}
+
+	// Health and metrics surfaces.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&health)
+	_ = resp.Body.Close()
+	if health["status"] != "ok" || health["partitions"] != float64(4) {
+		t.Errorf("healthz = %v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	for shard := 0; shard < 4; shard++ {
+		want := fmt.Sprintf(`saproxd_shard_records_total{query=%q,shard="%d"}`, qi.ID, shard)
+		if !bytes.Contains(metricsText, []byte(want)) {
+			t.Errorf("metrics missing %s", want)
+		}
+		wantSamples := fmt.Sprintf(`saproxd_shard_samples_total{query=%q,shard="%d"}`, qi.ID, shard)
+		if !bytes.Contains(metricsText, []byte(wantSamples)) {
+			t.Errorf("metrics missing %s", wantSamples)
+		}
+	}
+	for _, want := range []string{
+		"saproxd_windows_merged_total",
+		"saproxd_window_merge_latency_seconds",
+		"saproxd_queries_active 1",
+	} {
+		if !bytes.Contains(metricsText, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Deletion flushes and removes the query.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/queries/"+qi.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %s", resp.Status)
+	}
+	if _, ok := s.job(qi.ID); ok {
+		t.Error("query still registered after delete")
+	}
+	// The tenant's metric series must be gone after deregistration.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if bytes.Contains(metricsText, []byte(`query="`+qi.ID+`"`)) {
+		t.Errorf("metrics still carry series for deleted %s", qi.ID)
+	}
+}
+
+// TestServedGroupByMeanMergesGroups checks the group-by path across
+// shards: keyed partitioning pins each stratum to one partition, and the
+// merged result must carry every group.
+func TestServedGroupByMeanMergesGroups(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", 4); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(13, 12000)
+	if _, err := broker.ProduceEvents(b, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: b, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qi := postQuery(t, ts.URL, `{"kind":"groupby-mean","window":"4s","slide":"4s","fraction":0.6}`)
+	results := waitForResults(t, ts.URL, qi.ID, 2, 15*time.Second)
+	interior := 0
+	for _, r := range results {
+		if r.Items < 3000 {
+			continue
+		}
+		interior++
+		if len(r.Groups) != 16 {
+			t.Errorf("window %v: %d groups, want 16", r.Start, len(r.Groups))
+		}
+		for k, g := range r.Groups {
+			if math.Abs(g.Value-100) > 15 {
+				t.Errorf("window %v group %s: mean %v far from 100", r.Start, k, g.Value)
+			}
+		}
+	}
+	if interior == 0 {
+		t.Fatal("no full windows merged")
+	}
+}
+
+// TestResultsLongPollWakesOnMerge checks ?wait: a request arriving
+// before any window has merged must block and return results once the
+// first merge lands, not time out empty.
+func TestResultsLongPollWakesOnMerge(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: b, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qi := postQuery(t, ts.URL, `{"kind":"sum","window":"2s","slide":"1s","fraction":0.8}`)
+	done := make(chan []MergedWindow, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/queries/" + qi.ID + "/results?since=-1&wait=10s")
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var out []MergedWindow
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		done <- out
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	if _, err := broker.ProduceEvents(b, "in", makeEvents(29, 6000)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-done:
+		if len(out) == 0 {
+			t.Fatal("long poll returned empty after results merged")
+		}
+	case <-time.After(12 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+}
+
+// TestStreamEndpointDeliversLiveResults exercises /stream: results
+// produced after the subscription must arrive as NDJSON lines.
+func TestStreamEndpointDeliversLiveResults(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: b, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qi := postQuery(t, ts.URL, `{"kind":"mean","window":"2s","slide":"1s","fraction":0.8}`)
+
+	resp, err := http.Get(ts.URL + "/v1/queries/" + qi.ID + "/stream?since=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+
+	// Produce after the stream is open.
+	if _, err := broker.ProduceEvents(b, "in", makeEvents(17, 8000)); err != nil {
+		t.Fatal(err)
+	}
+
+	type lineResult struct {
+		ok  bool
+		mws []MergedWindow
+	}
+	ch := make(chan lineResult, 1)
+	go func() {
+		dec := json.NewDecoder(resp.Body)
+		var got []MergedWindow
+		for len(got) < 3 {
+			var mw MergedWindow
+			if err := dec.Decode(&mw); err != nil {
+				ch <- lineResult{false, got}
+				return
+			}
+			got = append(got, mw)
+		}
+		ch <- lineResult{true, got}
+	}()
+	select {
+	case lr := <-ch:
+		if !lr.ok {
+			t.Fatalf("stream ended after %d results", len(lr.mws))
+		}
+		for i, mw := range lr.mws {
+			if mw.Seq != int64(i) {
+				t.Errorf("stream seq[%d] = %d", i, mw.Seq)
+			}
+			if mw.Query != qi.ID {
+				t.Errorf("stream result for %q", mw.Query)
+			}
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no streamed results within deadline")
+	}
+}

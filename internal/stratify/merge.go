@@ -1,0 +1,35 @@
+package stratify
+
+import (
+	"sort"
+
+	"streamapprox/internal/sampling"
+)
+
+// MergeSamples combines stratified samples taken by independent shards
+// over *disjoint* slices of the stream (e.g. one broker partition each)
+// into a single sample covering the union.
+//
+// Each shard's per-stratum entry keeps its own (Count, Weight): the
+// shards observed disjoint sub-populations, so an entry remains a valid
+// independent sub-sample of the union and the estimators in
+// internal/estimate already sum variance contributions across entries.
+// This is deliberately different from DistributedOASRS.Finish, which
+// merges workers sampling the *same* population and therefore must
+// concatenate items and recompute one weight from the summed counters.
+//
+// Entries are ordered by stratum key (ties keep the parts' order) so the
+// merged sample is deterministic. Nil parts are skipped.
+func MergeSamples(parts ...*sampling.Sample) *sampling.Sample {
+	var strata []sampling.StratumSample
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		strata = append(strata, p.Strata...)
+	}
+	sort.SliceStable(strata, func(i, j int) bool {
+		return strata[i].Stratum < strata[j].Stratum
+	})
+	return &sampling.Sample{Strata: strata}
+}

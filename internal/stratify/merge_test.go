@@ -1,0 +1,74 @@
+package stratify
+
+import (
+	"math"
+	"testing"
+
+	"streamapprox/internal/estimate"
+	"streamapprox/internal/sampling"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+func TestMergeSamplesUnionsDisjointShards(t *testing.T) {
+	rng := xrand.New(3)
+	shards := make([]*sampling.OASRS, 3)
+	for i := range shards {
+		shards[i] = sampling.NewOASRS(120, nil, rng.Split())
+	}
+	var exactSum float64
+	var total int64
+	for i := 0; i < 3000; i++ {
+		stratum := []string{"a", "b", "c", "d"}[i%4]
+		v := rng.Gaussian(50, 10)
+		exactSum += v
+		total++
+		shards[i%3].Add(stream.Event{Stratum: stratum, Value: v})
+	}
+	parts := make([]*sampling.Sample, len(shards))
+	for i, sh := range shards {
+		parts[i] = sh.Finish()
+	}
+
+	merged := MergeSamples(parts...)
+	if got := merged.TotalCount(); got != total {
+		t.Fatalf("merged TotalCount = %d, want %d", got, total)
+	}
+	// Entries must be ordered by stratum and keep one entry per
+	// (shard, stratum) — 3 shards × 4 strata.
+	if len(merged.Strata) != 12 {
+		t.Fatalf("merged has %d entries, want 12", len(merged.Strata))
+	}
+	for i := 1; i < len(merged.Strata); i++ {
+		if merged.Strata[i].Stratum < merged.Strata[i-1].Stratum {
+			t.Fatalf("entries not ordered: %q after %q",
+				merged.Strata[i].Stratum, merged.Strata[i-1].Stratum)
+		}
+	}
+
+	// The merged sample must estimate the union population: its SUM must
+	// match the sum of the per-shard estimates exactly (same algebra) and
+	// land near the exact answer.
+	var partSum float64
+	for _, p := range parts {
+		partSum += estimate.Sum(p, estimate.Conf95).Value
+	}
+	mergedEst := estimate.Sum(merged, estimate.Conf95)
+	if d := math.Abs(mergedEst.Value - partSum); d > 1e-6 {
+		t.Errorf("merged estimate %v != sum of part estimates %v", mergedEst.Value, partSum)
+	}
+	if rel := math.Abs(mergedEst.Value-exactSum) / exactSum; rel > 0.1 {
+		t.Errorf("merged estimate %v vs exact %v (rel %.3f)", mergedEst.Value, exactSum, rel)
+	}
+}
+
+func TestMergeSamplesSkipsNil(t *testing.T) {
+	s := &sampling.Sample{Strata: []sampling.StratumSample{{Stratum: "x", Count: 2, Weight: 1}}}
+	merged := MergeSamples(nil, s, nil)
+	if len(merged.Strata) != 1 || merged.Strata[0].Stratum != "x" {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if empty := MergeSamples(); empty == nil || len(empty.Strata) != 0 {
+		t.Fatalf("empty merge = %+v", empty)
+	}
+}

@@ -181,6 +181,40 @@ func (s *Session) Poll() []WindowResult {
 	return out
 }
 
+// Advance moves the session's event-time watermark to now without
+// consuming an event — a punctuation/heartbeat for push-based serving.
+// It finishes the in-flight slide segment when now has moved past it and
+// fires every pending window that can no longer receive events (end at
+// or before now's segment start). Subsequent events older than now are
+// dropped as late. Advance lets a served shard flush windows on an idle
+// or gappy partition by adopting the progress of its peers.
+func (s *Session) Advance(now time.Time) {
+	if s.closed {
+		return
+	}
+	if now.After(s.watermark) {
+		s.watermark = now
+	}
+	seg := now.Truncate(s.cfg.WindowSlide)
+	if !s.segStart.IsZero() && seg.After(s.segStart) {
+		s.finishSegment()
+		s.startSegment(seg)
+	}
+	// Events in the current segment [seg, seg+slide) may still belong to
+	// windows ending inside it, so only windows ending at or before seg
+	// are complete.
+	fired := false
+	for start := range s.pending {
+		if !start.Add(s.cfg.WindowSize).After(seg) {
+			s.fireWindow(start)
+			fired = true
+		}
+	}
+	if fired {
+		sortWindowResults(s.ready)
+	}
+}
+
 // Close flushes the in-progress segment and all pending windows and
 // returns every remaining result. Further Push calls fail.
 func (s *Session) Close() []WindowResult {
@@ -261,6 +295,10 @@ func (s *Session) fireWindow(start time.Time) {
 		wr.Groups = make(map[string]Estimate, len(res.Groups))
 		for k, v := range res.Groups {
 			wr.Groups[k] = fromInternalEstimate(v)
+		}
+		wr.GroupItems = make(map[string]int64, len(agg.Strata))
+		for i := range agg.Strata {
+			wr.GroupItems[agg.Strata[i].Stratum] += agg.Strata[i].Count
 		}
 	}
 	for _, b := range res.Buckets {

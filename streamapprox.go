@@ -183,6 +183,10 @@ type WindowResult struct {
 	Overall Estimate
 	// Groups holds per-stratum estimates for group-by queries.
 	Groups map[string]Estimate
+	// GroupItems holds the number of items observed per stratum for
+	// group-by queries — the population weights needed to merge group
+	// means across disjoint shards.
+	GroupItems map[string]int64
 	// Buckets holds per-bucket counts for histogram queries.
 	Buckets []HistogramBucket
 	// Items is the number of items observed in the window.
