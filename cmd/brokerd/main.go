@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	brokerd [-addr host:port] [-topic name] [-partitions N]
+//	brokerd [-addr host:port] [-topic name] [-partitions N] [-json-only]
 //
 // The daemon pre-creates the given topic and serves until interrupted.
+// -json-only disables the binary wire codec (clients fall back to the
+// legacy JSON lockstep protocol), an escape hatch for debugging wire
+// issues or emulating a pre-codec broker.
 package main
 
 import (
@@ -29,19 +32,24 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:9092", "listen address")
 	topic := flag.String("topic", "stream", "topic to pre-create")
 	partitions := flag.Int("partitions", 4, "partition count for the topic")
+	jsonOnly := flag.Bool("json-only", false, "disable the binary wire codec (legacy JSON protocol only)")
 	flag.Parse()
 
 	b := broker.New()
 	if err := b.CreateTopic(*topic, *partitions); err != nil {
 		return err
 	}
-	srv, err := broker.Serve(b, *addr)
+	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{JSONOnly: *jsonOnly})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("brokerd listening on %s (topic %q, %d partitions)\n",
-		srv.Addr(), *topic, *partitions)
+	codec := "binary+json"
+	if *jsonOnly {
+		codec = "json-only"
+	}
+	fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire)\n",
+		srv.Addr(), *topic, *partitions, codec)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,202 @@
+package main
+
+// saprox bench-broker: the broker data-plane benchmark runner. It
+// stands up an in-process TCP broker, pushes the same workload through
+// the legacy JSON lockstep client and the pipelined binary client in
+// one run, and records items/s plus the binary-over-JSON speedups in a
+// JSON file (BENCH_broker.json at the repo root is the tracked
+// baseline). Unlike `go test -bench` this produces a stable,
+// machine-readable artifact future perf PRs diff against.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamapprox/internal/broker"
+)
+
+// benchCodecResult holds one codec's measurements.
+type benchCodecResult struct {
+	ProduceItemsPerSec float64 `json:"produce_items_per_s"`
+	FetchItemsPerSec   float64 `json:"fetch_items_per_s"`
+	ProduceSeconds     float64 `json:"produce_seconds"`
+	FetchSeconds       float64 `json:"fetch_seconds"`
+}
+
+type benchBrokerResult struct {
+	Bench          string           `json:"bench"`
+	Go             string           `json:"go"`
+	CPUs           int              `json:"cpus"`
+	UnixNanos      int64            `json:"unix_nanos"`
+	Records        int              `json:"records"`
+	Batch          int              `json:"batch"`
+	FetchBatch     int              `json:"fetch_batch"`
+	Fetchers       int              `json:"fetchers"`
+	JSON           benchCodecResult `json:"json"`
+	Binary         benchCodecResult `json:"binary"`
+	SpeedupProduce float64          `json:"speedup_produce"`
+	SpeedupFetch   float64          `json:"speedup_fetch"`
+}
+
+const benchFetchBatch = 4096
+
+func runBenchBroker(args []string) error {
+	fs := flag.NewFlagSet("bench-broker", flag.ContinueOnError)
+	records := fs.Int("records", 200000, "records per measurement")
+	batch := fs.Int("batch", 1000, "records per produce request")
+	fetchers := fs.Int("fetchers", 4, "concurrent fetchers on the shared connection")
+	out := fs.String("out", "BENCH_broker.json", `result file ("-" for stdout only)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *records < *batch || *batch < 1 || *fetchers < 1 {
+		return fmt.Errorf("bench-broker: need records >= batch >= 1 and fetchers >= 1")
+	}
+
+	res := benchBrokerResult{
+		Bench:      "broker-wire",
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		UnixNanos:  time.Now().UnixNano(),
+		Records:    *records,
+		Batch:      *batch,
+		FetchBatch: benchFetchBatch,
+		Fetchers:   *fetchers,
+	}
+	var err error
+	// JSON first, binary second, same process and machine state: the
+	// speedup ratios are only meaningful measured in the same run.
+	if res.JSON, err = benchOneCodec("json", *records, *batch, *fetchers); err != nil {
+		return fmt.Errorf("bench-broker json: %w", err)
+	}
+	if res.Binary, err = benchOneCodec("binary", *records, *batch, *fetchers); err != nil {
+		return fmt.Errorf("bench-broker binary: %w", err)
+	}
+	res.SpeedupProduce = res.Binary.ProduceItemsPerSec / res.JSON.ProduceItemsPerSec
+	res.SpeedupFetch = res.Binary.FetchItemsPerSec / res.JSON.FetchItemsPerSec
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	fmt.Printf("broker wire bench (%d records, batch %d, %d fetchers)\n",
+		*records, *batch, *fetchers)
+	fmt.Printf("  produce  json %12.0f items/s   binary %12.0f items/s   %5.1fx\n",
+		res.JSON.ProduceItemsPerSec, res.Binary.ProduceItemsPerSec, res.SpeedupProduce)
+	fmt.Printf("  fetch    json %12.0f items/s   binary %12.0f items/s   %5.1fx\n",
+		res.JSON.FetchItemsPerSec, res.Binary.FetchItemsPerSec, res.SpeedupFetch)
+	if *out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded in %s\n", *out)
+	return nil
+}
+
+// benchOneCodec measures produce then fetch throughput for one codec
+// over a fresh broker server.
+func benchOneCodec(mode string, records, batch, fetchers int) (benchCodecResult, error) {
+	var out benchCodecResult
+	bk := broker.New()
+	srv, err := broker.Serve(bk, "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	defer srv.Close()
+	dial := broker.Dial
+	if mode == "json" {
+		dial = broker.DialJSON
+	}
+	cli, err := dial(srv.Addr())
+	if err != nil {
+		return out, err
+	}
+	defer cli.Close()
+	if err := cli.CreateTopic("bench", 1); err != nil {
+		return out, err
+	}
+
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	recs := make([]broker.Record, batch)
+	for i := range recs {
+		recs[i] = broker.Record{
+			Key:   fmt.Sprintf("stratum-%d", i%16),
+			Value: float64(i) * 1.5,
+			Time:  base.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+
+	// Produce: sequential batches, the shape replay and examples use.
+	produced := 0
+	start := time.Now()
+	for produced < records {
+		n, err := cli.Produce("bench", recs)
+		if err != nil {
+			return out, err
+		}
+		produced += n
+	}
+	out.ProduceSeconds = time.Since(start).Seconds()
+	out.ProduceItemsPerSec = float64(produced) / out.ProduceSeconds
+
+	// Fetch: concurrent fetchers over disjoint offset ranges sharing
+	// the one connection — pipelined clients overlap the round trips,
+	// the lockstep client serializes them.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fetched := make([]int64, fetchers)
+	per := int64(produced) / int64(fetchers)
+	start = time.Now()
+	for w := 0; w < fetchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := int64(w) * per
+			hi := lo + per
+			if w == fetchers-1 {
+				hi = int64(produced)
+			}
+			for off := lo; off < hi; {
+				max := benchFetchBatch
+				if int64(max) > hi-off {
+					max = int(hi - off)
+				}
+				got, err := cli.Fetch("bench", 0, off, max)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				off += int64(len(got))
+				fetched[w] += int64(len(got))
+			}
+		}(w)
+	}
+	wg.Wait()
+	out.FetchSeconds = time.Since(start).Seconds()
+	if firstErr != nil {
+		return out, firstErr
+	}
+	var total int64
+	for _, n := range fetched {
+		total += n
+	}
+	if total != int64(produced) {
+		return out, fmt.Errorf("fetched %d of %d produced records", total, produced)
+	}
+	out.FetchItemsPerSec = float64(total) / out.FetchSeconds
+	return out, nil
+}

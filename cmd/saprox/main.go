@@ -38,6 +38,8 @@ func run(args []string) error {
 		return list()
 	case "run":
 		return runFigures(args[1:])
+	case "bench-broker":
+		return runBenchBroker(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -52,11 +54,20 @@ func usage() {
   saprox list                                  list available figure ids
   saprox run <id>... [flags]                   regenerate figures
   saprox run all [flags]                       regenerate everything
+  saprox bench-broker [flags]                  benchmark the broker wire path
+                                               (JSON vs binary codec) and record
+                                               the result as JSON
 
-flags:
+run flags:
   -scale N     dataset scale multiplier (default 1.0)
   -seed N      RNG seed (default 42)
-  -workers N   engine parallelism (default 4)`)
+  -workers N   engine parallelism (default 4)
+
+bench-broker flags:
+  -records N       records per measurement (default 200000)
+  -batch N         records per produce request (default 1000)
+  -fetchers N      concurrent fetchers on the shared connection (default 4)
+  -out FILE        result file (default BENCH_broker.json; "-" for stdout only)`)
 }
 
 func list() error {

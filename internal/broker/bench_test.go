@@ -1,0 +1,218 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Microbenchmarks for the broker data plane. The json/binary pairs
+// measure the same TCP operation through the legacy lockstep JSON
+// protocol and the pipelined binary codec — the items/s ratio is the
+// wire-format win the bench-broker runner records in BENCH_broker.json.
+//
+//	go test ./internal/broker -bench Wire -benchtime 2s
+
+const benchBatch = 1000
+
+func benchRecords(n int) []Record {
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			Key:   "sensor-42",
+			Value: float64(i) * 1.5,
+			Time:  base.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	return out
+}
+
+// benchDial starts a server and connects with the requested codec.
+func benchDial(b *testing.B, mode string) (*Broker, *Client) {
+	b.Helper()
+	bk := New()
+	srv, err := Serve(bk, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	var cli *Client
+	if mode == "json" {
+		cli, err = DialJSON(srv.Addr())
+	} else {
+		cli, err = Dial(srv.Addr())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = cli.Close() })
+	return bk, cli
+}
+
+func BenchmarkWireProduce(b *testing.B) {
+	for _, mode := range []string{"json", "binary"} {
+		b.Run(mode, func(b *testing.B) {
+			_, cli := benchDial(b, mode)
+			if err := cli.CreateTopic("bench", 1); err != nil {
+				b.Fatal(err)
+			}
+			batch := benchRecords(benchBatch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Produce("bench", batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportItems(b, int64(b.N)*benchBatch)
+		})
+	}
+}
+
+func BenchmarkWireFetch(b *testing.B) {
+	for _, mode := range []string{"json", "binary"} {
+		b.Run(mode, func(b *testing.B) {
+			bk, cli := benchDial(b, mode)
+			if err := bk.CreateTopic("bench", 1); err != nil {
+				b.Fatal(err)
+			}
+			const preload = 64 * benchBatch
+			if _, err := bk.Produce("bench", benchRecords(preload)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := int64(i%64) * benchBatch
+				recs, err := cli.Fetch("bench", 0, off, benchBatch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != benchBatch {
+					b.Fatalf("fetched %d of %d", len(recs), benchBatch)
+				}
+			}
+			reportItems(b, int64(b.N)*benchBatch)
+		})
+	}
+}
+
+// BenchmarkWireRoundTrip produces a batch and fetches it back — the
+// full data-plane round trip one shard iteration costs.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	for _, mode := range []string{"json", "binary"} {
+		b.Run(mode, func(b *testing.B) {
+			_, cli := benchDial(b, mode)
+			if err := cli.CreateTopic("bench", 1); err != nil {
+				b.Fatal(err)
+			}
+			batch := benchRecords(benchBatch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Produce("bench", batch); err != nil {
+					b.Fatal(err)
+				}
+				recs, err := cli.Fetch("bench", 0, int64(i)*benchBatch, benchBatch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(recs) != benchBatch {
+					b.Fatalf("fetched %d of %d", len(recs), benchBatch)
+				}
+			}
+			reportItems(b, 2*int64(b.N)*benchBatch)
+		})
+	}
+}
+
+// BenchmarkWirePipelinedFetch measures concurrent fetches sharing one
+// connection: the pipelined binary client keeps them all in flight,
+// the JSON client serializes them behind its mutex.
+func BenchmarkWirePipelinedFetch(b *testing.B) {
+	for _, mode := range []string{"json", "binary"} {
+		b.Run(mode, func(b *testing.B) {
+			bk, cli := benchDial(b, mode)
+			if err := bk.CreateTopic("bench", 1); err != nil {
+				b.Fatal(err)
+			}
+			const preload = 64 * benchBatch
+			if _, err := bk.Produce("bench", benchRecords(preload)); err != nil {
+				b.Fatal(err)
+			}
+			const workers = 4
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var firstErr error
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						off := int64((w*per+i)%64) * benchBatch
+						if _, err := cli.Fetch("bench", 0, off, benchBatch); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if firstErr != nil {
+				b.Fatal(firstErr)
+			}
+			reportItems(b, int64(workers)*int64(per)*benchBatch)
+		})
+	}
+}
+
+// BenchmarkLogAppend measures the chunked partition log's in-memory
+// append path (no wire) at several batch sizes.
+func BenchmarkLogAppend(b *testing.B) {
+	for _, batch := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			p := &partitionLog{}
+			recs := benchRecords(batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.append(recs)
+			}
+			reportItems(b, int64(b.N)*int64(batch))
+		})
+	}
+}
+
+// BenchmarkLogRead measures chunked random reads from a loaded log.
+func BenchmarkLogRead(b *testing.B) {
+	p := &partitionLog{}
+	const loaded = 1 << 18
+	for i := 0; i < loaded/4096; i++ {
+		p.append(benchRecords(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64((i * 7919) % (loaded - benchBatch))
+		recs, err := p.read(off, benchBatch)
+		if err != nil || len(recs) != benchBatch {
+			b.Fatalf("read %d records, %v", len(recs), err)
+		}
+	}
+	reportItems(b, int64(b.N)*benchBatch)
+}
+
+func reportItems(b *testing.B, items int64) {
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(items)/elapsed, "items/s")
+	}
+}

@@ -38,20 +38,42 @@ type Record struct {
 	Time      time.Time `json:"time"`
 }
 
-// partitionLog is one partition's append-only record log.
+// logChunkSize is the record capacity of one partition-log chunk.
+const logChunkSize = 4096
+
+// partitionLog is one partition's append-only record log, stored as
+// fixed-capacity chunks. Appends bulk-copy into the tail chunk (never
+// reallocating earlier history, unlike a single growing slice), and
+// reads locate their chunk by division and bulk-copy out — a record's
+// offset is its position, so no scanning is ever needed.
 type partitionLog struct {
-	mu      sync.RWMutex
-	records []Record
+	mu     sync.RWMutex
+	chunks [][]Record
+	n      int64 // total records; the high watermark
 }
 
+// append stamps consecutive offsets onto recs (which the caller must
+// own) and bulk-copies them into the log. It returns the base offset.
 func (p *partitionLog) append(recs []Record) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	base := int64(len(p.records))
+	base := p.n
 	for i := range recs {
 		recs[i].Offset = base + int64(i)
-		p.records = append(p.records, recs[i])
 	}
+	for rest := recs; len(rest) > 0; {
+		if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1]) == logChunkSize {
+			p.chunks = append(p.chunks, make([]Record, 0, logChunkSize))
+		}
+		tail := len(p.chunks) - 1
+		take := logChunkSize - len(p.chunks[tail])
+		if take > len(rest) {
+			take = len(rest)
+		}
+		p.chunks[tail] = append(p.chunks[tail], rest[:take]...)
+		rest = rest[take:]
+	}
+	p.n = base + int64(len(recs))
 	return base
 }
 
@@ -59,23 +81,26 @@ func (p *partitionLog) append(recs []Record) int64 {
 func (p *partitionLog) read(offset int64, max int) ([]Record, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	n := int64(len(p.records))
-	if offset < 0 || offset > n {
+	if offset < 0 || offset > p.n {
 		return nil, ErrOffsetOutOfRange
 	}
 	end := offset + int64(max)
-	if end > n {
-		end = n
+	if end > p.n {
+		end = p.n
 	}
 	out := make([]Record, end-offset)
-	copy(out, p.records[offset:end])
+	for filled := int64(0); offset+filled < end; {
+		at := offset + filled
+		chunk := p.chunks[at/logChunkSize]
+		filled += int64(copy(out[filled:], chunk[at%logChunkSize:]))
+	}
 	return out, nil
 }
 
 func (p *partitionLog) highWatermark() int64 {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return int64(len(p.records))
+	return p.n
 }
 
 // topic is a named set of partitions.
@@ -194,8 +219,20 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Group records per partition to amortize locking.
-	byPart := make(map[int][]Record)
+	// Copy into per-partition batches (append stamps offsets in
+	// place, so the caller's slice must stay untouched), then append
+	// each batch in one bulk operation.
+	if len(t.partitions) == 1 {
+		batch := make([]Record, len(recs))
+		for i, r := range recs {
+			r.Topic = topicName
+			r.Partition = 0
+			batch[i] = r
+		}
+		t.partitions[0].append(batch)
+		return len(recs), nil
+	}
+	byPart := make([][]Record, len(t.partitions))
 	for _, r := range recs {
 		r.Topic = topicName
 		p := t.partitionFor(r.Key)
@@ -203,7 +240,9 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 		byPart[p] = append(byPart[p], r)
 	}
 	for p, batch := range byPart {
-		t.partitions[p].append(batch)
+		if len(batch) > 0 {
+			t.partitions[p].append(batch)
+		}
 	}
 	return len(recs), nil
 }

@@ -1,0 +1,371 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Client is a TCP client for a broker Server. Methods mirror Broker's.
+// It is safe for concurrent use.
+//
+// On dial the client negotiates the binary codec with a "hello" control
+// op. Against a binary-capable server the client runs pipelined: every
+// request carries a correlation ID, a dedicated reader goroutine
+// matches responses back to waiters, and any number of goroutines can
+// have requests in flight on the one connection. Against an older
+// JSON-only server the client falls back to the legacy lockstep
+// protocol, serializing one round-trip at a time under a mutex.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	binary bool // negotiated at dial; immutable afterwards
+
+	// mu serializes whole round-trips in lockstep mode, and just the
+	// write+flush of a frame in pipelined mode.
+	mu sync.Mutex
+
+	// Pipelined-mode state: pending maps in-flight correlation IDs to
+	// their waiters. The reader goroutine owns c.br.
+	pendMu  sync.Mutex
+	pending map[uint64]chan *frameBuf
+	nextID  uint64
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a broker server, negotiating the fastest protocol
+// the server supports.
+func Dial(addr string) (*Client, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&wireRequest{Op: opHello})
+	switch {
+	case err == nil && resp.N >= int(binVersion):
+		c.binary = true
+		c.pending = make(map[uint64]chan *frameBuf)
+		go c.readLoop()
+	case err != nil && isUnknownOp(err):
+		// Pre-codec server: stay on the JSON lockstep protocol.
+	case err != nil:
+		_ = c.conn.Close()
+		return nil, fmt.Errorf("broker hello: %w", err)
+	}
+	return c, nil
+}
+
+// DialJSON connects using only the legacy JSON lockstep protocol, even
+// to a binary-capable server. It exists for talking to very old peers
+// explicitly and for benchmarking the binary codec against its JSON
+// baseline in the same run.
+func DialJSON(addr string) (*Client, error) { return dial(addr) }
+
+func dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// isUnknownOp reports whether err is a server rejecting an op it does
+// not know — the signature of a pre-codec peer answering hello.
+func isUnknownOp(err error) bool { return strings.Contains(err.Error(), "unknown op") }
+
+// checkTopic guards the binary encoding's uint16 topic-length field.
+func checkTopic(topic string) error {
+	if len(topic) > 1<<16-1 {
+		return fmt.Errorf("broker: topic name too long (%d bytes)", len(topic))
+	}
+	return nil
+}
+
+// errClientClosed is returned for requests on a closed client when the
+// underlying cause is unknown.
+var errClientClosed = errors.New("broker: client closed")
+
+// Close closes the connection. In pipelined mode the reader goroutine
+// fails any in-flight requests and exits.
+func (c *Client) Close() error {
+	c.pendMu.Lock()
+	c.closed = true
+	c.pendMu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip performs one lockstep JSON request/response. It is the only
+// I/O path in JSON mode, and carries the hello during dial.
+func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp wireResponse
+	if err := readFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// callBinary sends one binary request and waits for its matched
+// response. encode must fill fb with a complete frame carrying corr.
+// The returned frame is owned by the caller, who must putFrame it.
+func (c *Client) callBinary(encode func(fb *frameBuf, corr uint64)) (*frameBuf, error) {
+	ch := make(chan *frameBuf, 1)
+	c.pendMu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.pendMu.Unlock()
+		if err == nil {
+			err = errClientClosed
+		}
+		return nil, err
+	}
+	corr := c.nextID
+	c.nextID++
+	c.pending[corr] = ch
+	c.pendMu.Unlock()
+
+	fb := getFrame()
+	encode(fb, corr)
+	c.mu.Lock()
+	err := writeRawFrame(c.bw, fb.b)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.mu.Unlock()
+	putFrame(fb)
+	if err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, corr)
+		c.pendMu.Unlock()
+		return nil, err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.pendMu.Lock()
+		err := c.readErr
+		c.pendMu.Unlock()
+		if err == nil {
+			err = errClientClosed
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// readLoop is the pipelined reader: it owns c.br, matches each response
+// frame to its waiter by correlation ID, and on connection failure
+// fails every in-flight request.
+func (c *Client) readLoop() {
+	for {
+		fb := getFrame()
+		if err := readFrameInto(c.br, fb); err != nil {
+			putFrame(fb)
+			c.failPending(err)
+			return
+		}
+		corr, ok := corrIDOf(fb.b)
+		if !ok {
+			putFrame(fb)
+			c.failPending(errors.New("broker: malformed binary response"))
+			return
+		}
+		c.pendMu.Lock()
+		ch, ok := c.pending[corr]
+		delete(c.pending, corr)
+		c.pendMu.Unlock()
+		if !ok {
+			putFrame(fb) // stray response; drop
+			continue
+		}
+		ch <- fb
+	}
+}
+
+func (c *Client) failPending(err error) {
+	c.pendMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for corr, ch := range c.pending {
+		delete(c.pending, corr)
+		close(ch)
+	}
+	c.pendMu.Unlock()
+}
+
+// controlRoundTrip routes a rare control op: a plain JSON round-trip in
+// lockstep mode, or a JSON document inside the binary envelope on a
+// pipelined connection (so control ops never block behind the mutex-free
+// data path, and one codec version byte governs the whole dialect).
+func (c *Client) controlRoundTrip(req *wireRequest) (*wireResponse, error) {
+	if !c.binary {
+		return c.roundTrip(req)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeJSONReq(fb, corr, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return nil, err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(cur.rest(), &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// CreateTopic creates a topic on the remote broker.
+func (c *Client) CreateTopic(name string, partitions int) error {
+	_, err := c.controlRoundTrip(&wireRequest{Op: opCreate, Topic: name, Partitions: partitions})
+	return err
+}
+
+// Produce appends records to a remote topic.
+func (c *Client) Produce(topicName string, recs []Record) (int, error) {
+	if !c.binary {
+		resp, err := c.roundTrip(&wireRequest{Op: opProduce, Topic: topicName, Records: recs})
+		if err != nil {
+			return 0, err
+		}
+		return resp.N, nil
+	}
+	if err := checkTopic(topicName); err != nil {
+		return 0, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeProduceReq(fb, corr, topicName, recs)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	n := int(cur.u32())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	return n, nil
+}
+
+// Fetch reads records from a remote partition.
+func (c *Client) Fetch(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	if !c.binary {
+		resp, err := c.roundTrip(&wireRequest{
+			Op: opFetch, Topic: topicName, Partition: partition, Offset: offset, Max: max,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Records, nil
+	}
+	if err := checkTopic(topicName); err != nil {
+		return nil, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeFetchReq(fb, corr, topicName, partition, offset, max)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFetchResp(cur, topicName, partition)
+}
+
+// HighWatermark returns the remote partition's next write offset.
+func (c *Client) HighWatermark(topicName string, partition int) (int64, error) {
+	if !c.binary {
+		resp, err := c.roundTrip(&wireRequest{Op: opHWM, Topic: topicName, Partition: partition})
+		if err != nil {
+			return 0, err
+		}
+		return resp.Offset, nil
+	}
+	if err := checkTopic(topicName); err != nil {
+		return 0, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeHWMReq(fb, corr, topicName, partition)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	hwm := int64(cur.u64())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	return hwm, nil
+}
+
+// Commit persists a group offset remotely.
+func (c *Client) Commit(group, topicName string, partition int, offset int64) error {
+	_, err := c.controlRoundTrip(&wireRequest{
+		Op: opCommit, Group: group, Topic: topicName, Partition: partition, Offset: offset,
+	})
+	return err
+}
+
+// Partitions returns the remote topic's partition count.
+func (c *Client) Partitions(topicName string) (int, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{Op: opParts, Topic: topicName})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Committed reads a group's committed offset remotely.
+func (c *Client) Committed(group, topicName string, partition int) (int64, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{
+		Op: opCommitted, Group: group, Topic: topicName, Partition: partition,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}

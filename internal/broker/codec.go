@@ -1,0 +1,442 @@
+package broker
+
+// Binary wire codec (version 1) for the broker's hot data-plane ops.
+//
+// The TCP framing stays "4-byte big-endian length + payload", but the
+// payload's first byte now selects the codec: '{' (a JSON document) is
+// the legacy lockstep protocol, binVersion introduces a compact binary
+// message. Binary messages carry a correlation ID so many requests can
+// be in flight on one connection (see client.go); the hot ops
+// (produce/fetch/hwm) encode records as fixed fields — length-prefixed
+// key, float64 value bits, int64 unix-nano time — while the rare
+// control ops (create/parts/commit/committed) ride through as JSON
+// documents wrapped in a binary envelope, so only one wire dialect
+// needs versioning.
+//
+//	request  = [1]version [1]op [8]corrID  op-specific-body
+//	response = [1]version [1]op [8]corrID [1]status  body
+//	record   = [4]keyLen key [8]float64-bits(value) [8]unixNanos(time)
+//
+// status 0 is success; any other status means the body is an error
+// message. The zero time.Time is encoded as the math.MinInt64 sentinel
+// (its UnixNano is undefined); NaN and ±Inf values round-trip exactly
+// via their bit patterns, which the JSON codec cannot represent at all.
+// Times outside the int64 unix-nano range (years ≲1678 or ≳2262) are
+// not representable; stream timestamps are always inside it.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// binVersion is the codec version byte opening every binary frame. It
+// must never collide with '{' (0x7B), the first byte of a JSON frame.
+const binVersion byte = 0x01
+
+// Binary op codes.
+const (
+	binOpProduce byte = 1
+	binOpFetch   byte = 2
+	binOpHWM     byte = 3
+	binOpJSON    byte = 4 // JSON control request wrapped in a binary envelope
+)
+
+const (
+	binReqHdrLen       = 10 // version + op + corrID
+	binRespHdrLen      = 11 // version + op + corrID + status
+	binStatusOK   byte = 0
+	binStatusErr  byte = 1
+)
+
+// minWireRecord is the smallest encoded record (empty key), used to
+// sanity-check record counts before allocating.
+const minWireRecord = 4 + 8 + 8
+
+// zeroTimeNanos marks the zero time.Time on the wire.
+const zeroTimeNanos = math.MinInt64
+
+func timeToNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroTimeNanos
+	}
+	return t.UnixNano()
+}
+
+func nanosToTime(n int64) time.Time {
+	if n == zeroTimeNanos {
+		return time.Time{}
+	}
+	// Normalize to UTC: the wire carries an instant, not a zone, and
+	// the JSON codec's RFC3339 "Z" timestamps also decode to UTC.
+	return time.Unix(0, n).UTC()
+}
+
+// frameBuf is a pooled frame encode/decode buffer. Steady-state
+// produce/fetch reuses these, so the per-record wire cost is a copy
+// into an already-allocated buffer rather than fresh garbage.
+type frameBuf struct{ b []byte }
+
+// maxPooledFrame bounds the buffers kept in the pool so one giant
+// frame does not pin memory forever.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+func getFrame() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putFrame(fb *frameBuf) {
+	if cap(fb.b) > maxPooledFrame {
+		return
+	}
+	fb.b = fb.b[:0]
+	framePool.Put(fb)
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+// writeRawFrame writes one length-prefixed frame from an encoded payload.
+func writeRawFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrameInto reads one length-prefixed frame into fb, reusing its
+// backing array when large enough.
+func readFrameInto(r io.Reader, fb *frameBuf) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(fb.b)) < n {
+		fb.b = make([]byte, n)
+	} else {
+		fb.b = fb.b[:n]
+	}
+	_, err := io.ReadFull(r, fb.b)
+	return err
+}
+
+// errTruncatedFrame reports a binary payload shorter than its own
+// structure claims.
+var errTruncatedFrame = errors.New("broker: truncated binary frame")
+
+// wireCursor is a bounds-checked reader over a binary payload. After
+// the first short read every accessor returns zero values and err is
+// set, so decoders can check once at the end.
+type wireCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *wireCursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.off+n > len(c.b) {
+		c.err = errTruncatedFrame
+		return false
+	}
+	return true
+}
+
+func (c *wireCursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *wireCursor) u16() uint16 {
+	if !c.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *wireCursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *wireCursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *wireCursor) str(n int) string {
+	if n < 0 || !c.need(n) {
+		if c.err == nil {
+			c.err = errTruncatedFrame
+		}
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+// bytes returns a view of the next n payload bytes, valid only until
+// the frame buffer is reused.
+func (c *wireCursor) bytes(n int) []byte {
+	if n < 0 || !c.need(n) {
+		if c.err == nil {
+			c.err = errTruncatedFrame
+		}
+		return nil
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+// rest returns the unread remainder of the payload.
+func (c *wireCursor) rest() []byte {
+	if c.err != nil {
+		return nil
+	}
+	return c.b[c.off:]
+}
+
+func (c *wireCursor) remaining() int { return len(c.b) - c.off }
+
+// ---- request encoding (client side) ----
+
+func appendBinReqHeader(b []byte, op byte, corr uint64) []byte {
+	b = append(b, binVersion, op)
+	return appendU64(b, corr)
+}
+
+func appendRecord(b []byte, r *Record) []byte {
+	b = appendU32(b, uint32(len(r.Key)))
+	b = append(b, r.Key...)
+	b = appendU64(b, math.Float64bits(r.Value))
+	return appendU64(b, uint64(timeToNanos(r.Time)))
+}
+
+// encodeProduceReq encodes a produce request. Only key/value/time are
+// shipped: the server routes and stamps topic, partition and offset.
+func encodeProduceReq(fb *frameBuf, corr uint64, topic string, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProduce, corr)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(len(recs)))
+	for i := range recs {
+		fb.b = appendRecord(fb.b, &recs[i])
+	}
+}
+
+func encodeFetchReq(fb *frameBuf, corr uint64, topic string, partition int, offset int64, max int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpFetch, corr)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, uint64(offset))
+	if max < 0 {
+		max = 0
+	}
+	fb.b = appendU32(fb.b, uint32(max))
+}
+
+func encodeHWMReq(fb *frameBuf, corr uint64, topic string, partition int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpHWM, corr)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+}
+
+// encodeJSONReq wraps a marshalled JSON control request in the binary
+// envelope so it shares the pipelined connection and correlation IDs.
+func encodeJSONReq(fb *frameBuf, corr uint64, payload []byte) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpJSON, corr)
+	fb.b = append(fb.b, payload...)
+}
+
+// ---- request decoding (server side) ----
+
+type binRequest struct {
+	op        byte
+	corr      uint64
+	topic     string
+	partition int
+	offset    int64
+	max       int
+	recs      []Record
+	jsonBody  []byte
+}
+
+func decodeBinRequest(payload []byte) (binRequest, error) {
+	cur := &wireCursor{b: payload}
+	var req binRequest
+	if cur.u8() != binVersion {
+		return req, errors.New("broker: bad binary version")
+	}
+	req.op = cur.u8()
+	req.corr = cur.u64()
+	switch req.op {
+	case binOpProduce:
+		req.topic = cur.str(int(cur.u16()))
+		count := int(cur.u32())
+		if cur.err == nil && count*minWireRecord > cur.remaining() {
+			return req, errTruncatedFrame
+		}
+		if cur.err == nil {
+			req.recs = make([]Record, count)
+			intern := make(map[string]string, 8)
+			for i := range req.recs {
+				decodeRecordInto(cur, &req.recs[i], intern)
+			}
+		}
+	case binOpFetch:
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.offset = int64(cur.u64())
+		req.max = int(cur.u32())
+	case binOpHWM:
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+	case binOpJSON:
+		req.jsonBody = cur.rest()
+	default:
+		return req, fmt.Errorf("broker: unknown binary op %d", req.op)
+	}
+	return req, cur.err
+}
+
+// decodeRecordInto decodes one record, interning its key through the
+// per-batch map: stream keys are stratum ids drawn from a small set, so
+// a batch of thousands of records costs a handful of string
+// allocations instead of one each.
+func decodeRecordInto(cur *wireCursor, r *Record, intern map[string]string) {
+	kb := cur.bytes(int(cur.u32()))
+	if s, ok := intern[string(kb)]; ok { // no alloc: compiler-optimized map lookup
+		r.Key = s
+	} else {
+		s = string(kb)
+		intern[s] = s
+		r.Key = s
+	}
+	r.Value = math.Float64frombits(cur.u64())
+	r.Time = nanosToTime(int64(cur.u64()))
+}
+
+// ---- response encoding (server side) ----
+
+func appendBinRespHeader(b []byte, op byte, corr uint64, status byte) []byte {
+	b = append(b, binVersion, op)
+	b = appendU64(b, corr)
+	return append(b, status)
+}
+
+func encodeErrResp(fb *frameBuf, op byte, corr uint64, msg string) {
+	fb.b = appendBinRespHeader(fb.b[:0], op, corr, binStatusErr)
+	fb.b = append(fb.b, msg...)
+}
+
+func encodeProduceResp(fb *frameBuf, corr uint64, n int) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpProduce, corr, binStatusOK)
+	fb.b = appendU32(fb.b, uint32(n))
+}
+
+// encodeFetchResp encodes the fetched records. Offsets in a fetch are
+// consecutive from the request offset, so only the base is shipped and
+// the client reconstructs topic/partition/offset per record.
+func encodeFetchResp(fb *frameBuf, corr uint64, base int64, recs []Record) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpFetch, corr, binStatusOK)
+	fb.b = appendU64(fb.b, uint64(base))
+	fb.b = appendU32(fb.b, uint32(len(recs)))
+	for i := range recs {
+		fb.b = appendRecord(fb.b, &recs[i])
+	}
+}
+
+func encodeHWMResp(fb *frameBuf, corr uint64, hwm int64) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpHWM, corr, binStatusOK)
+	fb.b = appendU64(fb.b, uint64(hwm))
+}
+
+func encodeJSONResp(fb *frameBuf, corr uint64, resp *wireResponse) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	fb.b = appendBinRespHeader(fb.b[:0], binOpJSON, corr, binStatusOK)
+	fb.b = append(fb.b, payload...)
+	return nil
+}
+
+// ---- response decoding (client side) ----
+
+// decodeRespHeader validates a binary response frame and returns a
+// cursor positioned at the body. A non-OK status is surfaced as the
+// remote error carried in the body.
+func decodeRespHeader(fb *frameBuf) (*wireCursor, error) {
+	if len(fb.b) < binRespHdrLen || fb.b[0] != binVersion {
+		return nil, errors.New("broker: malformed binary response")
+	}
+	cur := &wireCursor{b: fb.b, off: binRespHdrLen}
+	if fb.b[10] != binStatusOK {
+		return nil, errors.New(string(cur.rest()))
+	}
+	return cur, nil
+}
+
+// corrIDOf extracts the correlation ID from an encoded binary frame.
+func corrIDOf(payload []byte) (uint64, bool) {
+	if len(payload) < binReqHdrLen || payload[0] != binVersion {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(payload[2:10]), true
+}
+
+func decodeFetchResp(cur *wireCursor, topic string, partition int) ([]Record, error) {
+	base := int64(cur.u64())
+	count := int(cur.u32())
+	if cur.err == nil && count*minWireRecord > cur.remaining() {
+		return nil, errTruncatedFrame
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	recs := make([]Record, count)
+	intern := make(map[string]string, 8)
+	for i := range recs {
+		decodeRecordInto(cur, &recs[i], intern)
+		recs[i].Topic = topic
+		recs[i].Partition = partition
+		recs[i].Offset = base + int64(i)
+	}
+	return recs, cur.err
+}

@@ -1,0 +1,365 @@
+package broker
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamapprox/internal/xrand"
+)
+
+// encodeDecodeProduce round-trips records through the produce-request
+// encoder, the path every produced record takes.
+func encodeDecodeProduce(t *testing.T, topic string, in []Record) []Record {
+	t.Helper()
+	fb := getFrame()
+	defer putFrame(fb)
+	encodeProduceReq(fb, 42, topic, in)
+	req, err := decodeBinRequest(fb.b)
+	if err != nil {
+		t.Fatalf("decode produce: %v", err)
+	}
+	if req.op != binOpProduce || req.corr != 42 || req.topic != topic {
+		t.Fatalf("decoded header (op=%d corr=%d topic=%q)", req.op, req.corr, req.topic)
+	}
+	return req.recs
+}
+
+// sameRecord compares the wire-carried fields, treating NaN as equal to
+// itself (bit-level value fidelity is the codec's contract).
+func sameRecord(a, b Record) bool {
+	return a.Key == b.Key &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value) &&
+		a.Time.Equal(b.Time) && a.Time.IsZero() == b.Time.IsZero()
+}
+
+func TestBinaryCodecRoundTripEdgeCases(t *testing.T) {
+	when := time.Date(2017, 12, 11, 1, 2, 3, 456789, time.UTC)
+	cases := []Record{
+		{Key: "sensor-1", Value: 123.456, Time: when},
+		{Key: "", Value: 0, Time: when},                 // empty key
+		{Key: "zero-time", Value: 1, Time: time.Time{}}, // zero time sentinel
+		{Key: "nan", Value: math.NaN(), Time: when},     // JSON cannot carry this
+		{Key: "+inf", Value: math.Inf(1), Time: when},   // nor this
+		{Key: "-inf", Value: math.Inf(-1), Time: when},  // nor this
+		{Key: "neg-zero", Value: math.Copysign(0, -1), Time: when},
+		{Key: strings.Repeat("k", 4096), Value: -1e300, Time: when.Add(-time.Hour)},
+		{Key: "epoch", Value: 1, Time: time.Unix(0, 0).UTC()},
+		{Key: "pre-epoch", Value: 1, Time: time.Unix(-1, 999).UTC()},
+	}
+	got := encodeDecodeProduce(t, "edge", cases)
+	if len(got) != len(cases) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(cases))
+	}
+	for i := range cases {
+		if !sameRecord(cases[i], got[i]) {
+			t.Errorf("record %d mangled: %+v -> %+v", i, cases[i], got[i])
+		}
+	}
+}
+
+// TestBinaryCodecRoundTripProperty hammers the codec with random
+// records: encode→decode must be the identity on key, value bits and
+// instant for any input.
+func TestBinaryCodecRoundTripProperty(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := int(rng.Uint64()%64) + 1
+		in := make([]Record, n)
+		for i := range in {
+			keyLen := int(rng.Uint64() % 16)
+			var sb strings.Builder
+			for k := 0; k < keyLen; k++ {
+				sb.WriteRune(rune('a' + rng.Uint64()%26))
+			}
+			in[i] = Record{
+				Key:   sb.String(),
+				Value: math.Float64frombits(rng.Uint64()),
+				Time:  time.Unix(0, int64(rng.Uint64()%uint64(1e18))).UTC(),
+			}
+			if rng.Uint64()%10 == 0 {
+				in[i].Time = time.Time{}
+			}
+		}
+		got := encodeDecodeProduce(t, "prop", in)
+		if len(got) != len(in) {
+			t.Fatalf("trial %d: decoded %d of %d", trial, len(got), len(in))
+		}
+		for i := range in {
+			if !sameRecord(in[i], got[i]) {
+				t.Fatalf("trial %d record %d: %+v -> %+v", trial, i, in[i], got[i])
+			}
+		}
+	}
+}
+
+// FuzzBinaryRecordCodec is the fuzz form of the round-trip property for
+// a single record through produce encode→decode and fetch encode→decode.
+func FuzzBinaryRecordCodec(f *testing.F) {
+	f.Add("key", 1.5, int64(1512954123456789), false)
+	f.Add("", 0.0, int64(0), true)
+	f.Add("nan", math.NaN(), int64(-1), false)
+	f.Add(strings.Repeat("x", 100), math.Inf(-1), int64(math.MaxInt64/2), false)
+	f.Fuzz(func(t *testing.T, key string, value float64, nanos int64, zeroTime bool) {
+		when := time.Unix(0, nanos).UTC()
+		if zeroTime {
+			when = time.Time{}
+		}
+		in := Record{Key: key, Value: value, Time: when}
+
+		// produce path
+		fb := getFrame()
+		encodeProduceReq(fb, 7, "fuzz", []Record{in})
+		req, err := decodeBinRequest(fb.b)
+		putFrame(fb)
+		if err != nil {
+			t.Fatalf("produce decode: %v", err)
+		}
+		if len(req.recs) != 1 || !sameRecord(in, req.recs[0]) {
+			t.Fatalf("produce round trip: %+v -> %+v", in, req.recs)
+		}
+
+		// fetch path (offsets stamped server-side)
+		stamped := in
+		stamped.Topic, stamped.Partition, stamped.Offset = "fuzz", 3, 17
+		fb = getFrame()
+		encodeFetchResp(fb, 7, 17, []Record{stamped})
+		cur, err := decodeRespHeader(fb)
+		if err != nil {
+			putFrame(fb)
+			t.Fatalf("fetch header: %v", err)
+		}
+		out, err := decodeFetchResp(cur, "fuzz", 3)
+		putFrame(fb)
+		if err != nil {
+			t.Fatalf("fetch decode: %v", err)
+		}
+		if len(out) != 1 || !sameRecord(in, out[0]) || out[0].Offset != 17 ||
+			out[0].Topic != "fuzz" || out[0].Partition != 3 {
+			t.Fatalf("fetch round trip: %+v -> %+v", stamped, out)
+		}
+	})
+}
+
+// FuzzBinaryRequestDecode feeds arbitrary bytes to the server-side
+// request decoder: it must reject garbage with an error, never panic or
+// over-read.
+func FuzzBinaryRequestDecode(f *testing.F) {
+	fb := getFrame()
+	encodeProduceReq(fb, 1, "t", recs("k", 3))
+	f.Add(append([]byte(nil), fb.b...))
+	encodeFetchReq(fb, 2, "t", 0, 0, 10)
+	f.Add(append([]byte(nil), fb.b...))
+	putFrame(fb)
+	f.Add([]byte{binVersion, binOpProduce})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, _ = decodeBinRequest(payload) // must not panic
+	})
+}
+
+// TestBinaryClientFallsBackToJSONOnlyServer proves the mixed-version
+// path: a codec-negotiating client against a pre-codec (JSON-only)
+// server lands on the legacy protocol and every op still works.
+func TestBinaryClientFallsBackToJSONOnlyServer(t *testing.T) {
+	b := New()
+	srv, err := ServeWithOptions(b, "127.0.0.1:0", ServerOptions{JSONOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial against JSON-only server: %v", err)
+	}
+	defer cli.Close()
+	if cli.binary {
+		t.Fatal("client negotiated binary against a JSON-only server")
+	}
+	exerciseAllOps(t, cli)
+}
+
+// TestJSONClientAgainstBinaryServer proves the other mixed-version
+// direction: a legacy JSON client against a binary-capable server.
+func TestJSONClientAgainstBinaryServer(t *testing.T) {
+	srv, _ := startServer(t)
+	cli, err := DialJSON(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.binary {
+		t.Fatal("DialJSON negotiated binary")
+	}
+	exerciseAllOps(t, cli)
+}
+
+// TestBinaryClientNegotiates sanity-checks that Dial against a current
+// server does pick the binary codec and all ops work over it.
+func TestBinaryClientNegotiates(t *testing.T) {
+	srv, _ := startServer(t)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if !cli.binary {
+		t.Fatal("client did not negotiate the binary codec")
+	}
+	exerciseAllOps(t, cli)
+}
+
+// exerciseAllOps drives every client op against a fresh topic and
+// checks record fidelity end to end.
+func exerciseAllOps(t *testing.T, cli *Client) {
+	t.Helper()
+	if err := cli.CreateTopic("mixed", 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cli.Partitions("mixed"); err != nil || n != 2 {
+		t.Fatalf("partitions = %d, %v", n, err)
+	}
+	when := time.Date(2017, 12, 11, 8, 0, 0, 0, time.UTC)
+	in := []Record{
+		{Key: "a", Value: 1.25, Time: when},
+		{Key: "a", Value: -2.5, Time: when.Add(time.Second)},
+		{Key: "b", Value: 3.75, Time: when.Add(2 * time.Second)},
+	}
+	if n, err := cli.Produce("mixed", in); err != nil || n != 3 {
+		t.Fatalf("produce = %d, %v", n, err)
+	}
+	var got []Record
+	for p := 0; p < 2; p++ {
+		recs, err := cli.Fetch("mixed", p, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hwm, err := cli.HighWatermark("mixed", p)
+		if err != nil || hwm != int64(len(recs)) {
+			t.Fatalf("hwm(p=%d) = %d, %v (fetched %d)", p, hwm, err, len(recs))
+		}
+		got = append(got, recs...)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fetched %d records, want 3", len(got))
+	}
+	for _, r := range got {
+		var want *Record
+		for i := range in {
+			if in[i].Time.Equal(r.Time) {
+				want = &in[i]
+			}
+		}
+		if want == nil || r.Key != want.Key || r.Value != want.Value {
+			t.Errorf("record mangled in transit: %+v", r)
+		}
+	}
+	if err := cli.Commit("g", "mixed", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := cli.Committed("g", "mixed", 1); err != nil || off != 2 {
+		t.Fatalf("committed = %d, %v", off, err)
+	}
+	if _, err := cli.Fetch("absent", 0, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown topic") {
+		t.Errorf("error lost in transit: %v", err)
+	}
+}
+
+// TestPipelinedClientConcurrentStress runs many goroutines over one
+// pipelined connection mixing every op; run under -race it checks the
+// correlation-ID matching and pooled buffers for unsynchronized access,
+// and afterwards verifies no response was delivered to the wrong waiter
+// (every produced record must be fetchable exactly once per goroutine's
+// private topic).
+func TestPipelinedClientConcurrentStress(t *testing.T) {
+	srv, _ := startServer(t)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if !cli.binary {
+		t.Fatal("stress test needs the pipelined client")
+	}
+	const goroutines = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			topic := "stress-" + string(rune('a'+g))
+			if err := cli.CreateTopic(topic, 1); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				want := float64(g*rounds + i)
+				if _, err := cli.Produce(topic, []Record{{Key: "k", Value: want}}); err != nil {
+					errs <- err
+					return
+				}
+				got, err := cli.Fetch(topic, 0, int64(i), 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != 1 || got[0].Value != want {
+					errs <- errTruncatedFrame
+					return
+				}
+				if hwm, err := cli.HighWatermark(topic, 0); err != nil || hwm != int64(i+1) {
+					errs <- err
+					return
+				}
+				if err := cli.Commit("g", topic, 0, int64(i+1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("stress: %v", err)
+		}
+	}
+	// Cross-check: every goroutine's topic holds exactly its records.
+	for g := 0; g < goroutines; g++ {
+		topic := "stress-" + string(rune('a'+g))
+		recs, err := cli.Fetch(topic, 0, 0, rounds*2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != rounds {
+			t.Fatalf("topic %s holds %d records, want %d", topic, len(recs), rounds)
+		}
+		for i, r := range recs {
+			if r.Value != float64(g*rounds+i) {
+				t.Fatalf("topic %s record %d = %v (responses crossed)", topic, i, r.Value)
+			}
+		}
+	}
+}
+
+// TestPipelinedClientServerClose checks in-flight and subsequent
+// requests fail cleanly when the server goes away.
+func TestPipelinedClientServerClose(t *testing.T) {
+	srv, cli := startServer(t)
+	if err := cli.CreateTopic("in", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cli.Produce("in", recs("k", 1)); err == nil {
+		t.Error("produce after server close should fail")
+	}
+	if _, err := cli.Fetch("in", 0, 0, 1); err == nil {
+		t.Error("fetch after server close should fail")
+	}
+}

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"streamapprox/internal/stream"
@@ -28,13 +29,41 @@ var (
 // owning a fixed subset of partitions (static assignment: member i of m
 // owns partitions p with p % m == i, Kafka's range-free analogue that
 // needs no coordinator for a fixed membership).
+//
+// A consumer is single-threaded by default. StartPrefetch switches it
+// to a double-buffered mode where a background goroutine fetches batch
+// N+1 while the caller drains batch N.
 type Consumer struct {
 	broker    Cluster
 	group     string
 	topicName string
 	parts     []int
-	offsets   map[int]int64
 	fetchMax  int
+
+	// mu guards offsets (the delivered positions) against the
+	// prefetcher applying advances concurrently with Offsets/Commit.
+	mu      sync.Mutex
+	offsets map[int]int64
+
+	pre *prefetcher
+}
+
+// prefetcher is the background double-buffer: one batch queued in ch,
+// one being fetched — so the broker round-trip for batch N+1 overlaps
+// the caller processing batch N.
+type prefetcher struct {
+	ch        chan prefetchBatch
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// prefetchBatch carries one fetched round plus the per-partition
+// positions after it, applied to the consumer's offsets on delivery so
+// Commit never covers records the caller has not yet seen.
+type prefetchBatch struct {
+	recs []Record
+	pos  map[int]int64
+	err  error
 }
 
 // NewConsumer returns a consumer for member `member` of `members` total in
@@ -77,6 +106,8 @@ func (c *Consumer) Partitions() []int {
 // Offsets returns the consumer's current (uncommitted) position per owned
 // partition.
 func (c *Consumer) Offsets() map[int]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[int]int64, len(c.offsets))
 	for p, off := range c.offsets {
 		out[p] = off
@@ -86,8 +117,12 @@ func (c *Consumer) Offsets() map[int]int64 {
 
 // Seek moves the consumer's position for an owned partition; it is a
 // no-op for partitions the consumer does not own. Used to resume from a
-// checkpointed offset instead of the group's committed one.
+// checkpointed offset instead of the group's committed one. Seek must
+// be called before StartPrefetch: a running prefetcher has batches in
+// flight at the old position.
 func (c *Consumer) Seek(partition int, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.offsets[partition]; !ok {
 		return
 	}
@@ -97,31 +132,142 @@ func (c *Consumer) Seek(partition int, offset int64) {
 	c.offsets[partition] = offset
 }
 
-// Poll fetches the next batch of records across the consumer's partitions
-// and advances (but does not commit) its offsets. It returns nil when no
-// new records are available.
-func (c *Consumer) Poll() ([]Record, error) {
+// fetchAll performs one fetch round across the consumer's partitions at
+// the positions in pos, returning the records in event-time order — so
+// the window buffer sees a near-sorted stream, as a time-synchronized
+// aggregator would deliver. pos advances only when the whole round
+// succeeds: a mid-round error discards the round's records, so
+// advancing for the partitions fetched before the failure would lose
+// them.
+func (c *Consumer) fetchAll(pos map[int]int64) ([]Record, error) {
 	var out []Record
+	adv := make(map[int]int64, len(c.parts))
 	for _, p := range c.parts {
-		recs, err := c.broker.Fetch(c.topicName, p, c.offsets[p], c.fetchMax)
+		recs, err := c.broker.Fetch(c.topicName, p, pos[p], c.fetchMax)
 		if err != nil {
 			return nil, err
 		}
 		if len(recs) > 0 {
-			c.offsets[p] += int64(len(recs))
+			adv[p] = int64(len(recs))
 			out = append(out, recs...)
 		}
 	}
-	// Present records in event-time order so the window buffer sees a
-	// near-sorted stream, as a time-synchronized aggregator would deliver.
+	for p, n := range adv {
+		pos[p] += n
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
 	return out, nil
 }
 
-// Commit persists the consumer's current offsets to the group.
+// Poll returns the next batch of records across the consumer's partitions
+// and advances (but does not commit) its offsets. It returns nil when no
+// new records are available. With a prefetcher running the batch was
+// fetched (and sorted) ahead of time by the background goroutine.
+func (c *Consumer) Poll() ([]Record, error) {
+	if c.pre != nil {
+		select {
+		case b := <-c.pre.ch:
+			if b.err != nil {
+				return nil, b.err
+			}
+			c.mu.Lock()
+			for p, off := range b.pos {
+				c.offsets[p] = off
+			}
+			c.mu.Unlock()
+			return b.recs, nil
+		case <-c.pre.done:
+			return nil, ErrClosed
+		}
+	}
+	// Fetch outside the lock (it may be a network round trip) against a
+	// snapshot, then re-apply — Offsets/Commit from another goroutine
+	// never stall behind the fetch.
+	c.mu.Lock()
+	pos := make(map[int]int64, len(c.offsets))
+	for p, off := range c.offsets {
+		pos[p] = off
+	}
+	c.mu.Unlock()
+	recs, err := c.fetchAll(pos)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for p, off := range pos {
+		c.offsets[p] = off
+	}
+	c.mu.Unlock()
+	return recs, nil
+}
+
+// StartPrefetch launches the background prefetcher. It is a no-op if
+// one is already running. Stop it with Close.
+func (c *Consumer) StartPrefetch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pre != nil {
+		return
+	}
+	pos := make(map[int]int64, len(c.offsets))
+	for p, off := range c.offsets {
+		pos[p] = off
+	}
+	c.pre = &prefetcher{
+		ch:   make(chan prefetchBatch, 1),
+		done: make(chan struct{}),
+	}
+	go c.prefetchLoop(c.pre, pos)
+}
+
+// prefetchLoop owns pos, the fetch frontier, which runs ahead of
+// c.offsets by the batches still queued. An empty or failed round is
+// still delivered (the caller's poll cadence paces retries — the loop
+// blocks handing over each batch, so it never spins the broker). On
+// error fetchAll leaves pos untouched, so the frontier stays exactly
+// "delivered plus queued" and the retry refetches only the failed
+// round — never a batch already in the channel.
+func (c *Consumer) prefetchLoop(pre *prefetcher, pos map[int]int64) {
+	for {
+		select {
+		case <-pre.done:
+			return
+		default:
+		}
+		recs, err := c.fetchAll(pos)
+		snap := make(map[int]int64, len(pos))
+		for p, off := range pos {
+			snap[p] = off
+		}
+		select {
+		case pre.ch <- prefetchBatch{recs: recs, pos: snap, err: err}:
+		case <-pre.done:
+			return
+		}
+	}
+}
+
+// Close stops the prefetcher, if any. The consumer must not be polled
+// afterwards.
+func (c *Consumer) Close() error {
+	c.mu.Lock()
+	pre := c.pre
+	c.mu.Unlock()
+	if pre != nil {
+		pre.closeOnce.Do(func() { close(pre.done) })
+	}
+	return nil
+}
+
+// Commit persists the consumer's current offsets to the group. With a
+// prefetcher running this covers exactly the batches delivered by Poll,
+// never records still sitting in the prefetch buffer.
 func (c *Consumer) Commit() error {
 	for _, p := range c.parts {
-		if err := c.broker.Commit(c.group, c.topicName, p, c.offsets[p]); err != nil {
+		c.mu.Lock()
+		off := c.offsets[p]
+		c.mu.Unlock()
+		if err := c.broker.Commit(c.group, c.topicName, p, off); err != nil {
 			return err
 		}
 	}
@@ -137,7 +283,10 @@ func (c *Consumer) Lag() (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		lag += hw - c.offsets[p]
+		c.mu.Lock()
+		off := c.offsets[p]
+		c.mu.Unlock()
+		lag += hw - off
 	}
 	return lag, nil
 }

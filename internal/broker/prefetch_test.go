@@ -1,0 +1,218 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConsumerPrefetchDeliversAll checks the double-buffered prefetcher
+// delivers every record exactly once and that commits after Poll cover
+// only delivered batches.
+func TestConsumerPrefetchDeliversAll(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("in", 3); err != nil {
+		t.Fatal(err)
+	}
+	const total = 10000
+	if _, err := b.Produce("in", recs("k", total)); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(b, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.StartPrefetch()
+	defer cons.Close()
+
+	seen := make(map[int]map[int64]bool)
+	got := 0
+	for got < total {
+		recs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			// Prefetcher raced ahead of the first produce round; with a
+			// static dataset an empty poll means records were dropped.
+			t.Fatalf("empty poll after %d of %d records", got, total)
+		}
+		for _, r := range recs {
+			if seen[r.Partition] == nil {
+				seen[r.Partition] = make(map[int64]bool)
+			}
+			if seen[r.Partition][r.Offset] {
+				t.Fatalf("record (p=%d, off=%d) delivered twice", r.Partition, r.Offset)
+			}
+			seen[r.Partition][r.Offset] = true
+		}
+		got += len(recs)
+		// Offsets and commits must track delivery, not the fetch frontier.
+		if err := cons.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		var delivered int64
+		for _, off := range cons.Offsets() {
+			delivered += off
+		}
+		if delivered != int64(got) {
+			t.Fatalf("offsets cover %d records, delivered %d", delivered, got)
+		}
+	}
+	if got != total {
+		t.Fatalf("delivered %d of %d", got, total)
+	}
+	for p := 0; p < 3; p++ {
+		committed, err := b.Committed("g", "in", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hwm, _ := b.HighWatermark("in", p)
+		if committed != hwm {
+			t.Errorf("partition %d committed %d of %d", p, committed, hwm)
+		}
+	}
+}
+
+// flakyCluster fails every third Fetch with a transient error.
+type flakyCluster struct {
+	Cluster
+	mu sync.Mutex
+	n  int
+}
+
+var errFlaky = errors.New("transient fetch failure")
+
+func (f *flakyCluster) Fetch(topic string, partition int, offset int64, max int) ([]Record, error) {
+	f.mu.Lock()
+	f.n++
+	fail := f.n%3 == 0
+	f.mu.Unlock()
+	if fail {
+		return nil, errFlaky
+	}
+	return f.Cluster.Fetch(topic, partition, offset, max)
+}
+
+// TestConsumerPrefetchTransientErrors checks exactly-once delivery
+// through the prefetcher when fetches fail intermittently: a failed
+// round must be refetched on retry (no loss) without re-delivering a
+// batch that was already queued when the error hit (no duplicates).
+func TestConsumerPrefetchTransientErrors(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	const total = 20000
+	if _, err := b.Produce("in", recs("k", total)); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(&flakyCluster{Cluster: b}, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.StartPrefetch()
+	defer cons.Close()
+
+	seen := make(map[int64]bool, total)
+	got := 0
+	polls := 0
+	for got < total {
+		polls++
+		if polls > 10*total/1024 {
+			t.Fatalf("no progress: %d of %d after %d polls", got, total, polls)
+		}
+		recs, err := cons.Poll()
+		if err != nil {
+			continue // transient; the next poll retries the round
+		}
+		for _, r := range recs {
+			id := int64(r.Partition)<<32 | r.Offset
+			if seen[id] {
+				t.Fatalf("record (p=%d, off=%d) delivered twice after a transient error",
+					r.Partition, r.Offset)
+			}
+			seen[id] = true
+		}
+		got += len(recs)
+	}
+	if got != total {
+		t.Fatalf("delivered %d of %d", got, total)
+	}
+}
+
+// TestConsumerPrefetchOverTCP runs the prefetcher against a remote
+// broker through the pipelined client, the deployment shape saproxd
+// shards use.
+func TestConsumerPrefetchOverTCP(t *testing.T) {
+	srv, cli := startServer(t)
+	if err := cli.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Produce("in", recs("k", 5000)); err != nil {
+		t.Fatal(err)
+	}
+	cli2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	cons, err := NewConsumer(cli2, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.StartPrefetch()
+	defer cons.Close()
+	got := 0
+	for got < 5000 {
+		recs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("empty poll after %d records", got)
+		}
+		got += len(recs)
+	}
+	if got != 5000 {
+		t.Fatalf("delivered %d of 5000", got)
+	}
+}
+
+// TestConsumerCloseUnblocksPoll checks Poll returns ErrClosed once the
+// prefetcher is stopped and its buffer drained.
+func TestConsumerCloseUnblocksPoll(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("in", 1); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(b, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.StartPrefetch()
+	_ = cons.Close()
+	deadline := time.After(5 * time.Second)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			recs, err := cons.Poll()
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(recs) == 0 && err == nil {
+				continue // buffered empty batch from before Close
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Poll after Close = %v, want ErrClosed", err)
+		}
+	case <-deadline:
+		t.Fatal("Poll did not unblock after Close")
+	}
+}

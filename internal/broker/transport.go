@@ -4,20 +4,25 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
-// The wire protocol is deliberately simple: each message is a 4-byte
-// big-endian length followed by a JSON document. Requests carry an Op and
-// op-specific fields; responses carry either the result or an Err string.
-// Max frame size guards against corrupt length prefixes.
+// The wire protocol frames every message as a 4-byte big-endian length
+// followed by a payload. The payload's first byte selects the codec:
+// '{' opens a legacy JSON document (lockstep request/response), while
+// binVersion opens a compact binary message with a correlation ID (see
+// codec.go) so many requests can be pipelined on one connection. A
+// client discovers binary support with the "hello" control op; servers
+// that predate the codec answer it with an unknown-op error and the
+// client stays on JSON. Max frame size guards against corrupt length
+// prefixes.
 const maxFrame = 64 << 20
 
-// request operations.
+// request operations (JSON dialect; binary uses the op codes in codec.go).
 const (
 	opCreate    = "create"
 	opProduce   = "produce"
@@ -26,6 +31,7 @@ const (
 	opCommit    = "commit"
 	opCommitted = "committed"
 	opParts     = "parts"
+	opHello     = "hello" // codec negotiation: response N carries the binary version
 )
 
 type wireRequest struct {
@@ -76,10 +82,20 @@ func readFrame(r io.Reader, v any) error {
 	return json.Unmarshal(payload, v)
 }
 
+// ServerOptions tunes a broker server.
+type ServerOptions struct {
+	// JSONOnly disables the binary codec, emulating a pre-codec peer:
+	// hello is answered with an unknown-op error and every frame is
+	// parsed as JSON. Used for mixed-version testing and as an escape
+	// hatch against codec bugs.
+	JSONOnly bool
+}
+
 // Server exposes a Broker over TCP.
 type Server struct {
 	broker *Broker
 	ln     net.Listener
+	opts   ServerOptions
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -91,6 +107,11 @@ type Server struct {
 // Serve starts serving the broker on addr (e.g. "127.0.0.1:0") and
 // returns once the listener is bound. Stop the server with Close.
 func Serve(b *Broker, addr string) (*Server, error) {
+	return ServeWithOptions(b, addr, ServerOptions{})
+}
+
+// ServeWithOptions is Serve with explicit options.
+func ServeWithOptions(b *Broker, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("broker listen: %w", err)
@@ -98,6 +119,7 @@ func Serve(b *Broker, addr string) (*Server, error) {
 	s := &Server{
 		broker: b,
 		ln:     ln,
+		opts:   opts,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
 	}
@@ -126,6 +148,7 @@ func (s *Server) Close() {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -133,10 +156,25 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				// Transient accept error; keep serving.
-				continue
 			}
+			// Transient accept error (EMFILE, ECONNABORTED, ...): back
+			// off exponentially instead of spinning a core on a sick
+			// listener, and reset once accepts succeed again.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff < time.Second {
+				backoff *= 2
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-s.done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -153,21 +191,92 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	fb := getFrame()
+	defer putFrame(fb)
 	for {
-		var req wireRequest
-		if err := readFrame(br, &req); err != nil {
+		if err := readFrameInto(br, fb); err != nil {
 			return // EOF or broken connection
 		}
-		resp := s.dispatch(&req)
-		if err := writeFrame(bw, resp); err != nil {
+		var err error
+		if !s.opts.JSONOnly && len(fb.b) > 0 && fb.b[0] == binVersion {
+			err = s.handleBinary(fb.b, bw)
+		} else {
+			err = s.handleJSON(fb.b, bw)
+		}
+		if err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		// Don't let one oversized frame pin its buffer for the
+		// connection's lifetime; drop it and let the next read
+		// right-size.
+		if cap(fb.b) > maxPooledFrame {
+			fb.b = nil
+		}
+		// Flush only when no further request is already buffered: a
+		// pipelining client gets its burst of responses in one write.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
+}
+
+// handleJSON serves one legacy JSON frame.
+func (s *Server) handleJSON(payload []byte, bw *bufio.Writer) error {
+	var req wireRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return err
+	}
+	resp := s.dispatch(&req)
+	return writeFrame(bw, resp)
+}
+
+// handleBinary serves one binary frame, echoing its correlation ID.
+// Broker-level failures become error responses; protocol-level garbage
+// closes the connection.
+func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
+	req, err := decodeBinRequest(payload)
+	if err != nil {
+		return err
+	}
+	out := getFrame()
+	defer putFrame(out)
+	switch req.op {
+	case binOpProduce:
+		n, err := s.broker.Produce(req.topic, req.recs)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeProduceResp(out, req.corr, n)
+		}
+	case binOpFetch:
+		recs, err := s.broker.Fetch(req.topic, req.partition, req.offset, req.max)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeFetchResp(out, req.corr, req.offset, recs)
+		}
+	case binOpHWM:
+		hwm, err := s.broker.HighWatermark(req.topic, req.partition)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeHWMResp(out, req.corr, hwm)
+		}
+	case binOpJSON:
+		var jreq wireRequest
+		if err := json.Unmarshal(req.jsonBody, &jreq); err != nil {
+			return err
+		}
+		resp := s.dispatch(&jreq)
+		if err := encodeJSONResp(out, req.corr, &resp); err != nil {
+			return err
+		}
+	}
+	return writeRawFrame(bw, out.b)
 }
 
 func (s *Server) dispatch(req *wireRequest) wireResponse {
@@ -212,111 +321,13 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{N: n}
+	case opHello:
+		if s.opts.JSONOnly {
+			// Mimic a pre-codec server so negotiating clients fall back.
+			return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		return wireResponse{N: int(binVersion)}
 	default:
 		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
-}
-
-// Client is a TCP client for a broker Server. Methods mirror Broker's.
-// Client serializes requests over one connection; it is safe for
-// concurrent use.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-}
-
-// Dial connects to a broker server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("broker dial: %w", err)
-	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, req); err != nil {
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
-	}
-	var resp wireResponse
-	if err := readFrame(c.br, &resp); err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return &resp, nil
-}
-
-// CreateTopic creates a topic on the remote broker.
-func (c *Client) CreateTopic(name string, partitions int) error {
-	_, err := c.roundTrip(&wireRequest{Op: opCreate, Topic: name, Partitions: partitions})
-	return err
-}
-
-// Produce appends records to a remote topic.
-func (c *Client) Produce(topicName string, recs []Record) (int, error) {
-	resp, err := c.roundTrip(&wireRequest{Op: opProduce, Topic: topicName, Records: recs})
-	if err != nil {
-		return 0, err
-	}
-	return resp.N, nil
-}
-
-// Fetch reads records from a remote partition.
-func (c *Client) Fetch(topicName string, partition int, offset int64, max int) ([]Record, error) {
-	resp, err := c.roundTrip(&wireRequest{
-		Op: opFetch, Topic: topicName, Partition: partition, Offset: offset, Max: max,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Records, nil
-}
-
-// HighWatermark returns the remote partition's next write offset.
-func (c *Client) HighWatermark(topicName string, partition int) (int64, error) {
-	resp, err := c.roundTrip(&wireRequest{Op: opHWM, Topic: topicName, Partition: partition})
-	if err != nil {
-		return 0, err
-	}
-	return resp.Offset, nil
-}
-
-// Commit persists a group offset remotely.
-func (c *Client) Commit(group, topicName string, partition int, offset int64) error {
-	_, err := c.roundTrip(&wireRequest{
-		Op: opCommit, Group: group, Topic: topicName, Partition: partition, Offset: offset,
-	})
-	return err
-}
-
-// Partitions returns the remote topic's partition count.
-func (c *Client) Partitions(topicName string) (int, error) {
-	resp, err := c.roundTrip(&wireRequest{Op: opParts, Topic: topicName})
-	if err != nil {
-		return 0, err
-	}
-	return resp.N, nil
-}
-
-// Committed reads a group's committed offset remotely.
-func (c *Client) Committed(group, topicName string, partition int) (int64, error) {
-	resp, err := c.roundTrip(&wireRequest{
-		Op: opCommitted, Group: group, Topic: topicName, Partition: partition,
-	})
-	if err != nil {
-		return 0, err
-	}
-	return resp.Offset, nil
 }

@@ -28,6 +28,11 @@ type job struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// fetchWG tracks in-flight prefetch goroutines, which may outlive
+	// their shard loop; stop waits for them after closing the broker
+	// connections (the close is what unblocks a stuck fetch).
+	fetchWG sync.WaitGroup
+
 	// mu guards the merger and the served result state.
 	mu      sync.Mutex
 	merger  *merger
@@ -187,6 +192,7 @@ func (j *job) stop(flush bool) {
 	}
 	j.mu.Unlock()
 	j.closeShardConns()
+	j.fetchWG.Wait()
 }
 
 // closeShardConns closes any dedicated per-shard broker connections.
@@ -278,32 +284,57 @@ func (j *job) maxWatermark() time.Time {
 // fetchMax bounds one fetch's record count.
 const fetchMax = 4096
 
+// fetchResult is one completed (pre)fetch round for a shard.
+type fetchResult struct {
+	recs []broker.Record
+	err  error
+}
+
 // loop is the shard worker: fetch the partition (no locks held — the
 // fetch may be a network round trip), apply the batch to the session,
-// and hand completed windows to the merger. On an idle partition it
-// adopts the peers' watermark so gap windows still merge
+// and hand completed windows to the merger. Fetches are double
+// buffered: as soon as a batch lands, the fetch for the next offset is
+// issued in the background so the broker round-trip for batch N+1
+// overlaps pushing batch N through the session (the pipelined broker
+// client lets both requests share one connection). On an idle partition
+// the shard adopts the peers' watermark so gap windows still merge
 // (idle-partition punctuation).
 func (sh *shard) loop() {
 	defer sh.job.wg.Done()
 	cfg := sh.job.srv.cfg
 	idle := 0
+	results := make(chan fetchResult, 1)
+	inflight := false
+	issue := func(offset int64) {
+		inflight = true
+		sh.job.fetchWG.Add(1)
+		go func() {
+			defer sh.job.fetchWG.Done()
+			recs, err := sh.cluster.Fetch(cfg.Topic, sh.idx, offset, fetchMax)
+			results <- fetchResult{recs: recs, err: err}
+		}()
+	}
+	sh.mu.Lock()
+	next := sh.offset
+	sh.mu.Unlock()
 	for {
+		if !inflight {
+			issue(next)
+		}
+		var fr fetchResult
 		select {
 		case <-sh.job.done:
 			return
-		default:
+		case fr = <-results:
+			inflight = false
 		}
-		sh.mu.Lock()
-		offset := sh.offset
-		sh.mu.Unlock()
-		recs, err := sh.cluster.Fetch(cfg.Topic, sh.idx, offset, fetchMax)
-		if err != nil {
+		if fr.err != nil {
 			if !sleepOrDone(sh.job.done, cfg.PollBackoff) {
 				return
 			}
 			continue
 		}
-		if len(recs) == 0 {
+		if len(fr.recs) == 0 {
 			idle++
 			if idle >= idleAdvanceAfter {
 				sh.advanceIdle()
@@ -314,6 +345,12 @@ func (sh *shard) loop() {
 			continue
 		}
 		idle = 0
+		recs := fr.recs
+		offset := next
+		next += int64(len(recs))
+		// Prefetch the next batch before touching this one.
+		issue(next)
+
 		// Present the batch in event-time order, as a time-synchronized
 		// aggregator would deliver it.
 		sort.SliceStable(recs, func(i, k int) bool { return recs[i].Time.Before(recs[k].Time) })
