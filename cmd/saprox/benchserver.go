@@ -1,0 +1,211 @@
+package main
+
+// saprox bench-server: the serving-tier concurrency benchmark runner.
+// It stands up an in-process broker behind a fetch-counting wrapper,
+// runs the same produced workload through saproxd's two execution
+// models — the shared ingest plane (one consumer per partition for all
+// queries) and the per-query baseline (one consumer set per query) —
+// at growing query counts, and records items/s plus broker fetch
+// operations in a JSON file (BENCH_server.json at the repo root is the
+// tracked baseline). The headline number is fetch-op scaling: on the
+// shared plane, broker work at 32 concurrent queries must stay within
+// a small factor of the 1-query case, where the baseline pays ~32x.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/server"
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// fetchCountingCluster wraps a Cluster and counts broker fetch ops —
+// the cost the shared ingest plane amortizes across queries.
+type fetchCountingCluster struct {
+	broker.Cluster
+	fetches atomic.Int64
+}
+
+func (c *fetchCountingCluster) Fetch(topic string, partition int, offset int64, max int) ([]broker.Record, error) {
+	c.fetches.Add(1)
+	return c.Cluster.Fetch(topic, partition, offset, max)
+}
+
+// benchServerCase is one (mode, query count) measurement.
+type benchServerCase struct {
+	Mode            string  `json:"mode"` // "shared" or "per-query"
+	Queries         int     `json:"queries"`
+	Seconds         float64 `json:"seconds"`
+	FetchOps        int64   `json:"fetch_ops"`
+	FetchOpsPerSec  float64 `json:"fetch_ops_per_s"`
+	ItemsPerSec     float64 `json:"items_per_s"` // events delivered across all queries / s
+	WindowsPerQuery int64   `json:"windows_per_query"`
+}
+
+type benchServerResult struct {
+	Bench      string            `json:"bench"`
+	Go         string            `json:"go"`
+	CPUs       int               `json:"cpus"`
+	UnixNanos  int64             `json:"unix_nanos"`
+	Events     int               `json:"events"`
+	Partitions int               `json:"partitions"`
+	Cases      []benchServerCase `json:"cases"`
+	// FetchScaling is fetch_ops_per_s(max queries)/fetch_ops_per_s(1)
+	// per mode: ~1 on the shared plane, ~N on the baseline.
+	FetchScalingShared   float64 `json:"fetch_scaling_shared"`
+	FetchScalingPerQuery float64 `json:"fetch_scaling_per_query"`
+}
+
+func runBenchServer(args []string) error {
+	fs := flag.NewFlagSet("bench-server", flag.ContinueOnError)
+	events := fs.Int("events", 40000, "events per measurement")
+	partitions := fs.Int("partitions", 4, "topic partitions (= shards per query)")
+	out := fs.String("out", "BENCH_server.json", `result file ("-" for stdout only)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *events < 1000 || *partitions < 1 {
+		return fmt.Errorf("bench-server: need events >= 1000 and partitions >= 1")
+	}
+
+	res := benchServerResult{
+		Bench:      "server-concurrency",
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		UnixNanos:  time.Now().UnixNano(),
+		Events:     *events,
+		Partitions: *partitions,
+	}
+	queryCounts := []int{1, 8, 32}
+	fmt.Printf("server concurrency bench (%d events, %d partitions)\n", *events, *partitions)
+	fmt.Printf("  %-10s %8s %10s %12s %14s %12s\n",
+		"mode", "queries", "seconds", "fetch_ops", "fetch_ops/s", "items/s")
+	perSec := map[string]map[int]float64{"shared": {}, "per-query": {}}
+	for _, mode := range []string{"shared", "per-query"} {
+		for _, n := range queryCounts {
+			c, err := benchServerCaseRun(mode, n, *events, *partitions)
+			if err != nil {
+				return fmt.Errorf("bench-server %s/%d: %w", mode, n, err)
+			}
+			res.Cases = append(res.Cases, c)
+			perSec[mode][n] = c.FetchOpsPerSec
+			fmt.Printf("  %-10s %8d %10.2f %12d %14.0f %12.0f\n",
+				c.Mode, c.Queries, c.Seconds, c.FetchOps, c.FetchOpsPerSec, c.ItemsPerSec)
+		}
+	}
+	last := queryCounts[len(queryCounts)-1]
+	res.FetchScalingShared = perSec["shared"][last] / perSec["shared"][1]
+	res.FetchScalingPerQuery = perSec["per-query"][last] / perSec["per-query"][1]
+	fmt.Printf("  fetch ops/s scaling 1 -> %d queries: shared %.2fx, per-query %.2fx\n",
+		last, res.FetchScalingShared, res.FetchScalingPerQuery)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded in %s\n", *out)
+	return nil
+}
+
+// benchServerCaseRun measures one (mode, query count) case: produce a
+// fixed workload, register n identical queries, and wait until every
+// query has consumed every event and merged several windows.
+func benchServerCaseRun(mode string, n, events, partitions int) (benchServerCase, error) {
+	out := benchServerCase{Mode: mode, Queries: n}
+	bk := broker.New()
+	if err := bk.CreateTopic("bench", partitions); err != nil {
+		return out, err
+	}
+	cc := &fetchCountingCluster{Cluster: bk}
+	srv, err := server.New(server.Config{
+		Cluster:        cc,
+		Topic:          "bench",
+		PollBackoff:    200 * time.Microsecond,
+		PerQueryIngest: mode == "per-query",
+	})
+	if err != nil {
+		return out, err
+	}
+	defer srv.Close()
+
+	// Register the standing queries first, then produce: the steady
+	// state being measured is N live queries sharing one topic read,
+	// not N late registrations racing through catch-up.
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := srv.Register(server.Spec{
+			Kind:     "sum",
+			Window:   10 * time.Second,
+			Slide:    5 * time.Second,
+			Fraction: 0.4,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			return out, err
+		}
+		ids = append(ids, id)
+	}
+	start := time.Now()
+	cc.fetches.Store(0) // exclude registration-time idle polls
+	if _, err := broker.ProduceEvents(bk, "bench", benchServerEvents(events)); err != nil {
+		return out, err
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		done := true
+		for _, id := range ids {
+			records, windows, ok := srv.Stats(id)
+			if !ok {
+				return out, fmt.Errorf("query %s vanished", id)
+			}
+			if records < int64(events) || windows < 3 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("not all %d queries finished within deadline", n)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	out.Seconds = time.Since(start).Seconds()
+	out.FetchOps = cc.fetches.Load()
+	out.FetchOpsPerSec = float64(out.FetchOps) / out.Seconds
+	out.ItemsPerSec = float64(int64(n)*int64(events)) / out.Seconds
+	_, out.WindowsPerQuery, _ = srv.Stats(ids[0])
+	return out, nil
+}
+
+// benchServerEvents builds the deterministic bench workload: ms-spaced
+// gaussian values over 16 strata, the shape the server tests use.
+func benchServerEvents(n int) []stream.Event {
+	rng := xrand.New(7)
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Event, n)
+	for i := range out {
+		out[i] = stream.Event{
+			Stratum: fmt.Sprintf("s%02d", i%16),
+			Value:   rng.Gaussian(100, 15),
+			Time:    base.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	return out
+}

@@ -40,6 +40,8 @@ func run(args []string) error {
 		return runFigures(args[1:])
 	case "bench-broker":
 		return runBenchBroker(args[1:])
+	case "bench-server":
+		return runBenchServer(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -57,6 +59,10 @@ func usage() {
   saprox bench-broker [flags]                  benchmark the broker wire path
                                                (JSON vs binary codec) and record
                                                the result as JSON
+  saprox bench-server [flags]                  benchmark serving-tier query
+                                               concurrency (shared ingest plane
+                                               vs per-query baseline) and record
+                                               the result as JSON
 
 run flags:
   -scale N     dataset scale multiplier (default 1.0)
@@ -67,7 +73,12 @@ bench-broker flags:
   -records N       records per measurement (default 200000)
   -batch N         records per produce request (default 1000)
   -fetchers N      concurrent fetchers on the shared connection (default 4)
-  -out FILE        result file (default BENCH_broker.json; "-" for stdout only)`)
+  -out FILE        result file (default BENCH_broker.json; "-" for stdout only)
+
+bench-server flags:
+  -events N        events per measurement (default 40000)
+  -partitions N    topic partitions = shards per query (default 4)
+  -out FILE        result file (default BENCH_server.json; "-" for stdout only)`)
 }
 
 func list() error {

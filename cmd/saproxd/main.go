@@ -1,12 +1,14 @@
 // Command saproxd runs the sharded, multi-tenant approximate-query
-// service: it consumes a brokerd topic with one OASRS worker per
-// partition and serves registered queries' merged per-window
-// "result ± error" streams over HTTP.
+// service: a shared ingest plane consumes a brokerd topic with exactly
+// one prefetching consumer per partition — however many queries are
+// registered — fans every batch out to all of them, and serves each
+// query's merged per-window "result ± error" stream over HTTP.
 //
 // Usage:
 //
 //	saproxd [-addr host:port] [-broker host:port] [-topic name]
 //	        [-group name] [-checkpoint-dir dir] [-checkpoint-every d]
+//	        [-budget items/s] [-schedule-every d] [-per-query-ingest]
 //
 // API:
 //
@@ -19,9 +21,19 @@
 //	GET    /healthz                 liveness
 //	GET    /metrics                 Prometheus text exposition
 //
-// With -checkpoint-dir set, shard sessions, consumer offsets and
-// partially merged windows are checkpointed periodically and restored on
-// restart, so a killed daemon resumes where it left off.
+// With -budget set, a cross-query scheduler apportions that global
+// sample budget (total sampled items per second) over the registered
+// queries every -schedule-every, growing starved queries' fractions
+// and shrinking over-achieving ones.
+//
+// With -checkpoint-dir set, the shared partition offsets, each query's
+// delivery watermarks and Session snapshots, and partially merged
+// windows are checkpointed periodically and restored on restart, so a
+// killed daemon resumes where it left off.
+//
+// On SIGTERM/SIGINT the daemon shuts down gracefully: it stops
+// accepting HTTP work, quiesces the ingest plane, finishes in-flight
+// merges, flushes every query's checkpoint, and only then exits.
 package main
 
 import (
@@ -54,6 +66,9 @@ func run() error {
 	group := flag.String("group", "saproxd", "consumer-group prefix")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for shard checkpoints (empty disables)")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Second, "checkpoint interval")
+	globalBudget := flag.Float64("budget", 0, "global sample budget in items/s across all queries (0 disables the scheduler)")
+	scheduleEvery := flag.Duration("schedule-every", 2*time.Second, "budget scheduler control interval")
+	perQueryIngest := flag.Bool("per-query-ingest", false, "one private consumer set per query instead of the shared ingest plane (baseline mode)")
 	flag.Parse()
 
 	cli, err := broker.Dial(*brokerAddr)
@@ -65,13 +80,16 @@ func run() error {
 	logger := log.New(os.Stdout, "saproxd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		Cluster: cli,
-		// One TCP connection per shard worker so partition fetches run
-		// in parallel instead of serializing on a shared client.
+		// One TCP connection per ingest partition loop so partition
+		// fetches run in parallel instead of queueing on one client.
 		DialShard:       func() (broker.Cluster, error) { return broker.Dial(*brokerAddr) },
 		Topic:           *topic,
 		Group:           *group,
 		CheckpointDir:   *checkpointDir,
 		CheckpointEvery: *checkpointEvery,
+		GlobalBudget:    *globalBudget,
+		ScheduleEvery:   *scheduleEvery,
+		PerQueryIngest:  *perQueryIngest,
 		Logf:            logger.Printf,
 	})
 	if err != nil {
@@ -86,19 +104,33 @@ func run() error {
 			errc <- err
 		}
 	}()
-	logger.Printf("serving on %s (broker %s, topic %q, %d partitions)",
-		*addr, *brokerAddr, *topic, srv.Partitions())
+	mode := "shared ingest plane"
+	if *perQueryIngest {
+		mode = "per-query ingest (baseline)"
+	}
+	logger.Printf("serving on %s (broker %s, topic %q, %d partitions, %s)",
+		*addr, *brokerAddr, *topic, srv.Partitions(), mode)
+	if *globalBudget > 0 {
+		logger.Printf("budget scheduler: %g sampled items/s across all queries, reapportioned every %v",
+			*globalBudget, *scheduleEvery)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err
-	case <-sig:
+	case s := <-sig:
+		logger.Printf("%v: shutting down", s)
 	}
-	logger.Printf("shutting down")
+	// Graceful order: stop accepting HTTP work, then let srv.Close
+	// quiesce the ingest plane, finish in-flight merges, and flush
+	// every query's checkpoint (plus the shared plane offsets) before
+	// the process exits — nothing mid-merge is dropped.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	srv.Close()
+	logger.Printf("checkpoints flushed; bye")
 	return nil
 }

@@ -98,6 +98,14 @@ func (c *Controller) clamp(f float64) float64 {
 // Fraction returns the current sampling fraction.
 func (c *Controller) Fraction() float64 { return c.fraction }
 
+// SetFraction overrides the current fraction (clamped to the
+// controller's bounds) without counting an adjustment. An external
+// scheduler apportioning a shared budget across many controllers uses
+// this to re-base each one at its granted share every control interval,
+// so the local feedback loop continues from the granted operating point
+// instead of fighting the global allocation.
+func (c *Controller) SetFraction(f float64) { c.fraction = c.clamp(f) }
+
 // Target returns the target relative error.
 func (c *Controller) Target() float64 { return c.target }
 

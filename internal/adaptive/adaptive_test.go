@@ -36,6 +36,25 @@ func TestDeadBandHolds(t *testing.T) {
 	}
 }
 
+func TestSetFractionRebases(t *testing.T) {
+	c := NewController(0.01, 0.5, WithBounds(0.1, 0.9))
+	c.SetFraction(0.3)
+	if c.Fraction() != 0.3 {
+		t.Errorf("Fraction = %v after SetFraction(0.3)", c.Fraction())
+	}
+	if c.Adjustments() != 0 {
+		t.Errorf("SetFraction counted as adjustment: %d", c.Adjustments())
+	}
+	// Clamped to bounds, and the local loop continues from the new base.
+	c.SetFraction(0.01)
+	if c.Fraction() != 0.1 {
+		t.Errorf("SetFraction below min gave %v, want 0.1", c.Fraction())
+	}
+	if next := c.Observe(0.05); next <= 0.1 {
+		t.Errorf("controller stuck after rebase: %v", next)
+	}
+}
+
 func TestBoundsRespected(t *testing.T) {
 	c := NewController(0.01, 0.9, WithBounds(0.1, 0.95))
 	for i := 0; i < 20; i++ {

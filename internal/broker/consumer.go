@@ -96,6 +96,44 @@ func NewConsumer(b Cluster, group, topicName string, member, members int) (*Cons
 	return c, nil
 }
 
+// NewPartitionConsumer returns a consumer pinned to exactly one
+// partition of a topic — the attach surface of a shared ingest plane,
+// where one prefetching consumer per (topic, partition) serves every
+// registered query. Offsets resume from the group's committed position
+// for that partition; use Seek to override before StartPrefetch.
+func NewPartitionConsumer(b Cluster, group, topicName string, partition int) (*Consumer, error) {
+	n, err := b.Partitions(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partition < 0 || partition >= n {
+		return nil, ErrBadPartition
+	}
+	off, err := b.Committed(group, topicName, partition)
+	if err != nil {
+		return nil, err
+	}
+	return &Consumer{
+		broker:    b,
+		group:     group,
+		topicName: topicName,
+		parts:     []int{partition},
+		offsets:   map[int]int64{partition: off},
+		fetchMax:  4096,
+	}, nil
+}
+
+// SetFetchMax bounds the record count of each fetch round (default
+// 4096). A catch-up consumer chasing a live plane uses it to stop
+// exactly at the handoff offset instead of overshooting into records
+// the plane will deliver. Must be called before StartPrefetch and not
+// concurrently with Poll.
+func (c *Consumer) SetFetchMax(n int) {
+	if n > 0 {
+		c.fetchMax = n
+	}
+}
+
 // Partitions returns the partitions this consumer owns.
 func (c *Consumer) Partitions() []int {
 	out := make([]int, len(c.parts))

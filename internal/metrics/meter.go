@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter measures an exponentially weighted event rate (items per
+// second), the serving tier's per-partition ingest-throughput signal.
+// Mark is safe for concurrent use; the smoothed rate is pushed into an
+// optional Gauge so it shows up in /metrics without a scrape-time hook.
+type Meter struct {
+	mu    sync.Mutex
+	alpha float64
+	last  time.Time
+	rate  float64
+	gauge *Gauge
+	now   func() time.Time
+}
+
+// NewMeter returns a meter with smoothing factor alpha in (0, 1]
+// (default 0.3). A non-nil gauge receives the smoothed rate after every
+// Mark.
+func NewMeter(alpha float64, gauge *Gauge) *Meter {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &Meter{alpha: alpha, gauge: gauge, now: time.Now}
+}
+
+// Mark records n events arriving now and returns the smoothed rate.
+// The first Mark only seeds the clock (a rate needs an interval).
+func (m *Meter) Mark(n int64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	if m.last.IsZero() {
+		m.last = now
+		return m.rate
+	}
+	dt := now.Sub(m.last).Seconds()
+	if dt <= 0 {
+		return m.rate
+	}
+	m.last = now
+	sample := float64(n) / dt
+	if m.rate == 0 {
+		m.rate = sample
+	} else {
+		m.rate = m.alpha*sample + (1-m.alpha)*m.rate
+	}
+	if m.gauge != nil {
+		m.gauge.Set(m.rate)
+	}
+	return m.rate
+}
+
+// Rate returns the current smoothed rate without recording events.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterSmoothesRate(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_rate", "test", nil)
+	m := NewMeter(0.5, g)
+	now := time.Unix(0, 0)
+	m.now = func() time.Time { return now }
+
+	if r := m.Mark(100); r != 0 {
+		t.Errorf("first Mark returned %v, want 0 (only seeds the clock)", r)
+	}
+	now = now.Add(time.Second)
+	if r := m.Mark(100); r != 100 {
+		t.Errorf("rate after 100 items in 1s = %v, want 100", r)
+	}
+	// A faster second interval moves the EWMA halfway (alpha 0.5).
+	now = now.Add(time.Second)
+	if r := m.Mark(300); r != 200 {
+		t.Errorf("smoothed rate = %v, want 200", r)
+	}
+	if g.Value() != 200 {
+		t.Errorf("gauge = %v, want 200", g.Value())
+	}
+	if m.Rate() != 200 {
+		t.Errorf("Rate() = %v, want 200", m.Rate())
+	}
+}
+
+func TestMeterZeroIntervalIgnored(t *testing.T) {
+	m := NewMeter(0, nil)
+	now := time.Unix(0, 0)
+	m.now = func() time.Time { return now }
+	m.Mark(10)
+	if r := m.Mark(10); r != 0 {
+		t.Errorf("zero-interval Mark changed the rate: %v", r)
+	}
+}

@@ -74,3 +74,73 @@ func BenchmarkShardedWindowThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkQueryConcurrency measures delivered throughput and broker
+// fetch ops as the number of concurrent queries on ONE topic grows —
+// the surface the shared ingest plane changes. items/s counts every
+// record delivered to every query; fetches/iter shows the plane
+// fetching each batch once regardless of query count.
+//
+//	go test ./internal/server -bench Concurrency -benchtime 3x
+func BenchmarkQueryConcurrency(b *testing.B) {
+	for _, queries := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			events := makeEvents(5, 40000)
+			var items, fetches int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bk := broker.New()
+				if err := bk.CreateTopic("in", 4); err != nil {
+					b.Fatal(err)
+				}
+				cc := &countingCluster{Cluster: bk}
+				s, err := New(Config{Cluster: cc, Topic: "in", PollBackoff: 100 * time.Microsecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs := make([]*job, 0, queries)
+				for q := 0; q < queries; q++ {
+					id, err := s.Register(Spec{
+						Kind:     "sum",
+						Window:   10 * time.Second,
+						Slide:    5 * time.Second,
+						Fraction: 0.6,
+						Seed:     uint64(i*queries + q + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					j, _ := s.job(id)
+					jobs = append(jobs, j)
+				}
+				b.StartTimer()
+				if _, err := broker.ProduceEvents(bk, "in", events); err != nil {
+					b.Fatal(err)
+				}
+				deadline := time.Now().Add(60 * time.Second)
+				for _, j := range jobs {
+					for jobRecords(j) < int64(len(events)) {
+						if time.Now().After(deadline) {
+							b.Fatalf("query %s consumed %d of %d within deadline",
+								j.id, jobRecords(j), len(events))
+						}
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+				items += int64(queries) * int64(len(events))
+				b.StopTimer()
+				fetches += cc.fetches.Load()
+				s.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(items)/elapsed, "items/s")
+			}
+			if b.N > 0 {
+				b.ReportMetric(float64(fetches)/float64(b.N), "fetches/iter")
+			}
+		})
+	}
+}

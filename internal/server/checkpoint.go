@@ -12,15 +12,35 @@ import (
 	"streamapprox"
 )
 
-// Shard checkpointing: every CheckpointEvery the server persists, per
-// query, each shard's Session snapshot (the public fault-tolerance API)
-// together with its consumer offset, plus the merger's partially merged
-// windows and the result sequence counter. A restarted saproxd re-reads
-// the checkpoint directory, re-registers every query and resumes exactly
-// where the shards left off — offsets, in-flight reservoirs, pending
-// windows and sequence numbers all recover.
+// Checkpointing under the shared ingest plane splits into two halves:
+//
+//   - the SHARED half (ingestStateFile): the plane's per-partition
+//     offsets — one set for the whole server, since every query rides
+//     the same consumer per partition;
+//   - the PER-QUERY half (<id>.json): each query's delivery watermarks
+//     (the next offset each shard needs), Session snapshots, and the
+//     merger's partially merged windows plus the result sequence
+//     counter.
+//
+// A restarted saproxd re-reads the directory, re-positions the plane
+// from the shared offsets, re-registers every query, and re-attaches
+// each one at its own watermark: queries behind the plane replay the
+// gap through the catch-up path, queries ahead of it skip — so a kill
+// -9 restart neither loses nor duplicates records for any query, even
+// when the crash tore between the shared and per-query files.
 
-const checkpointVersion = 1
+const checkpointVersion = 2
+
+// ingestStateFile holds the shared half; the leading underscore keeps
+// it out of the per-query checkpoint glob.
+const ingestStateFile = "_ingest.json"
+
+// ingestState is the on-disk form of the shared plane position.
+type ingestState struct {
+	Version int     `json:"version"`
+	Topic   string  `json:"topic"`
+	Offsets []int64 `json:"offsets"` // per partition; -1 = never positioned
+}
 
 // checkpointFile is the on-disk form of one query's state.
 type checkpointFile struct {
@@ -37,7 +57,10 @@ type checkpointFile struct {
 	Fired []time.Time `json:"fired,omitempty"`
 }
 
-// shardCheckpoint is one shard's resumable state.
+// shardCheckpoint is one shard's resumable state. Offset is the
+// query's private delivery watermark: the next offset this query needs
+// from the partition (version 1 wrote the per-query consumer offset
+// here, which means the same thing, so v1 files restore unchanged).
 type shardCheckpoint struct {
 	Partition int             `json:"partition"`
 	Offset    int64           `json:"offset"`
@@ -82,9 +105,9 @@ func (j *job) checkpoint() (*checkpointFile, error) {
 			Session:   snap,
 		})
 		// Best effort, outside sh.mu (it is a network round trip):
-		// mirror the offset into the broker group so lag is observable
-		// with broker tooling.
-		_ = sh.cluster.Commit(j.group(), j.srv.cfg.Topic, sh.idx, offset)
+		// mirror the delivery watermark into the query's broker group so
+		// per-query lag is observable with broker tooling.
+		_ = j.srv.cfg.Cluster.Commit(j.group(), j.srv.cfg.Topic, sh.idx, offset)
 	}
 	j.mu.Lock()
 	cf.Seq = j.seq
@@ -120,12 +143,19 @@ func (j *job) restore(cf *checkpointFile) error {
 		sc, ok := byPart[sh.idx]
 		if !ok {
 			// Partition added since the checkpoint: start it fresh.
-			sh.sess = streamapprox.NewSession(j.spec.sessionConfig(sh.idx))
+			sh.sess = streamapprox.NewSession(j.sessionConfig(sh.idx))
 			continue
 		}
 		sess, err := streamapprox.RestoreSession(sc.Session)
 		if err != nil {
 			return fmt.Errorf("shard %d session: %w", sh.idx, err)
+		}
+		if j.srv.cfg.GlobalBudget > 0 {
+			// Snapshots taken before the budget scheduler was enabled
+			// still carry a TargetError; drop the restored per-shard
+			// controller so it cannot fight the scheduler's grants
+			// (mirrors j.sessionConfig for fresh sessions).
+			sess.DisableAdaptive()
 		}
 		sh.sess = sess
 		sh.watermark = sc.Watermark
@@ -168,13 +198,52 @@ func checkpointPath(dir, id string) string {
 	return filepath.Join(dir, id+".json")
 }
 
-// saveCheckpoint writes the checkpoint atomically (temp file + rename).
+// saveIngestState atomically persists the shared plane offsets.
+func saveIngestState(dir, topic string, offsets []int64) error {
+	data, err := json.Marshal(ingestState{Version: 1, Topic: topic, Offsets: offsets})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, ingestStateFile, data)
+}
+
+// loadIngestState reads the shared plane offsets; a missing file or a
+// topic mismatch yields nil (start unpositioned, not an error — the
+// per-query watermarks alone are enough for a correct resume).
+func loadIngestState(dir, topic string) ([]int64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ingestStateFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var st ingestState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("ingest state: %w", err)
+	}
+	// An unknown version or foreign topic falls back to the documented
+	// unpositioned start rather than interpreting offsets whose
+	// semantics may have changed — the per-query watermarks alone are
+	// enough for a correct (catch-up based) resume.
+	if st.Version != 1 || st.Topic != topic {
+		return nil, nil
+	}
+	return st.Offsets, nil
+}
+
+// saveCheckpoint writes one query's checkpoint atomically.
 func saveCheckpoint(dir string, cf *checkpointFile) error {
 	data, err := json.Marshal(cf)
 	if err != nil {
 		return fmt.Errorf("marshal checkpoint %s: %w", cf.ID, err)
 	}
-	tmp, err := os.CreateTemp(dir, cf.ID+".tmp-*")
+	return writeFileAtomic(dir, cf.ID+".json", data)
+}
+
+// writeFileAtomic writes dir/name via temp file + rename.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -187,10 +256,11 @@ func saveCheckpoint(dir string, cf *checkpointFile) error {
 		_ = os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), checkpointPath(dir, cf.ID))
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
 }
 
 // loadCheckpoints reads every query checkpoint in dir, sorted by id.
+// Files starting with "_" (the shared ingest state) are skipped.
 func loadCheckpoints(dir string) ([]*checkpointFile, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -201,7 +271,7 @@ func loadCheckpoints(dir string) ([]*checkpointFile, error) {
 	}
 	var out []*checkpointFile
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), "_") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
@@ -212,7 +282,9 @@ func loadCheckpoints(dir string) ([]*checkpointFile, error) {
 		if err := json.Unmarshal(data, &cf); err != nil {
 			return nil, fmt.Errorf("checkpoint %s: %w", e.Name(), err)
 		}
-		if cf.Version != checkpointVersion {
+		// v1 (per-query consumer offsets) restores as v2: the offset
+		// fields carry the same "next offset this query needs" meaning.
+		if cf.Version != checkpointVersion && cf.Version != 1 {
 			return nil, fmt.Errorf("checkpoint %s: unsupported version %d", e.Name(), cf.Version)
 		}
 		out = append(out, &cf)

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
@@ -134,6 +136,195 @@ func TestCheckpointRestartResumes(t *testing.T) {
 	}
 	if id2 == id {
 		t.Errorf("restarted server reissued id %s", id)
+	}
+}
+
+// TestSharedPlaneRestartNoLossNoDup is the shared-ingest recovery
+// property: kill a server mid-window with three active queries plus
+// one late-registered query (attached through the catch-up path),
+// restart from the checkpoint directory, feed the rest of the stream,
+// and assert that EVERY query accounts for every produced record
+// exactly once and serves no window twice — the split into shared
+// partition offsets and per-query delivery watermarks must make
+// restart loss- and duplication-free even for queries that were behind
+// the plane when the checkpoint was cut.
+func TestSharedPlaneRestartNoLossNoDup(t *testing.T) {
+	dir := t.TempDir()
+	b := broker.New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(47, 16000) // 16s of data
+	half := len(events) / 2
+	if _, err := broker.ProduceEvents(b, "in", events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Cluster:         b,
+		Topic:           "in",
+		CheckpointDir:   dir,
+		CheckpointEvery: 15 * time.Millisecond,
+		PollBackoff:     time.Millisecond,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{Kind: "sum", Window: 2 * time.Second, Slide: time.Second, Fraction: 0.5},
+		{Kind: "mean", Window: 3 * time.Second, Slide: time.Second, Fraction: 0.6},
+		{Kind: "count", Window: 2 * time.Second, Slide: 2 * time.Second, Fraction: 0.4},
+	}
+	var ids []string
+	for _, sp := range specs {
+		id, err := s1.Register(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Let the three early queries get ahead, then register a late one
+	// from the beginning: it restores mid-catch-up if the kill lands
+	// while it is still chasing the plane.
+	for _, id := range ids {
+		j, _ := s1.job(id)
+		deadline := time.Now().Add(10 * time.Second)
+		for len(j.resultsSince(-1)) < 2 {
+			if time.Now().After(deadline) {
+				t.Fatalf("query %s produced no early windows", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	lateID, err := s1.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second,
+		Fraction: 0.5, From: "earliest", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, lateID)
+	// Give the late query a moment to start catching up, then cut the
+	// server down mid-stream (Close checkpoints without flushing).
+	jLate, _ := s1.job(lateID)
+	deadline := time.Now().Add(10 * time.Second)
+	for jobRecords(jLate) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late query never started catching up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := make(map[string][]MergedWindow)
+	for _, id := range ids {
+		j, _ := s1.job(id)
+		before[id] = j.resultsSince(-1)
+	}
+	s1.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range ids {
+		if _, ok := s2.job(id); !ok {
+			t.Fatalf("query %s not restored", id)
+		}
+	}
+	if _, err := broker.ProduceEvents(b, "in", events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		j, _ := s2.job(id)
+		deadline := time.Now().Add(15 * time.Second)
+		for jobRecords(j) < int64(len(events)) {
+			if time.Now().After(deadline) {
+				t.Fatalf("query %s consumed %d of %d after restart", id, jobRecords(j), len(events))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Settle, then assert exactly-once per query: over-delivery would
+	// overshoot the record counters; a re-served window would reuse a
+	// window start across the two runs.
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range ids {
+		j, _ := s2.job(id)
+		if n := jobRecords(j); n != int64(len(events)) {
+			t.Errorf("query %s consumed %d records across runs, want exactly %d", id, n, len(events))
+		}
+		seen := map[time.Time]int64{}
+		var maxSeq int64 = -1
+		for _, r := range before[id] {
+			seen[r.Start] = r.Seq
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+		}
+		for _, r := range j.resultsSince(-1) {
+			if r.Seq <= maxSeq {
+				t.Errorf("query %s: restarted window %v reuses seq %d", id, r.Start, r.Seq)
+			}
+			if firstSeq, dup := seen[r.Start]; dup {
+				t.Errorf("query %s: window %v served twice (seq %d and %d)", id, r.Start, firstSeq, r.Seq)
+			}
+		}
+	}
+}
+
+// TestRestoreV1CheckpointNormalizesSpec rewrites a checkpoint into the
+// version-1 shape (no weight field, as the pre-shared-plane release
+// wrote) and restores it: the spec must come back re-normalized so
+// fields added since — Spec.Weight in particular — get their defaults
+// instead of zero values that would starve the query under the budget
+// scheduler.
+func TestRestoreV1CheckpointNormalizesSpec(t *testing.T) {
+	dir := t.TempDir()
+	b := broker.New()
+	if err := b.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cluster: b, Topic: "in", CheckpointDir: dir,
+		CheckpointEvery: time.Hour, PollBackoff: time.Millisecond}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Register(Spec{Kind: "sum", Window: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Downgrade the file to v1: strip the weight field and the version.
+	path := checkpointPath(dir, id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = 1
+	delete(raw["spec"].(map[string]any), "weight")
+	if data, err = json.Marshal(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.GlobalBudget = 1000 // the path where Weight=0 would starve the query
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j, ok := s2.job(id)
+	if !ok {
+		t.Fatalf("query %s not restored from v1 checkpoint", id)
+	}
+	if j.spec.Weight != 1 {
+		t.Errorf("restored v1 spec Weight = %v, want the default 1", j.spec.Weight)
 	}
 }
 

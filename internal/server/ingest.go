@@ -1,0 +1,439 @@
+package server
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamapprox/internal/broker"
+	"streamapprox/internal/metrics"
+)
+
+// The shared ingest plane: exactly one prefetching consumer per
+// (topic, partition) regardless of how many queries are registered.
+// Each partition loop fetches a batch once, decodes it once, and fans
+// the (event-time sorted, read-only) records out to every attached
+// query's per-shard Session sink. Broker fetch work is O(partitions),
+// not O(queries × partitions) — the property that lets one middle tier
+// serve thousands of concurrent queries over a single topic read.
+//
+// Queries attach and detach dynamically. A query attaching at an
+// offset the plane has already passed replays the gap through a short
+// private catch-up consumer and splices into the live plane exactly at
+// the handoff offset (the splice happens under the plane's delivery
+// lock, so no record is lost or duplicated). A query attaching ahead
+// of the plane (From "latest") rides the plane immediately and drops
+// records below its requested start per-sub.
+
+// fetchMax bounds one catch-up fetch's record count; the plane's
+// consumers use the same batch size internally.
+const fetchMax = 4096
+
+// idleAdvanceAfter is the number of consecutive empty polls after which
+// an idle partition pushes its attached sinks to the peers' watermark.
+// High enough that a partition that has merely caught up with a live
+// producer does not race ahead and drop the producer's next records as
+// late.
+const idleAdvanceAfter = 10
+
+// ingestSink is the per-query, per-partition delivery target the plane
+// fans out to (implemented by *shard).
+type ingestSink interface {
+	// consume applies one batch of event-time sorted records ending at
+	// offset next (exclusive). The slice is shared across sinks and
+	// must be treated as read-only. hwm is the partition high watermark
+	// when haveHWM is true.
+	consume(recs []broker.Record, next int64, hwm int64, haveHWM bool)
+	// idleAdvance is the idle-partition punctuation: adopt the peers'
+	// event-time progress so gap windows still merge.
+	idleAdvance()
+}
+
+// ingest is one plane: a set of partition loops over one topic.
+type ingest struct {
+	cluster broker.Cluster // control-plane + catch-up connection
+	topic   string
+	group   string // the plane's shared consumer group
+	backoff time.Duration
+	logf    func(format string, args ...any)
+
+	parts []*partIngest
+	wg    sync.WaitGroup
+}
+
+// partIngest is the plane for one partition: one consumer, one loop,
+// any number of attached sinks.
+type partIngest struct {
+	ing     *ingest
+	idx     int
+	cluster broker.Cluster // dedicated connection when DialShard is set
+	conn    io.Closer      // nil when sharing the control connection
+
+	// mu guards subs and next. Delivery happens with mu held so a
+	// catch-up splice (pos == next, attach) is atomic against the loop
+	// advancing next.
+	mu         sync.Mutex
+	subs       map[ingestSink]struct{}
+	next       int64 // next offset the plane will deliver
+	positioned bool  // next is meaningful (restored or first attach)
+	started    bool
+	stopped    bool
+	cons       *broker.Consumer // set by the loop; closed by stop to unblock Poll
+	done       chan struct{}
+
+	recordsMetric *metrics.Counter
+	queriesGauge  *metrics.Gauge
+	lagGauge      *metrics.Gauge
+	throughput    *metrics.Meter
+}
+
+// newIngest builds a plane with one (not yet started) partition loop
+// per partition. When dial is non-nil each partition gets a dedicated
+// broker connection, closed on stop. extra labels distinguish private
+// per-query planes from the shared one in /metrics.
+func newIngest(cluster broker.Cluster, dial func() (broker.Cluster, error),
+	topic, group string, parts int, backoff time.Duration,
+	logf func(string, ...any), reg *metrics.Registry, extra metrics.Labels) (*ingest, error) {
+	ing := &ingest{cluster: cluster, topic: topic, group: group, backoff: backoff, logf: logf}
+	for p := 0; p < parts; p++ {
+		pc := cluster
+		var closer io.Closer
+		if dial != nil {
+			c, err := dial()
+			if err != nil {
+				ing.closeConns()
+				return nil, err
+			}
+			pc = c
+			closer, _ = c.(io.Closer)
+		}
+		l := metrics.Labels{"partition": strconv.Itoa(p)}
+		for k, v := range extra {
+			l[k] = v
+		}
+		pi := &partIngest{
+			ing:     ing,
+			idx:     p,
+			cluster: pc,
+			conn:    closer,
+			subs:    make(map[ingestSink]struct{}),
+			done:    make(chan struct{}),
+			recordsMetric: reg.Counter("saproxd_ingest_records_total",
+				"records fetched once and fanned out to all queries, per partition", l),
+			queriesGauge: reg.Gauge("saproxd_ingest_queries",
+				"queries attached to the partition's shared plane", l),
+			lagGauge: reg.Gauge("saproxd_ingest_lag_records",
+				"records between the plane position and the partition high watermark", l),
+		}
+		pi.throughput = metrics.NewMeter(0, reg.Gauge("saproxd_ingest_throughput_items_per_s",
+			"smoothed per-partition ingest rate", l))
+		ing.parts = append(ing.parts, pi)
+	}
+	return ing, nil
+}
+
+// position seeds partition offsets from a restored checkpoint. Must be
+// called before any attach. Offsets < 0 leave the partition
+// unpositioned (first attacher decides).
+func (ing *ingest) position(offsets []int64) {
+	for i, off := range offsets {
+		if i >= len(ing.parts) || off < 0 {
+			continue
+		}
+		pi := ing.parts[i]
+		pi.mu.Lock()
+		pi.next = off
+		pi.positioned = true
+		pi.mu.Unlock()
+	}
+}
+
+// offsets snapshots the plane position per partition (-1 when the
+// partition was never positioned) — the shared half of a checkpoint.
+func (ing *ingest) offsets() []int64 {
+	out := make([]int64, len(ing.parts))
+	for i, pi := range ing.parts {
+		pi.mu.Lock()
+		if pi.positioned {
+			out[i] = pi.next
+		} else {
+			out[i] = -1
+		}
+		pi.mu.Unlock()
+	}
+	return out
+}
+
+// commit mirrors the plane offsets into its broker consumer group so
+// lag is observable with broker tooling. Best effort.
+func (ing *ingest) commit() {
+	for _, pi := range ing.parts {
+		pi.mu.Lock()
+		off, ok := pi.next, pi.positioned
+		pi.mu.Unlock()
+		if ok {
+			_ = ing.cluster.Commit(ing.group, ing.topic, pi.idx, off)
+		}
+	}
+}
+
+// attach joins one query shard to a partition plane, starting the loop
+// on first use. from is the shard's delivery watermark: behind the
+// plane it is replayed through a catch-up goroutine (tracked in the
+// job's WaitGroup) before splicing live; at or ahead of the plane the
+// shard attaches immediately, skipping records below from.
+func (ing *ingest) attach(j *job, sh *shard, from int64) {
+	pi := ing.parts[sh.idx]
+	pi.mu.Lock()
+	if !pi.positioned {
+		pi.next = from
+		pi.positioned = true
+	}
+	if !pi.started && !pi.stopped {
+		pi.started = true
+		ing.wg.Add(1)
+		go pi.loop(pi.next)
+	}
+	if from >= pi.next {
+		sh.setSkip(from)
+		pi.subs[sh] = struct{}{}
+		pi.queriesGauge.Set(float64(len(pi.subs)))
+		pi.mu.Unlock()
+		return
+	}
+	pi.mu.Unlock()
+	j.wg.Add(1)
+	go pi.catchUp(j, sh, from)
+}
+
+// detach removes a sink. After detach returns no further consume call
+// will be made for it (delivery holds the same lock).
+func (ing *ingest) detach(sh *shard) {
+	pi := ing.parts[sh.idx]
+	pi.mu.Lock()
+	delete(pi.subs, sh)
+	pi.queriesGauge.Set(float64(len(pi.subs)))
+	pi.mu.Unlock()
+}
+
+// stop halts every partition loop and closes dedicated connections.
+// Attached sinks receive no further deliveries once stop returns.
+func (ing *ingest) stop() {
+	for _, pi := range ing.parts {
+		pi.mu.Lock()
+		if !pi.stopped {
+			pi.stopped = true
+			close(pi.done)
+		}
+		cons := pi.cons
+		pi.mu.Unlock()
+		if cons != nil {
+			_ = cons.Close() // unblock a Poll stuck on the prefetcher
+		}
+	}
+	ing.wg.Wait()
+	ing.closeConns()
+}
+
+func (ing *ingest) closeConns() {
+	for _, pi := range ing.parts {
+		if pi.conn != nil {
+			_ = pi.conn.Close()
+			pi.conn = nil
+		}
+	}
+}
+
+// loop is the partition's single consumer: a prefetching
+// broker.Consumer seeked to the plane position, double-buffering batch
+// N+1 while batch N fans out. With no sinks attached the loop idles
+// without advancing, so a future attacher at the current offset joins
+// seamlessly.
+func (pi *partIngest) loop(start int64) {
+	defer pi.ing.wg.Done()
+	var cons *broker.Consumer
+	for {
+		var err error
+		cons, err = broker.NewPartitionConsumer(pi.cluster, pi.ing.group, pi.ing.topic, pi.idx)
+		if err == nil {
+			break
+		}
+		pi.ing.logf("ingest partition %d: consumer: %v", pi.idx, err)
+		if !sleepOrDone(pi.done, pi.ing.backoff) {
+			return
+		}
+	}
+	cons.Seek(pi.idx, start)
+	cons.StartPrefetch()
+	defer func() { _ = cons.Close() }()
+	pi.mu.Lock()
+	if pi.stopped {
+		pi.mu.Unlock()
+		return
+	}
+	pi.cons = cons
+	pi.mu.Unlock()
+
+	idle := 0
+	for {
+		select {
+		case <-pi.done:
+			return
+		default:
+		}
+		pi.mu.Lock()
+		nsubs := len(pi.subs)
+		pi.mu.Unlock()
+		if nsubs == 0 {
+			// Nobody listening: pause without advancing the plane.
+			if !sleepOrDone(pi.done, pi.ing.backoff) {
+				return
+			}
+			continue
+		}
+		recs, err := cons.Poll()
+		if err != nil {
+			select {
+			case <-pi.done:
+				return
+			default:
+			}
+			if !sleepOrDone(pi.done, pi.ing.backoff) {
+				return
+			}
+			continue
+		}
+		if len(recs) == 0 {
+			idle++
+			if idle >= idleAdvanceAfter {
+				pi.idleAdvance()
+			}
+			if !sleepOrDone(pi.done, pi.ing.backoff) {
+				return
+			}
+			continue
+		}
+		idle = 0
+		// One high-watermark read per shared batch (best effort), where
+		// the per-query model paid one per query per batch.
+		hwm, herr := pi.cluster.HighWatermark(pi.ing.topic, pi.idx)
+		pi.deliver(recs, hwm, herr == nil)
+	}
+}
+
+// parallelDeliverMin is the batch size below which fan-out stays
+// sequential: live-tailing produces many tiny batches, and per-batch
+// goroutine churn would cost more than the session pushes it overlaps.
+const parallelDeliverMin = 256
+
+// deliver fans one batch out to every attached sink and advances the
+// plane position. It runs under pi.mu so catch-up splices are atomic;
+// for large batches with several sinks the fan-out runs them
+// concurrently (each sink locks only its own shard) and joins before
+// releasing the lock.
+func (pi *partIngest) deliver(recs []broker.Record, hwm int64, haveHWM bool) {
+	n := int64(len(recs))
+	pi.recordsMetric.Add(float64(n))
+	pi.throughput.Mark(n)
+	pi.mu.Lock()
+	next := pi.next + n
+	pi.next = next
+	if len(pi.subs) <= 1 || len(recs) < parallelDeliverMin {
+		for sink := range pi.subs {
+			sink.consume(recs, next, hwm, haveHWM)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for sink := range pi.subs {
+			wg.Add(1)
+			go func(s ingestSink) {
+				defer wg.Done()
+				s.consume(recs, next, hwm, haveHWM)
+			}(sink)
+		}
+		wg.Wait()
+	}
+	pi.mu.Unlock()
+	if haveHWM {
+		pi.lagGauge.Set(float64(hwm - next))
+	}
+}
+
+// idleAdvance pushes every attached sink's event-time watermark forward
+// on a quiet partition, flushing windows a sparsely keyed partition
+// would otherwise hold back forever.
+func (pi *partIngest) idleAdvance() {
+	pi.mu.Lock()
+	sinks := make([]ingestSink, 0, len(pi.subs))
+	for s := range pi.subs {
+		sinks = append(sinks, s)
+	}
+	pi.mu.Unlock()
+	for _, s := range sinks {
+		s.idleAdvance()
+	}
+}
+
+// catchUp replays [from, plane position) to one late-attaching shard
+// through a private consumer, then splices it into the live plane at
+// the handoff offset. The splice check runs under pi.mu: when pos has
+// reached pi.next the plane cannot advance concurrently, so attaching
+// there is exactly-once. The chase is abandoned when the job stops.
+func (pi *partIngest) catchUp(j *job, sh *shard, from int64) {
+	defer j.wg.Done()
+	var cons *broker.Consumer
+	for {
+		var err error
+		cons, err = broker.NewPartitionConsumer(pi.ing.cluster, j.group(), pi.ing.topic, pi.idx)
+		if err == nil {
+			break
+		}
+		// Transient broker trouble must not strand the shard detached
+		// forever (its merger would wait on the missing part for every
+		// window) — retry like the plane loop does, until the job stops.
+		pi.ing.logf("catch-up %s partition %d: %v", j.id, pi.idx, err)
+		if !sleepOrDone(j.done, pi.ing.backoff) {
+			return
+		}
+	}
+	cons.Seek(pi.idx, from)
+	pos := from
+	for {
+		select {
+		case <-j.done:
+			return
+		default:
+		}
+		pi.mu.Lock()
+		target := pi.next
+		if pos >= target {
+			if !j.isStopped() {
+				pi.subs[sh] = struct{}{}
+				pi.queriesGauge.Set(float64(len(pi.subs)))
+			}
+			pi.mu.Unlock()
+			return
+		}
+		pi.mu.Unlock()
+		// Bound the round so the chase stops exactly at the handoff
+		// offset, never overshooting into records the plane delivers.
+		max := fetchMax
+		if int64(max) > target-pos {
+			max = int(target - pos)
+		}
+		cons.SetFetchMax(max)
+		recs, err := cons.Poll() // returned in event-time order
+		if err != nil || len(recs) == 0 {
+			if err != nil {
+				pi.ing.logf("catch-up %s partition %d: poll: %v", j.id, pi.idx, err)
+			}
+			if !sleepOrDone(j.done, pi.ing.backoff) {
+				return
+			}
+			continue
+		}
+		pos += int64(len(recs))
+		sh.consume(recs, pos, -1, false)
+	}
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker"
+)
+
+// countingCluster wraps a Cluster and counts broker fetch operations —
+// the cost the shared ingest plane exists to amortize.
+type countingCluster struct {
+	broker.Cluster
+	fetches atomic.Int64
+}
+
+func (c *countingCluster) Fetch(topic string, partition int, offset int64, max int) ([]broker.Record, error) {
+	c.fetches.Add(1)
+	return c.Cluster.Fetch(topic, partition, offset, max)
+}
+
+// jobRecords sums a query's consumed records across shards.
+func jobRecords(j *job) int64 {
+	var n int64
+	for _, sh := range j.shards {
+		n += sh.records.Load()
+	}
+	return n
+}
+
+// waitJobRecords blocks until the query has consumed want records.
+func waitJobRecords(t *testing.T, j *job, want int64, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		if n := jobRecords(j); n >= want {
+			return
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("query %s consumed %d of %d within %v", j.id, jobRecords(j), want, deadline)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fetchOpsForQueries runs n identical queries over the same produced
+// topic until all have consumed everything, and returns the broker
+// fetch-op count at that point.
+func fetchOpsForQueries(t *testing.T, n int, perQuery bool) int64 {
+	t.Helper()
+	bk := broker.New()
+	if err := bk.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(23, 12000)
+	if _, err := broker.ProduceEvents(bk, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	cc := &countingCluster{Cluster: bk}
+	s, err := New(Config{Cluster: cc, Topic: "in", PollBackoff: 2 * time.Millisecond, PerQueryIngest: perQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var jobs []*job
+	for i := 0; i < n; i++ {
+		id, err := s.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second,
+			Fraction: 0.5, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := s.job(id)
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitJobRecords(t, j, int64(len(events)), 20*time.Second)
+	}
+	return cc.fetches.Load()
+}
+
+// TestSharedPlaneAmortizesFetches is the tentpole property: broker
+// fetch work must not scale with the query count. Eight concurrent
+// queries on the shared plane must cost a small multiple of one
+// query's fetches (catch-up reads and idle-poll timing account for the
+// slack), and far less than the per-query-consumer baseline spends for
+// the same work.
+func TestSharedPlaneAmortizesFetches(t *testing.T) {
+	one := fetchOpsForQueries(t, 1, false)
+	shared := fetchOpsForQueries(t, 8, false)
+	baseline := fetchOpsForQueries(t, 8, true)
+	t.Logf("fetch ops: 1 query %d, 8 queries shared %d, 8 queries per-query %d", one, shared, baseline)
+	if shared > 3*one+100 {
+		t.Errorf("shared plane fetches scale with queries: 1 query %d, 8 queries %d", one, shared)
+	}
+	if shared*2 > baseline {
+		t.Errorf("shared plane (%d fetches) not clearly cheaper than per-query baseline (%d)", shared, baseline)
+	}
+}
+
+// TestLateRegistrationCatchesUpAndSplices registers a second query
+// after the plane has consumed the backlog: the late query must replay
+// the gap through its private catch-up consumer, splice into the live
+// plane without loss or duplication, and then follow new records. Item
+// counts per window must match the early query's exactly — a duplicate
+// or lost record would show up as a diverging count.
+func TestLateRegistrationCatchesUpAndSplices(t *testing.T) {
+	bk := broker.New()
+	if err := bk.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(31, 16000)
+	half := len(events) / 2
+	if _, err := broker.ProduceEvents(bk, "in", events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: bk, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	id1, err := s.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := s.job(id1)
+	waitJobRecords(t, j1, int64(half), 15*time.Second)
+
+	// The plane is now at the end of the backlog; a late query from
+	// "earliest" starts entirely behind it.
+	id2, err := s.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second,
+		Fraction: 0.5, From: "earliest", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.job(id2)
+	waitJobRecords(t, j2, int64(half), 15*time.Second)
+
+	// Feed the rest: the late query must receive it via the shared
+	// plane after its splice.
+	if _, err := broker.ProduceEvents(bk, "in", events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	waitJobRecords(t, j1, int64(len(events)), 15*time.Second)
+	waitJobRecords(t, j2, int64(len(events)), 15*time.Second)
+	// Settle, then check exact counts: an over-delivery would overshoot.
+	time.Sleep(50 * time.Millisecond)
+	if n := jobRecords(j1); n != int64(len(events)) {
+		t.Errorf("early query consumed %d records, want exactly %d", n, len(events))
+	}
+	if n := jobRecords(j2); n != int64(len(events)) {
+		t.Errorf("late query consumed %d records, want exactly %d (catch-up lost or duplicated)", n, len(events))
+	}
+
+	// Per-window item counts must agree between the two queries.
+	items1 := map[time.Time]int64{}
+	for _, r := range j1.resultsSince(-1) {
+		items1[r.Start] = r.Items
+	}
+	compared := 0
+	for _, r := range j2.resultsSince(-1) {
+		want, ok := items1[r.Start]
+		if !ok {
+			continue
+		}
+		compared++
+		if r.Items != want {
+			t.Errorf("window %v: late query saw %d items, early query %d", r.Start, r.Items, want)
+		}
+	}
+	if compared < 4 {
+		t.Fatalf("only %d overlapping windows compared", compared)
+	}
+}
+
+// TestFromLatestSkipsBacklog attaches a query at the high watermark
+// while the plane is still chewing the backlog for an earlier query:
+// the late query rides the shared plane but must drop every record
+// below its requested start.
+func TestFromLatestSkipsBacklog(t *testing.T) {
+	bk := broker.New()
+	if err := bk.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(37, 12000)
+	half := len(events) / 2
+	if _, err := broker.ProduceEvents(bk, "in", events[:half]); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Cluster: bk, Topic: "in", PollBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id1, err := s.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second, Fraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := s.job(id1)
+	id2, err := s.Register(Spec{Kind: "count", Window: 2 * time.Second, Slide: time.Second,
+		Fraction: 0.5, From: "latest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.job(id2)
+
+	if _, err := broker.ProduceEvents(bk, "in", events[half:]); err != nil {
+		t.Fatal(err)
+	}
+	waitJobRecords(t, j1, int64(len(events)), 15*time.Second)
+	waitJobRecords(t, j2, int64(half), 15*time.Second)
+	time.Sleep(50 * time.Millisecond)
+	if n := jobRecords(j2); n != int64(half) {
+		t.Errorf("latest query consumed %d records, want exactly %d (skip leaked backlog)", n, half)
+	}
+}

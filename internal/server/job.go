@@ -2,8 +2,7 @@ package server
 
 import (
 	"fmt"
-	"io"
-	"sort"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,24 +13,28 @@ import (
 	"streamapprox/internal/metrics"
 )
 
-// A job is one registered query: one consumer group on the topic, one
-// shard worker per partition (each running its own OASRS Session), and
-// one merger fanning shard windows into the served result stream. Shards
-// share nothing on the data path — the paper's synchronization-free
-// parallel sampling, stretched across consumer-group partitions.
+// A job is one registered query: one OASRS Session sink per partition
+// fed by the shared ingest plane, and one merger fanning shard windows
+// into the served result stream. Shards share nothing on the data path
+// — the paper's synchronization-free parallel sampling — and the plane
+// delivers every partition batch to all queries from a single topic
+// read.
 type job struct {
 	id   string
 	spec Spec
 	srv  *Server
 
+	// plane is the ingest plane the shards attach to: the server's
+	// shared plane, or a private one under Config.PerQueryIngest (the
+	// pre-shared-plane execution model, kept as a benchmark baseline).
+	plane   *ingest
+	private bool // plane is owned by this job
+
 	shards []*shard
 	done   chan struct{}
-	wg     sync.WaitGroup
-
-	// fetchWG tracks in-flight prefetch goroutines, which may outlive
-	// their shard loop; stop waits for them after closing the broker
-	// connections (the close is what unblocks a stuck fetch).
-	fetchWG sync.WaitGroup
+	// wg tracks catch-up goroutines launched for late attachment; stop
+	// waits for them before flushing so no push races the flush.
+	wg sync.WaitGroup
 
 	// mu guards the merger and the served result state.
 	mu      sync.Mutex
@@ -41,35 +44,38 @@ type job struct {
 	subs    map[int]chan MergedWindow
 	nextSub int
 	stopped bool
+	relErr  float64 // EWMA of merged windows' relative error bound
+	relSeen bool
 
 	windowsMerged *metrics.Counter
 	mergeLatency  *metrics.Gauge
 	partsDropped  *metrics.Counter
+	lagGauge      *metrics.Gauge
 }
 
 // maxKept bounds the per-query result ring.
 const maxKept = 4096
 
-// shard is one partition worker feeding one Session. It manages its
-// single partition's offset directly so the blocking Fetch can run
-// outside sh.mu — only applying a fetched batch (push + offset advance +
-// merger delivery) needs to be atomic against the checkpointer.
+// shard is one partition's delivery sink for one query: the plane (or
+// a catch-up consumer) pushes batches into its Session. It tracks the
+// query's private delivery watermark — the next offset it needs —
+// which is what checkpoints persist per query now that partition
+// offsets are shared.
 type shard struct {
-	job     *job
-	idx     int // shard index == partition
-	cluster broker.Cluster
-	conn    io.Closer // dedicated broker connection, nil when shared
+	job *job
+	idx int // shard index == partition
 
-	// mu guards sess, offset and the watermark against the
-	// checkpointer. records/sampled are atomic so the merge path never
-	// nests shard and job locks. offset is written only by the shard
-	// loop (and restore, before start).
+	// mu guards sess, offset, skipUntil and the watermark against the
+	// checkpointer. records/sampled/lag are atomic so the merge path
+	// and lag aggregation never nest shard and job locks.
 	mu        sync.Mutex
 	sess      *streamapprox.Session
-	offset    int64
+	offset    int64 // delivery watermark: next offset to apply
+	skipUntil int64 // drop plane records below this offset (late attach ahead of plane)
 	watermark time.Time
 	records   atomic.Int64
 	sampled   atomic.Int64
+	lag       atomic.Int64
 
 	recordsMetric *metrics.Counter
 	sampledMetric *metrics.Counter
@@ -77,16 +83,20 @@ type shard struct {
 	lagMetric     *metrics.Gauge
 }
 
-// newJob builds a job and its shards. When restore is non-nil the shards
-// resume from checkpointed sessions and offsets and the merger resumes
-// its pending windows; otherwise shards start per spec.From.
+var _ ingestSink = (*shard)(nil)
+
+// newJob builds a job and its shards. When restore is non-nil the
+// shards resume from checkpointed sessions and delivery watermarks and
+// the merger resumes its pending windows; otherwise shards start per
+// spec.From.
 func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, error) {
 	j := &job{
-		id:   id,
-		spec: spec,
-		srv:  srv,
-		done: make(chan struct{}),
-		subs: make(map[int]chan MergedWindow),
+		id:    id,
+		spec:  spec,
+		srv:   srv,
+		plane: srv.ing,
+		done:  make(chan struct{}),
+		subs:  make(map[int]chan MergedWindow),
 
 		windowsMerged: srv.reg.Counter("saproxd_windows_merged_total",
 			"windows merged across shards", metrics.Labels{"query": id}),
@@ -95,21 +105,23 @@ func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, e
 			metrics.Labels{"query": id}),
 		partsDropped: srv.reg.Counter("saproxd_window_parts_dropped_total",
 			"shard window parts arriving after their window merged", metrics.Labels{"query": id}),
+		lagGauge: srv.reg.Gauge("saproxd_query_lag_records",
+			"records between the query's delivery watermarks and the partition high watermarks",
+			metrics.Labels{"query": id}),
+	}
+	if srv.cfg.PerQueryIngest {
+		plane, err := newIngest(srv.cfg.Cluster, srv.cfg.DialShard, srv.cfg.Topic,
+			j.group()+"-ingest", srv.parts, srv.cfg.PollBackoff, srv.cfg.Logf,
+			srv.reg, metrics.Labels{"query": id})
+		if err != nil {
+			return nil, fmt.Errorf("private ingest: %w", err)
+		}
+		j.plane = plane
+		j.private = true
 	}
 	j.merger = newMerger(&j.spec, srv.parts, nil)
 	for p := 0; p < srv.parts; p++ {
-		cluster := srv.cfg.Cluster
-		var closer io.Closer
-		if srv.cfg.DialShard != nil {
-			c, err := srv.cfg.DialShard()
-			if err != nil {
-				j.closeShardConns()
-				return nil, fmt.Errorf("shard %d dial: %w", p, err)
-			}
-			cluster = c
-			closer, _ = c.(io.Closer)
-		}
-		sh := &shard{job: j, idx: p, cluster: cluster, conn: closer}
+		sh := &shard{job: j, idx: p}
 		labels := metrics.Labels{"query": id, "shard": strconv.Itoa(p)}
 		sh.recordsMetric = srv.reg.Counter("saproxd_shard_records_total",
 			"records consumed per shard", labels)
@@ -124,45 +136,61 @@ func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, e
 
 	if restore != nil {
 		if err := j.restore(restore); err != nil {
-			j.closeShardConns()
+			j.stopPrivatePlane()
 			return nil, err
 		}
 		return j, nil
 	}
 	for _, sh := range j.shards {
-		sh.sess = streamapprox.NewSession(spec.sessionConfig(sh.idx))
+		sh.sess = streamapprox.NewSession(j.sessionConfig(sh.idx))
 		var err error
 		switch spec.From {
 		case "earliest":
 			sh.offset = 0
 		case "latest":
-			sh.offset, err = sh.cluster.HighWatermark(srv.cfg.Topic, sh.idx)
-		default: // committed: resume the group position (0 for fresh groups)
-			sh.offset, err = sh.cluster.Committed(j.group(), srv.cfg.Topic, sh.idx)
+			sh.offset, err = srv.cfg.Cluster.HighWatermark(srv.cfg.Topic, sh.idx)
+		default: // committed: resume the query's mirrored position (0 for fresh queries)
+			sh.offset, err = srv.cfg.Cluster.Committed(j.group(), srv.cfg.Topic, sh.idx)
 		}
 		if err != nil {
-			j.closeShardConns()
+			j.stopPrivatePlane()
 			return nil, fmt.Errorf("shard %d start offset: %w", sh.idx, err)
 		}
 	}
 	return j, nil
 }
 
-// group is the job's consumer-group name on the broker.
+// sessionConfig is the spec's session config for one shard. With the
+// cross-query budget scheduler enabled the per-shard adaptive
+// controllers are disabled: the scheduler owns the feedback loop and a
+// second, per-shard loop would fight its allocations.
+func (j *job) sessionConfig(shard int) streamapprox.SessionConfig {
+	cfg := j.spec.sessionConfig(shard)
+	if j.srv.cfg.GlobalBudget > 0 {
+		cfg.TargetError = 0
+	}
+	return cfg
+}
+
+// group is the job's consumer-group name on the broker (delivery
+// watermarks are mirrored there for broker-tooling visibility).
 func (j *job) group() string { return j.srv.cfg.Group + "-" + j.id }
 
-// start launches the shard workers.
+// start attaches the shards to the ingest plane.
 func (j *job) start() {
 	for _, sh := range j.shards {
-		j.wg.Add(1)
-		go sh.loop()
+		sh.mu.Lock()
+		from := sh.offset
+		sh.mu.Unlock()
+		j.plane.attach(j, sh, from)
 	}
 }
 
-// stop halts the shard workers. When flush is true every in-progress
-// session segment and pending merge is forced out to subscribers first —
-// the DELETE path; graceful server shutdown keeps them pending so a
-// restart resumes from the checkpoint without double-emitting windows.
+// stop detaches the shards from the plane and halts catch-up work.
+// When flush is true every in-progress session segment and pending
+// merge is forced out to subscribers first — the DELETE path; graceful
+// server shutdown keeps them pending so a restart resumes from the
+// checkpoint without double-emitting windows.
 func (j *job) stop(flush bool) {
 	j.mu.Lock()
 	if j.stopped {
@@ -172,7 +200,11 @@ func (j *job) stop(flush bool) {
 	j.stopped = true
 	j.mu.Unlock()
 	close(j.done)
+	for _, sh := range j.shards {
+		j.plane.detach(sh)
+	}
 	j.wg.Wait()
+	j.stopPrivatePlane()
 	if flush {
 		for _, sh := range j.shards {
 			sh.mu.Lock()
@@ -191,18 +223,33 @@ func (j *job) stop(flush bool) {
 		delete(j.subs, id)
 	}
 	j.mu.Unlock()
-	j.closeShardConns()
-	j.fetchWG.Wait()
 }
 
-// closeShardConns closes any dedicated per-shard broker connections.
-func (j *job) closeShardConns() {
-	for _, sh := range j.shards {
-		if sh.conn != nil {
-			_ = sh.conn.Close()
-			sh.conn = nil
-		}
+// stopPrivatePlane stops a per-query plane (no-op for the shared one).
+func (j *job) stopPrivatePlane() {
+	if j.private {
+		j.plane.stop()
 	}
+}
+
+// setFraction pushes a scheduler-granted sampling fraction into every
+// shard session, taking effect at each session's next slide segment.
+func (j *job) setFraction(f float64) {
+	for _, sh := range j.shards {
+		sh.mu.Lock()
+		sh.sess.SetFraction(f)
+		sh.mu.Unlock()
+	}
+}
+
+// observedError returns the EWMA of merged windows' relative error
+// bound, the current result sequence (so a caller can tell whether any
+// NEW window contributed since it last looked), and whether any window
+// has been observed at all.
+func (j *job) observedError() (re float64, seq int64, seen bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.relErr, j.seq, j.relSeen
 }
 
 // emitLocked assigns the next sequence number and publishes one merged
@@ -217,6 +264,15 @@ func (j *job) emitLocked(fw firedWindow) {
 	}
 	j.windowsMerged.Inc()
 	j.mergeLatency.Set(fw.latency.Seconds())
+	if v := math.Abs(fw.result.Value); v > 0 {
+		re := fw.result.Error / v
+		if j.relSeen {
+			j.relErr = 0.5*re + 0.5*j.relErr
+		} else {
+			j.relErr = re
+			j.relSeen = true
+		}
+	}
 	for _, ch := range j.subs {
 		select {
 		case ch <- fw.result:
@@ -281,115 +337,71 @@ func (j *job) maxWatermark() time.Time {
 	return max
 }
 
-// fetchMax bounds one fetch's record count.
-const fetchMax = 4096
-
-// fetchResult is one completed (pre)fetch round for a shard.
-type fetchResult struct {
-	recs []broker.Record
-	err  error
+// setSkip arms the shard to drop plane records below offset — the
+// From "latest" attach path, where the query joins the plane behind
+// its requested start.
+func (sh *shard) setSkip(offset int64) {
+	sh.mu.Lock()
+	if offset > sh.skipUntil {
+		sh.skipUntil = offset
+	}
+	sh.mu.Unlock()
 }
 
-// loop is the shard worker: fetch the partition (no locks held — the
-// fetch may be a network round trip), apply the batch to the session,
-// and hand completed windows to the merger. Fetches are double
-// buffered: as soon as a batch lands, the fetch for the next offset is
-// issued in the background so the broker round-trip for batch N+1
-// overlaps pushing batch N through the session (the pipelined broker
-// client lets both requests share one connection). On an idle partition
-// the shard adopts the peers' watermark so gap windows still merge
-// (idle-partition punctuation).
-func (sh *shard) loop() {
-	defer sh.job.wg.Done()
-	cfg := sh.job.srv.cfg
-	idle := 0
-	results := make(chan fetchResult, 1)
-	inflight := false
-	issue := func(offset int64) {
-		inflight = true
-		sh.job.fetchWG.Add(1)
-		go func() {
-			defer sh.job.fetchWG.Done()
-			recs, err := sh.cluster.Fetch(cfg.Topic, sh.idx, offset, fetchMax)
-			results <- fetchResult{recs: recs, err: err}
-		}()
-	}
+// consume implements ingestSink: apply one event-time sorted batch to
+// the session and hand completed windows to the merger. The batch
+// slice is shared with other queries' sinks and is never mutated. The
+// whole application (push + watermark advance + merger delivery) runs
+// under one sh.mu hold, so a checkpoint observes either all of a batch
+// or none of it (no torn checkpoint).
+func (sh *shard) consume(recs []broker.Record, next int64, hwm int64, haveHWM bool) {
 	sh.mu.Lock()
-	next := sh.offset
-	sh.mu.Unlock()
-	for {
-		if !inflight {
-			issue(next)
-		}
-		var fr fetchResult
-		select {
-		case <-sh.job.done:
-			return
-		case fr = <-results:
-			inflight = false
-		}
-		if fr.err != nil {
-			if !sleepOrDone(sh.job.done, cfg.PollBackoff) {
-				return
-			}
+	delivered := 0
+	for i := range recs {
+		r := &recs[i]
+		if r.Offset < sh.skipUntil {
 			continue
 		}
-		if len(fr.recs) == 0 {
-			idle++
-			if idle >= idleAdvanceAfter {
-				sh.advanceIdle()
-			}
-			if !sleepOrDone(sh.job.done, cfg.PollBackoff) {
-				return
-			}
-			continue
+		_ = sh.sess.Push(streamapprox.Event(broker.ToEvent(*r)))
+		if r.Time.After(sh.watermark) {
+			sh.watermark = r.Time
 		}
-		idle = 0
-		recs := fr.recs
-		offset := next
-		next += int64(len(recs))
-		// Prefetch the next batch before touching this one.
-		issue(next)
-
-		// Present the batch in event-time order, as a time-synchronized
-		// aggregator would deliver it.
-		sort.SliceStable(recs, func(i, k int) bool { return recs[i].Time.Before(recs[k].Time) })
-
-		// Apply atomically w.r.t. the checkpointer: push + offset
-		// advance + merger delivery under one sh.mu hold, so a window
-		// drained from the session already sits in the merger when a
-		// checkpoint can observe either (no torn checkpoint).
-		sh.mu.Lock()
-		for _, r := range recs {
-			_ = sh.sess.Push(streamapprox.Event(broker.ToEvent(r)))
-			if r.Time.After(sh.watermark) {
-				sh.watermark = r.Time
-			}
-		}
-		sh.offset = offset + int64(len(recs))
-		sh.records.Add(int64(len(recs)))
-		sh.recordsMetric.Add(float64(len(recs)))
+		delivered++
+	}
+	sh.offset = next
+	if sh.offset < sh.skipUntil {
+		// Still skipping ahead to the requested start: the watermark to
+		// resume from after a restart is the start, not the plane position.
+		sh.offset = sh.skipUntil
+	}
+	if delivered > 0 {
+		sh.records.Add(int64(delivered))
+		sh.recordsMetric.Add(float64(delivered))
 		sh.lateMetric.Set(float64(sh.sess.Late()))
 		sh.sess.Advance(sh.watermark)
 		sh.deliver(sh.sess.Poll(), sh.watermark)
-		sh.mu.Unlock()
-
-		if hwm, err := sh.cluster.HighWatermark(cfg.Topic, sh.idx); err == nil {
-			sh.lagMetric.Set(float64(hwm - (offset + int64(len(recs)))))
+	}
+	offset := sh.offset
+	sh.mu.Unlock()
+	if haveHWM {
+		lag := hwm - offset
+		if lag < 0 {
+			lag = 0
 		}
+		sh.lag.Store(lag)
+		sh.lagMetric.Set(float64(lag))
+		var total int64
+		for _, peer := range sh.job.shards {
+			total += peer.lag.Load()
+		}
+		sh.job.lagGauge.Set(float64(total))
 	}
 }
 
-// idleAdvanceAfter is the number of consecutive empty polls after which
-// an idle shard adopts the peers' watermark. High enough that a shard
-// that has merely caught up with a live producer does not race ahead and
-// drop the producer's next records as late.
-const idleAdvanceAfter = 10
-
-// advanceIdle pushes an idle shard's session forward to the job-wide
-// maximum watermark, flushing windows a sparsely keyed partition would
-// otherwise hold back forever.
-func (sh *shard) advanceIdle() {
+// idleAdvance implements ingestSink: push an idle shard's session
+// forward to the job-wide maximum watermark, flushing windows a
+// sparsely keyed partition would otherwise hold back forever.
+func (sh *shard) idleAdvance() {
 	mark := sh.job.maxWatermark()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -403,8 +415,9 @@ func (sh *shard) advanceIdle() {
 
 // deliver hands window results and the shard's watermark to the merger
 // and publishes whatever fires. Callers hold sh.mu; deliver nests j.mu
-// inside it (the one place the two locks nest — the checkpointer takes
-// them one at a time, so the order stays acyclic).
+// inside it (the lock order is plane → shard → job, and the
+// checkpointer takes shard and job locks one at a time, so the order
+// stays acyclic).
 func (sh *shard) deliver(results []streamapprox.WindowResult, mark time.Time) {
 	j := sh.job
 	j.mu.Lock()
@@ -432,7 +445,7 @@ func (sh *shard) noteSampled(wr streamapprox.WindowResult) {
 	sh.sampledMetric.Add(float64(wr.Sampled))
 }
 
-// sleepOrDone pauses for d, returning false if the job stopped.
+// sleepOrDone pauses for d, returning false if done closed.
 func sleepOrDone(done chan struct{}, d time.Duration) bool {
 	if d <= 0 {
 		select {

@@ -5,15 +5,20 @@
 // Figure 1 of the paper ends at a single in-process computation; this
 // package makes that computation a long-running, horizontally sharded
 // service. Clients register queries (aggregate kind, sliding window,
-// sampling budget) over HTTP/JSON; each registered query consumes the
-// input topic through its own consumer group with one OASRS worker per
-// partition — the paper's synchronization-free parallel sampling
-// stretched across a Kafka-style consumer group — and the per-shard
-// windows are merged into a single "result ± error" stream with a
-// combined error bound (internal/estimate's disjoint-population merge).
-// Liveness and load are observable at /healthz and a Prometheus-style
-// /metrics endpoint, and periodic shard checkpoints make the whole
-// daemon crash-restartable.
+// sampling budget) over HTTP/JSON. A SHARED INGEST PLANE owns exactly
+// one prefetching consumer per (topic, partition) regardless of query
+// count: each batch is fetched and decoded once and fanned out to
+// every registered query's per-shard OASRS Session — the paper's
+// synchronization-free parallel sampling with the broker read
+// amortized across all tenants, so N queries cost one topic read, not
+// N. Per-shard windows are merged into a single "result ± error"
+// stream with a combined error bound (internal/estimate's
+// disjoint-population merge), and an optional cross-query budget
+// scheduler apportions a global sample budget over the queries from
+// their observed errors. Liveness and load are observable at /healthz
+// and a Prometheus-style /metrics endpoint, and periodic checkpoints
+// (shared partition offsets + per-query delivery watermarks) make the
+// whole daemon crash-restartable.
 package server
 
 import (
@@ -36,12 +41,11 @@ type Config struct {
 	// Cluster is the broker to consume: the in-process *broker.Broker or
 	// a TCP *broker.Client pointed at brokerd.
 	Cluster broker.Cluster
-	// DialShard, when set, opens a dedicated broker connection per shard
-	// worker (the TCP client serializes requests per connection, so
-	// sharing one across all shards would serialize the fetch path).
-	// Connections implementing io.Closer are closed when their query
-	// stops. When nil every shard shares Cluster — right for the
-	// in-process broker.
+	// DialShard, when set, opens a dedicated broker connection per
+	// ingest partition loop, so partition fetches run concurrently
+	// instead of queueing on one connection. Connections implementing
+	// io.Closer are closed when the plane stops. When nil the plane
+	// shares Cluster — right for the in-process broker.
 	DialShard func() (broker.Cluster, error)
 	// Topic is the input topic all queries consume.
 	Topic string
@@ -52,8 +56,19 @@ type Config struct {
 	CheckpointDir string
 	// CheckpointEvery is the checkpoint interval (default 5s).
 	CheckpointEvery time.Duration
-	// PollBackoff is the shard idle-poll pause (default 10ms).
+	// PollBackoff is the ingest idle-poll pause (default 10ms).
 	PollBackoff time.Duration
+	// GlobalBudget, when positive, enables the cross-query budget
+	// scheduler: the total sampled items per second shared by all
+	// registered queries, reapportioned every ScheduleEvery from each
+	// query's observed relative error (and Spec.Weight).
+	GlobalBudget float64
+	// ScheduleEvery is the scheduler control interval (default 2s).
+	ScheduleEvery time.Duration
+	// PerQueryIngest reverts to one private ingest plane per query —
+	// the pre-shared-plane execution model, where broker work scales
+	// O(queries × partitions). Kept as a benchmark baseline.
+	PerQueryIngest bool
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +79,8 @@ type Server struct {
 	parts int
 	reg   *metrics.Registry
 	mux   *http.ServeMux
+	ing   *ingest    // shared ingest plane (nil under PerQueryIngest)
+	sched *scheduler // cross-query budget scheduler (nil without GlobalBudget)
 
 	mu      sync.Mutex
 	queries map[string]*job
@@ -96,6 +113,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PollBackoff <= 0 {
 		cfg.PollBackoff = 10 * time.Millisecond
 	}
+	if cfg.ScheduleEvery <= 0 {
+		cfg.ScheduleEvery = 2 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -114,22 +134,58 @@ func New(cfg Config) (*Server, error) {
 	s.checkpoints = s.reg.Counter("saproxd_checkpoints_total", "successful checkpoints", nil)
 	s.checkpointErrs = s.reg.Counter("saproxd_checkpoint_errors_total", "failed checkpoints", nil)
 	s.buildMux()
+	if !cfg.PerQueryIngest {
+		s.ing, err = newIngest(cfg.Cluster, cfg.DialShard, cfg.Topic, cfg.Group+"-ingest",
+			parts, cfg.PollBackoff, cfg.Logf, s.reg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("server: ingest plane: %w", err)
+		}
+	}
+
+	// fail releases everything the constructor has already stood up —
+	// plane connections and restored (unstarted) jobs with their
+	// private planes — so an error return leaks nothing.
+	fail := func(err error) (*Server, error) {
+		for _, j := range s.queries {
+			j.stop(false)
+		}
+		if s.ing != nil {
+			s.ing.stop()
+		}
+		return nil, err
+	}
 
 	if cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
-			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+			return fail(fmt.Errorf("server: checkpoint dir: %w", err))
+		}
+		// Re-position the shared plane before any query attaches, so
+		// restored queries splice against the checkpointed offsets
+		// instead of re-deciding them.
+		if s.ing != nil {
+			offsets, err := loadIngestState(cfg.CheckpointDir, cfg.Topic)
+			if err != nil {
+				return fail(fmt.Errorf("server: load ingest state: %w", err))
+			}
+			s.ing.position(offsets)
 		}
 		cfs, err := loadCheckpoints(cfg.CheckpointDir)
 		if err != nil {
-			return nil, fmt.Errorf("server: load checkpoints: %w", err)
+			return fail(fmt.Errorf("server: load checkpoints: %w", err))
 		}
 		// Restore everything before starting anything so a bad
 		// checkpoint cannot leave earlier queries' workers running
 		// behind the returned error.
 		for _, cf := range cfs {
+			// Re-normalize the restored spec: fields added since the
+			// checkpoint was written (e.g. Weight) restore as zero and
+			// need their defaults before the scheduler sees them.
+			if err := cf.Spec.normalize(); err != nil {
+				return fail(fmt.Errorf("server: restore query %s: spec: %w", cf.ID, err))
+			}
 			j, err := newJob(cf.ID, cf.Spec, s, cf)
 			if err != nil {
-				return nil, fmt.Errorf("server: restore query %s: %w", cf.ID, err)
+				return fail(fmt.Errorf("server: restore query %s: %w", cf.ID, err))
 			}
 			s.queries[cf.ID] = j
 			if n, err := strconv.Atoi(strings.TrimPrefix(cf.ID, "q-")); err == nil && n >= s.nextID {
@@ -144,6 +200,11 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
+	if cfg.GlobalBudget > 0 {
+		s.sched = newScheduler(s)
+		s.wg.Add(1)
+		go s.sched.loop()
+	}
 	return s, nil
 }
 
@@ -153,6 +214,22 @@ func (s *Server) Partitions() int { return s.parts }
 
 // Registry exposes the server's metric registry (for embedding tests).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Stats reports one query's consumed-record and served-window counters
+// — the progress surface embedding benchmarks poll.
+func (s *Server) Stats(id string) (records, windows int64, ok bool) {
+	j, ok := s.job(id)
+	if !ok {
+		return 0, 0, false
+	}
+	for _, sh := range j.shards {
+		records += sh.records.Load()
+	}
+	j.mu.Lock()
+	windows = j.seq
+	j.mu.Unlock()
+	return records, windows, true
+}
 
 // Handler returns the HTTP API handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -234,8 +311,14 @@ func (s *Server) jobs() []*job {
 	return out
 }
 
-// Close checkpoints every query and stops the shard workers without
-// flushing partial windows, so a restarted server resumes seamlessly.
+// Close shuts the server down in quiesce-then-flush order: first the
+// control loops (scheduler, periodic checkpointer), then the ingest
+// plane — so no delivery is in flight — then the jobs (waiting out any
+// catch-up goroutines), and only then the final checkpoint of every
+// query plus the shared plane offsets. Partial windows are not
+// flushed, so a restarted server resumes seamlessly without
+// double-emitting; nothing mid-merge is dropped because all merging
+// finished before the checkpoint was cut.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -246,6 +329,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.done)
 	s.wg.Wait()
+	if s.ing != nil {
+		s.ing.stop()
+	}
 	for _, j := range s.jobs() {
 		j.stop(false)
 	}
@@ -267,7 +353,8 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// checkpointAll persists every query's state.
+// checkpointAll persists every query's state plus the shared plane
+// offsets, and mirrors both into the broker's consumer groups.
 func (s *Server) checkpointAll() {
 	if s.cfg.CheckpointDir == "" {
 		return
@@ -275,6 +362,13 @@ func (s *Server) checkpointAll() {
 	s.mu.Lock()
 	closing := s.closed
 	s.mu.Unlock()
+	if s.ing != nil {
+		if err := saveIngestState(s.cfg.CheckpointDir, s.cfg.Topic, s.ing.offsets()); err != nil {
+			s.checkpointErrs.Inc()
+			s.cfg.Logf("checkpoint ingest state: %v", err)
+		}
+		s.ing.commit()
+	}
 	for _, j := range s.jobs() {
 		if j.isStopped() && !closing {
 			continue // being deregistered; don't resurrect its file
