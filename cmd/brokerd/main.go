@@ -1,22 +1,36 @@
 // Command brokerd runs the Kafka-like stream aggregator as a standalone
-// TCP daemon (Figure 1's stream aggregator tier).
+// TCP daemon (Figure 1's stream aggregator tier), standalone or as one
+// member of a replicated multi-broker cluster.
 //
 // Usage:
 //
 //	brokerd [-addr host:port] [-topic name] [-partitions N] [-json-only]
+//	        [-node-id id -peers id=host:port,id=host:port,...]
+//	        [-replicas N] [-min-isr N] [-heartbeat d] [-fail-after N]
 //
 // The daemon pre-creates the given topic and serves until interrupted.
 // -json-only disables the binary wire codec (clients fall back to the
 // legacy JSON lockstep protocol), an escape hatch for debugging wire
 // issues or emulating a pre-codec broker.
+//
+// With -node-id and -peers the daemon joins a broker cluster: partition
+// placement is rendezvous-hashed over the member list, each partition's
+// leader streams appended chunks to its followers (`-replicas` copies,
+// produce acked after `-min-isr` of them), and when a member dies its
+// partitions fail over to the next live replica. Every member must be
+// started with the same -peers map and the same topic flags. Point
+// producers and saproxd at any subset of members (`saproxd -brokers`).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"streamapprox/internal/broker"
 )
@@ -28,28 +42,95 @@ func main() {
 	}
 }
 
+// parsePeers parses "id=host:port,id=host:port,..." into a member map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("empty -peers")
+	}
+	return peers, nil
+}
+
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9092", "listen address")
 	topic := flag.String("topic", "stream", "topic to pre-create")
 	partitions := flag.Int("partitions", 4, "partition count for the topic")
 	jsonOnly := flag.Bool("json-only", false, "disable the binary wire codec (legacy JSON protocol only)")
+	nodeID := flag.String("node-id", "", "cluster member id (empty: standalone)")
+	peersFlag := flag.String("peers", "", "full cluster member map id=host:port,... (must include -node-id)")
+	replicas := flag.Int("replicas", 2, "replication factor per partition (cluster mode)")
+	minISR := flag.Int("min-isr", 0, "replicas that must ack a produce, counting the leader (0: = -replicas)")
+	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "peer heartbeat interval (cluster mode)")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a peer is declared dead")
 	flag.Parse()
 
 	b := broker.New()
 	if err := b.CreateTopic(*topic, *partitions); err != nil {
 		return err
 	}
-	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{JSONOnly: *jsonOnly})
+
+	var node *broker.ClusterNode
+	if *nodeID != "" {
+		if *jsonOnly {
+			// Replication runs over the binary codec; a JSON-only member
+			// would look alive (pings work) yet fail every replicate.
+			return fmt.Errorf("-json-only cannot be combined with cluster mode (-node-id)")
+		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		logger := log.New(os.Stdout, "brokerd: ", log.LstdFlags)
+		node, err = broker.NewClusterNode(b, broker.NodeConfig{
+			ID:             *nodeID,
+			Peers:          peers,
+			Replicas:       *replicas,
+			MinISR:         *minISR,
+			HeartbeatEvery: *heartbeat,
+			FailAfter:      *failAfter,
+			Logf:           logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *peersFlag != "" {
+		return fmt.Errorf("-peers requires -node-id")
+	}
+
+	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{JSONOnly: *jsonOnly, Node: node})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if node != nil {
+		node.Start()
+		defer node.Close()
+	}
 	codec := "binary+json"
 	if *jsonOnly {
 		codec = "json-only"
 	}
-	fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire)\n",
-		srv.Addr(), *topic, *partitions, codec)
+	if node != nil {
+		fmt.Printf("brokerd %s listening on %s (topic %q, %d partitions, replicas %d, %s wire)\n",
+			*nodeID, srv.Addr(), *topic, *partitions, *replicas, codec)
+	} else {
+		fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire)\n",
+			srv.Addr(), *topic, *partitions, codec)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

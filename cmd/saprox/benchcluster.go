@@ -1,0 +1,290 @@
+package main
+
+// saprox bench-cluster: the multi-broker benchmark runner. It stands up
+// an in-process single-broker "cluster" and a 3-broker cluster with
+// replication factor 2, pushes the same workload through the routing
+// client against both, then kills a partition leader mid-run and times
+// how long produce to that partition stays unavailable. Results land in
+// a JSON file (BENCH_cluster.json at the repo root is the tracked
+// baseline), so replication-cost and failover-time regressions are
+// diffable across PRs.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"streamapprox/internal/broker"
+)
+
+type benchClusterMembers struct {
+	brokers []*broker.Broker
+	servers []*broker.Server
+	nodes   []*broker.ClusterNode
+	addrs   []string
+	ids     []string
+}
+
+func startBenchCluster(members, replicas, minISR int) (*benchClusterMembers, error) {
+	bc := &benchClusterMembers{}
+	peers := make(map[string]string, members)
+	for i := 0; i < members; i++ {
+		b := broker.New()
+		srv, err := broker.Serve(b, "127.0.0.1:0")
+		if err != nil {
+			bc.stop()
+			return nil, err
+		}
+		id := fmt.Sprintf("n%d", i)
+		peers[id] = srv.Addr()
+		bc.brokers = append(bc.brokers, b)
+		bc.servers = append(bc.servers, srv)
+		bc.ids = append(bc.ids, id)
+		bc.addrs = append(bc.addrs, srv.Addr())
+	}
+	for i := 0; i < members; i++ {
+		node, err := broker.NewClusterNode(bc.brokers[i], broker.NodeConfig{
+			ID:             bc.ids[i],
+			Peers:          peers,
+			Replicas:       replicas,
+			MinISR:         minISR,
+			HeartbeatEvery: 20 * time.Millisecond,
+			FailAfter:      3,
+		})
+		if err != nil {
+			bc.stop()
+			return nil, err
+		}
+		bc.servers[i].AttachNode(node)
+		bc.nodes = append(bc.nodes, node)
+	}
+	for _, n := range bc.nodes {
+		n.Start()
+	}
+	return bc, nil
+}
+
+func (bc *benchClusterMembers) kill(i int) {
+	if bc.nodes[i] == nil {
+		return
+	}
+	bc.nodes[i].Close()
+	bc.servers[i].Close()
+	bc.brokers[i].Close()
+	bc.nodes[i] = nil
+}
+
+func (bc *benchClusterMembers) stop() {
+	for i := range bc.servers {
+		if i < len(bc.nodes) && bc.nodes[i] != nil {
+			bc.nodes[i].Close()
+			bc.nodes[i] = nil
+		}
+		bc.servers[i].Close()
+		bc.brokers[i].Close()
+	}
+}
+
+func (bc *benchClusterMembers) indexOf(id string) int {
+	for i, nid := range bc.ids {
+		if nid == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// benchClusterSide holds one cluster size's measurements.
+type benchClusterSide struct {
+	Members            int     `json:"members"`
+	Replicas           int     `json:"replicas"`
+	MinISR             int     `json:"min_isr"`
+	ProduceItemsPerSec float64 `json:"produce_items_per_s"`
+	FetchItemsPerSec   float64 `json:"fetch_items_per_s"`
+	ProduceSeconds     float64 `json:"produce_seconds"`
+	FetchSeconds       float64 `json:"fetch_seconds"`
+}
+
+type benchClusterResult struct {
+	Bench     string           `json:"bench"`
+	Go        string           `json:"go"`
+	CPUs      int              `json:"cpus"`
+	UnixNanos int64            `json:"unix_nanos"`
+	Records   int              `json:"records"`
+	Batch     int              `json:"batch"`
+	Parts     int              `json:"partitions"`
+	Single    benchClusterSide `json:"single_broker"`
+	Cluster3  benchClusterSide `json:"three_brokers_rf2"`
+	// ReplicationCost is single-broker produce rate over 3-broker rate:
+	// the price of synchronous RF2 replication on the produce path.
+	ReplicationCost float64 `json:"replication_cost_produce"`
+	// FailoverRecoverySeconds is how long produce to a partition stayed
+	// unavailable after its leader was killed (detection + promotion +
+	// client redirect).
+	FailoverRecoverySeconds float64 `json:"failover_recovery_seconds"`
+}
+
+// benchRecs builds one batch of keyless records.
+func benchRecs(v0, n int) []broker.Record {
+	out := make([]broker.Record, n)
+	base := time.Unix(0, 0).UTC()
+	for i := range out {
+		out[i] = broker.Record{Value: float64(v0 + i), Time: base.Add(time.Duration(v0+i) * time.Millisecond)}
+	}
+	return out
+}
+
+// measureClusterSide produces `records` in `batch`-sized requests and
+// then fetches everything back, both through the routing client.
+func measureClusterSide(members, replicas, minISR, records, batch, parts int) (benchClusterSide, error) {
+	side := benchClusterSide{Members: members, Replicas: replicas, MinISR: minISR}
+	bc, err := startBenchCluster(members, replicas, minISR)
+	if err != nil {
+		return side, err
+	}
+	defer bc.stop()
+	cc, err := broker.DialCluster(bc.addrs)
+	if err != nil {
+		return side, err
+	}
+	defer func() { _ = cc.Close() }()
+	if err := cc.CreateTopic("bench", parts); err != nil {
+		return side, err
+	}
+
+	start := time.Now()
+	for off := 0; off < records; off += batch {
+		n := batch
+		if off+n > records {
+			n = records - off
+		}
+		if _, err := cc.Produce("bench", benchRecs(off, n)); err != nil {
+			return side, fmt.Errorf("produce: %w", err)
+		}
+	}
+	side.ProduceSeconds = time.Since(start).Seconds()
+	side.ProduceItemsPerSec = float64(records) / side.ProduceSeconds
+
+	start = time.Now()
+	fetched := 0
+	for p := 0; p < parts; p++ {
+		hwm, err := cc.HighWatermark("bench", p)
+		if err != nil {
+			return side, err
+		}
+		for off := int64(0); off < hwm; {
+			recs, err := cc.Fetch("bench", p, off, 4096)
+			if err != nil {
+				return side, err
+			}
+			if len(recs) == 0 {
+				return side, fmt.Errorf("empty fetch below hwm at %d/%d", p, off)
+			}
+			fetched += len(recs)
+			off += int64(len(recs))
+		}
+	}
+	if fetched != records {
+		return side, fmt.Errorf("fetched %d of %d records", fetched, records)
+	}
+	side.FetchSeconds = time.Since(start).Seconds()
+	side.FetchItemsPerSec = float64(records) / side.FetchSeconds
+	return side, nil
+}
+
+// measureFailoverRecovery kills the leader of partition 0 on a fresh
+// 3-broker cluster and times until a produce to that partition succeeds
+// again.
+func measureFailoverRecovery(batch, parts int) (float64, error) {
+	bc, err := startBenchCluster(3, 2, 2)
+	if err != nil {
+		return 0, err
+	}
+	defer bc.stop()
+	cc, err := broker.DialClusterWithOptions(bc.addrs, broker.ClusterClientOptions{
+		Retries: 40, Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = cc.Close() }()
+	if err := cc.CreateTopic("bench", parts); err != nil {
+		return 0, err
+	}
+	if _, err := cc.Produce("bench", benchRecs(0, batch)); err != nil {
+		return 0, err
+	}
+	m, err := cc.Meta()
+	if err != nil {
+		return 0, err
+	}
+	leader := m.LeaderOf("bench", 0)
+	if leader == "" {
+		return 0, fmt.Errorf("no leader for partition 0")
+	}
+	bc.kill(bc.indexOf(leader))
+	start := time.Now()
+	// The routing client retries internally until a follower is
+	// promoted; the elapsed time IS the unavailability window.
+	if _, err := cc.Produce("bench", benchRecs(batch, batch)); err != nil {
+		return 0, fmt.Errorf("produce never recovered: %w", err)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func runBenchCluster(args []string) error {
+	fs := flag.NewFlagSet("bench-cluster", flag.ContinueOnError)
+	records := fs.Int("records", 100000, "records per measurement")
+	batch := fs.Int("batch", 1000, "records per produce request")
+	parts := fs.Int("partitions", 4, "topic partitions")
+	out := fs.String("out", "BENCH_cluster.json", `result file ("-" for stdout only)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *records < *batch || *batch < 1 || *parts < 1 {
+		return fmt.Errorf("bench-cluster: need records >= batch >= 1 and partitions >= 1")
+	}
+
+	res := benchClusterResult{
+		Bench:     "cluster",
+		Go:        runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		UnixNanos: time.Now().UnixNano(),
+		Records:   *records,
+		Batch:     *batch,
+		Parts:     *parts,
+	}
+
+	fmt.Fprintf(os.Stderr, "bench-cluster: single broker, %d records...\n", *records)
+	var err error
+	if res.Single, err = measureClusterSide(1, 1, 1, *records, *batch, *parts); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-cluster: 3 brokers rf=2 min-isr=2, %d records...\n", *records)
+	if res.Cluster3, err = measureClusterSide(3, 2, 2, *records, *batch, *parts); err != nil {
+		return err
+	}
+	if res.Cluster3.ProduceItemsPerSec > 0 {
+		res.ReplicationCost = res.Single.ProduceItemsPerSec / res.Cluster3.ProduceItemsPerSec
+	}
+	fmt.Fprintln(os.Stderr, "bench-cluster: failover recovery...")
+	if res.FailoverRecoverySeconds, err = measureFailoverRecovery(*batch, *parts); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench-cluster: wrote %s\n", *out)
+	}
+	return nil
+}

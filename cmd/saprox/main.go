@@ -42,6 +42,8 @@ func run(args []string) error {
 		return runBenchBroker(args[1:])
 	case "bench-server":
 		return runBenchServer(args[1:])
+	case "bench-cluster":
+		return runBenchCluster(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -63,6 +65,10 @@ func usage() {
                                                concurrency (shared ingest plane
                                                vs per-query baseline) and record
                                                the result as JSON
+  saprox bench-cluster [flags]                 benchmark 1 vs 3 replicated
+                                               brokers through the routing
+                                               client, plus failover recovery
+                                               time, and record the result
 
 run flags:
   -scale N     dataset scale multiplier (default 1.0)
@@ -78,7 +84,13 @@ bench-broker flags:
 bench-server flags:
   -events N        events per measurement (default 40000)
   -partitions N    topic partitions = shards per query (default 4)
-  -out FILE        result file (default BENCH_server.json; "-" for stdout only)`)
+  -out FILE        result file (default BENCH_server.json; "-" for stdout only)
+
+bench-cluster flags:
+  -records N       records per measurement (default 100000)
+  -batch N         records per produce request (default 1000)
+  -partitions N    topic partitions (default 4)
+  -out FILE        result file (default BENCH_cluster.json; "-" for stdout only)`)
 }
 
 func list() error {

@@ -6,9 +6,16 @@
 //
 // Usage:
 //
-//	saproxd [-addr host:port] [-broker host:port] [-topic name]
+//	saproxd [-addr host:port] [-broker host:port | -brokers h1,h2,...]
+//	        [-topic name]
 //	        [-group name] [-checkpoint-dir dir] [-checkpoint-every d]
 //	        [-budget items/s] [-schedule-every d] [-per-query-ingest]
+//
+// With -brokers the daemon consumes a replicated broker CLUSTER through
+// the routing client: fetches go to each partition's current leader,
+// NotLeader redirects are followed, and a broker failover is absorbed
+// without losing or duplicating any query's windows. A single address
+// works too (including a plain non-clustered brokerd).
 //
 // API:
 //
@@ -45,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +70,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9090", "HTTP listen address")
 	brokerAddr := flag.String("broker", "127.0.0.1:9092", "brokerd address")
+	brokersFlag := flag.String("brokers", "", "comma-separated broker cluster addresses (overrides -broker)")
 	topic := flag.String("topic", "stream", "topic to consume")
 	group := flag.String("group", "saproxd", "consumer-group prefix")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for shard checkpoints (empty disables)")
@@ -71,18 +80,41 @@ func run() error {
 	perQueryIngest := flag.Bool("per-query-ingest", false, "one private consumer set per query instead of the shared ingest plane (baseline mode)")
 	flag.Parse()
 
-	cli, err := broker.Dial(*brokerAddr)
-	if err != nil {
-		return err
+	// One routing (or plain) client for control + catch-up work, plus a
+	// DialShard factory handing each ingest partition loop its own
+	// connection so partition fetches run in parallel.
+	var (
+		cli       broker.Cluster
+		closeCli  func()
+		dialShard func() (broker.Cluster, error)
+	)
+	if *brokersFlag != "" {
+		addrs := strings.Split(*brokersFlag, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		cc, err := broker.DialCluster(addrs)
+		if err != nil {
+			return err
+		}
+		cli = cc
+		closeCli = func() { _ = cc.Close() }
+		dialShard = func() (broker.Cluster, error) { return broker.DialCluster(addrs) }
+	} else {
+		c, err := broker.Dial(*brokerAddr)
+		if err != nil {
+			return err
+		}
+		cli = c
+		closeCli = func() { _ = c.Close() }
+		dialShard = func() (broker.Cluster, error) { return broker.Dial(*brokerAddr) }
 	}
-	defer func() { _ = cli.Close() }()
+	defer closeCli()
 
 	logger := log.New(os.Stdout, "saproxd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		Cluster: cli,
-		// One TCP connection per ingest partition loop so partition
-		// fetches run in parallel instead of queueing on one client.
-		DialShard:       func() (broker.Cluster, error) { return broker.Dial(*brokerAddr) },
+		Cluster:         cli,
+		DialShard:       dialShard,
 		Topic:           *topic,
 		Group:           *group,
 		CheckpointDir:   *checkpointDir,
@@ -108,8 +140,12 @@ func run() error {
 	if *perQueryIngest {
 		mode = "per-query ingest (baseline)"
 	}
+	brokerDesc := *brokerAddr
+	if *brokersFlag != "" {
+		brokerDesc = "cluster " + *brokersFlag
+	}
 	logger.Printf("serving on %s (broker %s, topic %q, %d partitions, %s)",
-		*addr, *brokerAddr, *topic, srv.Partitions(), mode)
+		*addr, brokerDesc, *topic, srv.Partitions(), mode)
 	if *globalBudget > 0 {
 		logger.Printf("budget scheduler: %g sampled items/s across all queries, reapportioned every %v",
 			*globalBudget, *scheduleEvery)

@@ -57,6 +57,11 @@ type partitionLog struct {
 func (p *partitionLog) append(recs []Record) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.appendLocked(recs)
+}
+
+// appendLocked is append with p.mu already held.
+func (p *partitionLog) appendLocked(recs []Record) int64 {
 	base := p.n
 	for i := range recs {
 		recs[i].Offset = base + int64(i)
@@ -245,6 +250,62 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 		}
 	}
 	return len(recs), nil
+}
+
+// producePartition appends records to one explicit partition, bypassing
+// key routing — the data path of a routing client that partitions on its
+// side and sends each batch straight to the partition leader. It returns
+// the base offset of the appended batch.
+func (b *Broker) producePartition(topicName string, partition int, recs []Record) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, ErrBadPartition
+	}
+	batch := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Topic = topicName
+		r.Partition = partition
+		batch[i] = r
+	}
+	return t.partitions[partition].append(batch), nil
+}
+
+// replicateAppend applies a leader's replicated batch at an exact base
+// offset. It is idempotent and gap-safe: a batch already covered by the
+// local log is skipped, an overlapping batch has its duplicate prefix
+// trimmed, and a batch starting beyond the local high watermark appends
+// nothing (the caller backfills from the returned watermark). It always
+// returns the partition's resulting high watermark.
+func (b *Broker) replicateAppend(topicName string, partition int, base int64, recs []Record) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, ErrBadPartition
+	}
+	p := t.partitions[partition]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if base > p.n {
+		return p.n, nil // gap: leader must resend from our watermark
+	}
+	if skip := p.n - base; skip >= int64(len(recs)) {
+		return p.n, nil // fully duplicate batch
+	} else if skip > 0 {
+		recs = recs[skip:]
+	}
+	batch := make([]Record, len(recs))
+	for i, r := range recs {
+		r.Topic = topicName
+		r.Partition = partition
+		batch[i] = r
+	}
+	p.appendLocked(batch)
+	return p.n, nil
 }
 
 // Fetch reads up to max records from one partition starting at offset.

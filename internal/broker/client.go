@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Client is a TCP client for a broker Server. Methods mirror Broker's.
@@ -68,8 +69,13 @@ func Dial(addr string) (*Client, error) {
 // baseline in the same run.
 func DialJSON(addr string) (*Client, error) { return dial(addr) }
 
+// dialTimeout bounds TCP connect to a broker: a blackholed host (SYNs
+// dropped, no RST) must not stall routing-client metadata refreshes or
+// cluster heartbeats for the kernel's multi-minute connect timeout.
+const dialTimeout = 3 * time.Second
+
 func dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("broker dial: %w", err)
 	}
@@ -121,7 +127,7 @@ func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, &remoteError{msg: resp.Err}
 	}
 	return &resp, nil
 }
@@ -243,7 +249,7 @@ func (c *Client) controlRoundTrip(req *wireRequest) (*wireResponse, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, &remoteError{msg: resp.Err}
 	}
 	return &resp, nil
 }
@@ -368,4 +374,88 @@ func (c *Client) Committed(group, topicName string, partition int) (int64, error
 		return 0, err
 	}
 	return resp.Offset, nil
+}
+
+// Meta fetches the cluster metadata view of the connected broker. A
+// plain (non-clustered) server answers with a synthetic single-member
+// view, so routing clients work against it unchanged.
+func (c *Client) Meta() (*ClusterMeta, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{Op: opMeta})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Meta == nil {
+		return nil, errors.New("broker: empty meta response")
+	}
+	return resp.Meta, nil
+}
+
+// ping exchanges failure-detector views with a cluster peer.
+func (c *Client) ping(node string, epoch int64, dead []string) (int64, []string, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{Op: opPing, Node: node, Epoch: epoch, Dead: dead})
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.Epoch, resp.Dead, nil
+}
+
+// ProducePartition appends records to one explicit partition, carrying
+// a producer id + sequence number for idempotent retries (pid 0
+// disables deduplication). Against a cluster member this must reach the
+// partition leader; non-leaders answer with a NotLeader redirect.
+func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint64, recs []Record) (int, error) {
+	if !c.binary {
+		resp, err := c.roundTrip(&wireRequest{
+			Op: opProducePart, Topic: topicName, Partition: partition,
+			PID: pid, Seq: seq, Records: recs,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return resp.N, nil
+	}
+	if err := checkTopic(topicName); err != nil {
+		return 0, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeProducePartReq(fb, corr, topicName, partition, pid, seq, recs)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	n := int(cur.u32())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	return n, nil
+}
+
+// replicate streams one leader-appended chunk to a follower, returning
+// the follower's resulting high watermark. Cluster peers always speak
+// the binary codec.
+func (c *Client) replicate(epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) (int64, error) {
+	if !c.binary {
+		return 0, errors.New("broker: replicate requires the binary codec")
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeReplicateReq(fb, corr, epoch, sender, topic, partition, base, metas, recs)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	hwm := int64(cur.u64())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	return hwm, nil
 }

@@ -1,0 +1,584 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ---- in-process cluster harness ----
+
+// testCluster is N broker servers with attached cluster nodes, all on
+// loopback listeners.
+type testCluster struct {
+	t       *testing.T
+	brokers []*Broker
+	servers []*Server
+	nodes   []*ClusterNode
+	ids     []string
+	addrs   []string
+	killed  []bool
+}
+
+// startCluster boots an n-member cluster. All nodes are attached before
+// any starts heartbeating, mirroring how the daemons come up.
+func startCluster(t *testing.T, n int, tune func(*NodeConfig)) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, killed: make([]bool, n)}
+	peers := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		b := New()
+		srv, err := Serve(b, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("n%d", i)
+		peers[id] = srv.Addr()
+		tc.brokers = append(tc.brokers, b)
+		tc.servers = append(tc.servers, srv)
+		tc.ids = append(tc.ids, id)
+		tc.addrs = append(tc.addrs, srv.Addr())
+	}
+	for i := 0; i < n; i++ {
+		cfg := NodeConfig{
+			ID:             tc.ids[i],
+			Peers:          peers,
+			Replicas:       2,
+			MinISR:         2,
+			HeartbeatEvery: 10 * time.Millisecond,
+			FailAfter:      2,
+		}
+		if tune != nil {
+			tune(&cfg)
+		}
+		node, err := NewClusterNode(tc.brokers[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.servers[i].AttachNode(node)
+		tc.nodes = append(tc.nodes, node)
+	}
+	for _, node := range tc.nodes {
+		node.Start()
+	}
+	t.Cleanup(tc.stopAll)
+	return tc
+}
+
+// kill fail-stops one member: its node, server and broker all go away.
+func (tc *testCluster) kill(i int) {
+	if tc.killed[i] {
+		return
+	}
+	tc.killed[i] = true
+	tc.nodes[i].Close()
+	tc.servers[i].Close()
+	tc.brokers[i].Close()
+}
+
+func (tc *testCluster) stopAll() {
+	for i := range tc.servers {
+		tc.kill(i)
+	}
+}
+
+// indexOf maps a member id back to its slot.
+func (tc *testCluster) indexOf(id string) int {
+	for i, nid := range tc.ids {
+		if nid == id {
+			return i
+		}
+	}
+	tc.t.Fatalf("unknown node id %q", id)
+	return -1
+}
+
+// dialCluster opens a fast-retrying routing client on the cluster.
+func (tc *testCluster) dialCluster() *ClusterClient {
+	tc.t.Helper()
+	cc, err := DialClusterWithOptions(tc.addrs, ClusterClientOptions{
+		Retries: 20,
+		Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.t.Cleanup(func() { _ = cc.Close() })
+	return cc
+}
+
+// keylessRecs builds n keyless records with distinct values v0..v0+n-1.
+func keylessRecs(v0, n int) []Record {
+	out := make([]Record, n)
+	base := time.Unix(0, 0).UTC()
+	for i := range out {
+		out[i] = Record{Value: float64(v0 + i), Time: base.Add(time.Duration(v0+i) * time.Millisecond)}
+	}
+	return out
+}
+
+// fetchAllValues drains every partition through the routing client and
+// returns value -> occurrence count.
+func fetchAllValues(t *testing.T, cc *ClusterClient, topic string) map[float64]int {
+	t.Helper()
+	parts, err := cc.Partitions(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[float64]int)
+	for p := 0; p < parts; p++ {
+		hwm, err := cc.HighWatermark(topic, p)
+		if err != nil {
+			t.Fatalf("hwm p%d: %v", p, err)
+		}
+		off := int64(0)
+		for off < hwm {
+			recs, err := cc.Fetch(topic, p, off, 4096)
+			if err != nil {
+				t.Fatalf("fetch p%d@%d: %v", p, off, err)
+			}
+			if len(recs) == 0 {
+				t.Fatalf("fetch p%d@%d returned nothing below hwm %d", p, off, hwm)
+			}
+			for i, r := range recs {
+				if r.Offset != off+int64(i) {
+					t.Fatalf("p%d: offset %d at position %d (want %d)", p, r.Offset, i, off+int64(i))
+				}
+				got[r.Value]++
+			}
+			off += int64(len(recs))
+		}
+	}
+	return got
+}
+
+// ---- placement ----
+
+func TestReplicasForDeterministicAndSpread(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3", "n4"}
+	lead := make(map[string]int)
+	for p := 0; p < 64; p++ {
+		a := replicasFor("t", p, members, 3)
+		b := replicasFor("t", p, members, 3)
+		if len(a) != 3 {
+			t.Fatalf("partition %d: %d replicas", p, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("placement not deterministic at partition %d", p)
+			}
+		}
+		seen := map[string]bool{}
+		for _, id := range a {
+			if seen[id] {
+				t.Fatalf("partition %d: duplicate replica %s", p, id)
+			}
+			seen[id] = true
+		}
+		lead[a[0]]++
+	}
+	// Rendezvous hashing should spread leadership; no member may own
+	// everything or nothing across 64 partitions.
+	for _, id := range members {
+		if lead[id] == 0 || lead[id] == 64 {
+			t.Fatalf("leadership skew: %v", lead)
+		}
+	}
+}
+
+func TestReplicasForStableUnderMembership(t *testing.T) {
+	// The replica SET of a partition is a function of the full member
+	// list only: a death never moves data, just leadership.
+	members := []string{"a", "b", "c"}
+	for p := 0; p < 16; p++ {
+		first := replicasFor("x", p, members, 2)
+		again := replicasFor("x", p, members, 2)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatal("unstable placement")
+			}
+		}
+	}
+}
+
+// ---- data path ----
+
+func TestClusterProduceFetchReplicates(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	const total = 4000
+	for off := 0; off < total; off += 500 {
+		if _, err := cc.Produce("t", keylessRecs(off, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fetchAllValues(t, cc, "t")
+	if len(got) != total {
+		t.Fatalf("fetched %d distinct values, want %d", len(got), total)
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("value %v appeared %d times", v, c)
+		}
+	}
+	// Every partition's log must exist identically on BOTH replicas.
+	for p := 0; p < 4; p++ {
+		reps := replicasFor("t", p, tc.ids, 2)
+		var hwms []int64
+		for _, id := range reps {
+			b := tc.brokers[tc.indexOf(id)]
+			hwm, err := b.HighWatermark("t", p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hwms = append(hwms, hwm)
+		}
+		if hwms[0] != hwms[1] {
+			t.Fatalf("partition %d replicas diverge: %v on %v", p, hwms, reps)
+		}
+		// Non-replicas must hold nothing.
+		for _, id := range tc.ids {
+			if id == reps[0] || id == reps[1] {
+				continue
+			}
+			hwm, _ := tc.brokers[tc.indexOf(id)].HighWatermark("t", p)
+			if hwm != 0 {
+				t.Fatalf("non-replica %s has %d records of partition %d", id, hwm, p)
+			}
+		}
+	}
+}
+
+func TestNotLeaderRedirectCarriesHint(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := m.LeaderOf("t", 0)
+	if leader == "" {
+		t.Fatal("no leader in meta")
+	}
+	// A raw client pointed at a non-leader replica must get a NotLeader
+	// rejection naming the real leader.
+	reps := replicasFor("t", 0, tc.ids, 2)
+	follower := reps[1]
+	if follower == leader {
+		t.Fatalf("placement broken: leader %s == follower %s", leader, follower)
+	}
+	cli, err := Dial(tc.addrs[tc.indexOf(follower)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	_, err = cli.ProducePartition("t", 0, 0, 0, keylessRecs(0, 1))
+	if !IsNotLeader(err) {
+		t.Fatalf("produce at follower: err = %v, want NotLeader", err)
+	}
+	if hint := leaderHint(err); hint != leader {
+		t.Fatalf("leader hint = %q, want %q", hint, leader)
+	}
+	// And fetch at a non-replica must also redirect.
+	for _, id := range tc.ids {
+		if id != reps[0] && id != reps[1] {
+			cli2, err := Dial(tc.addrs[tc.indexOf(id)])
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = cli2.Close() }()
+			if _, err := cli2.Fetch("t", 0, 0, 10); !IsNotLeader(err) {
+				t.Fatalf("fetch at non-replica: err = %v, want NotLeader", err)
+			}
+		}
+	}
+}
+
+func TestClusterClientWorksAgainstSoloServer(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cc, err := DialCluster([]string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cc.Close() }()
+	if _, err := cc.Produce("t", keylessRecs(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	got := fetchAllValues(t, cc, "t")
+	if len(got) != 100 {
+		t.Fatalf("fetched %d values, want 100", len(got))
+	}
+	if err := cc.Commit("g", "t", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := cc.Committed("g", "t", 0); err != nil || off != 42 {
+		t.Fatalf("committed = %d, %v", off, err)
+	}
+}
+
+func TestProducerDedupAcrossRetries(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cc.Meta()
+	leader := m.LeaderOf("t", 0)
+	cli, err := Dial(tc.addrs[tc.indexOf(leader)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	batch := keylessRecs(0, 10)
+	// The same (pid, seq) delivered three times must append once.
+	for i := 0; i < 3; i++ {
+		if _, err := cli.ProducePartition("t", 0, 77, 1, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hwm, err := cc.HighWatermark("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwm != 10 {
+		t.Fatalf("hwm = %d after duplicate produces, want 10", hwm)
+	}
+	// A new sequence appends again.
+	if _, err := cli.ProducePartition("t", 0, 77, 2, batch); err != nil {
+		t.Fatal(err)
+	}
+	if hwm, _ = cc.HighWatermark("t", 0); hwm != 20 {
+		t.Fatalf("hwm = %d after seq 2, want 20", hwm)
+	}
+}
+
+// ---- failover ----
+
+func TestClusterFailoverPromotesFollowerNoLossNoDup(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLeader := m.LeaderOf("t", 0)
+	if oldLeader == "" {
+		t.Fatal("no leader for partition 0")
+	}
+
+	const batches, per = 40, 100
+	for i := 0; i < batches; i++ {
+		if i == batches/2 {
+			// Kill partition 0's leader mid-stream. The produce stream
+			// must continue through promotion with no loss and no dup.
+			tc.kill(tc.indexOf(oldLeader))
+		}
+		if _, err := cc.Produce("t", keylessRecs(i*per, per)); err != nil {
+			t.Fatalf("produce batch %d: %v", i, err)
+		}
+	}
+
+	// The survivors must have promoted a different leader for any
+	// partition the dead node led.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err = cc.Meta()
+		if err == nil && m.LeaderOf("t", 0) != oldLeader && m.LeaderOf("t", 0) != "" &&
+			m.LeaderOf("t", 1) != oldLeader && m.LeaderOf("t", 1) != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion: meta %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	got := fetchAllValues(t, cc, "t")
+	total := batches * per
+	var missing, dup int
+	for v := 0; v < total; v++ {
+		switch got[float64(v)] {
+		case 0:
+			missing++
+		case 1:
+		default:
+			dup++
+		}
+	}
+	if missing != 0 || dup != 0 {
+		t.Fatalf("after failover: %d missing, %d duplicated of %d records", missing, dup, total)
+	}
+}
+
+func TestClusterSurvivesFollowerDeath(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cc.Meta()
+	reps := replicasFor("t", 0, tc.ids, 2)
+	follower := reps[1]
+	if follower == m.LeaderOf("t", 0) {
+		follower = reps[0]
+	}
+	if _, err := cc.Produce("t", keylessRecs(0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	tc.kill(tc.indexOf(follower))
+	// Produce must keep working: MinISR shrinks to the live replica
+	// count once the death is detected.
+	for i := 0; i < 5; i++ {
+		if _, err := cc.Produce("t", keylessRecs(200+i*100, 100)); err != nil {
+			t.Fatalf("produce after follower death: %v", err)
+		}
+	}
+	got := fetchAllValues(t, cc, "t")
+	if len(got) != 700 {
+		t.Fatalf("fetched %d values, want 700", len(got))
+	}
+}
+
+// TestBackfillCarriesOtherProducersDedup pins the failover-dedup edge:
+// a batch that reaches a follower inside ANOTHER producer's backfill
+// must still install the original producer's dedup entry there, so a
+// retry of that batch against the promoted follower is suppressed. A
+// chunk the follower gap-skips must install nothing.
+func TestBackfillCarriesOtherProducersDedup(t *testing.T) {
+	tc := startCluster(t, 2, func(cfg *NodeConfig) {
+		cfg.Replicas = 2
+		cfg.MinISR = 2
+	})
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cc.Meta()
+	leader := m.LeaderOf("t", 0)
+	li := tc.indexOf(leader)
+	follower := tc.ids[0]
+	if follower == leader {
+		follower = tc.ids[1]
+	}
+	fi := tc.indexOf(follower)
+
+	// Producer A's batch lands in the LEADER's log + journal only — as
+	// if the push to the follower failed transiently mid-produce.
+	batchA := keylessRecs(0, 10)
+	if _, err := tc.brokers[li].producePartition("t", 0, batchA); err != nil {
+		t.Fatal(err)
+	}
+	tc.nodes[li].noteBatch(tpKey("t", 0), batchMeta{pid: 11, seq: 1, base: 0, end: 10})
+
+	// Producer B produces normally: the follower is at 0, the chunk
+	// base is 10 → gap → the leader backfills [0, 20) carrying BOTH
+	// producers' journal entries.
+	cliL, err := Dial(tc.addrs[li])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cliL.Close() }()
+	if _, err := cliL.ProducePartition("t", 0, 22, 1, keylessRecs(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if hwm, _ := tc.brokers[fi].HighWatermark("t", 0); hwm != 20 {
+		t.Fatalf("follower hwm = %d, want 20 (backfill)", hwm)
+	}
+
+	// Leader dies; producer A retries its batch against the promoted
+	// follower, which must recognize (pid 11, seq 1) from the backfill.
+	tc.kill(li)
+	cliF, err := Dial(tc.addrs[fi])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cliF.Close() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = cliF.ProducePartition("t", 0, 11, 1, batchA); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("promoted follower never accepted the retry: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hwm, err := cliF.HighWatermark("t", 0); err != nil || hwm != 20 {
+		t.Fatalf("hwm after retry = %d, %v — want 20 (dedup suppressed the re-append)", hwm, err)
+	}
+}
+
+// TestDeposedLeaderDoesNotDetectMajorityDead pins the fencing/liveness
+// separation: when the majority has deposed a stalled leader, the
+// deposed node's replicates are rejected — but those ANSWERED
+// rejections must not feed its failure detector, inflate its epoch, or
+// let it shrink min-ISR and commit solo. Otherwise its higher epoch
+// would win clients' max-epoch metadata selection and split the brain.
+func TestDeposedLeaderDoesNotDetectMajorityDead(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Produce("t", keylessRecs(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cc.Meta()
+	leader := m.LeaderOf("t", 0)
+	li := tc.indexOf(leader)
+
+	// The other two members declare the leader dead, as they would
+	// after it stalled through its heartbeat deadline.
+	for i, node := range tc.nodes {
+		if i != li {
+			node.mergeView(node.epoch+1, []string{leader})
+		}
+	}
+
+	// The deposed leader keeps trying to produce: every replicate is
+	// rejected by fencing, so the produce must fail under-replicated...
+	cliL, err := Dial(tc.addrs[li])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cliL.Close() }()
+	for i := 0; i < 10; i++ {
+		if _, err := cliL.ProducePartition("t", 0, 33, uint64(i+1), keylessRecs(100, 10)); err == nil {
+			t.Fatal("deposed leader acked a produce solo")
+		}
+	}
+	// ...and the rejections must not have poisoned its view.
+	epoch, dead := tc.nodes[li].viewSnapshot()
+	if len(dead) != 0 {
+		t.Fatalf("deposed leader marked peers dead off fencing rejections: %v", dead)
+	}
+	if epoch != 0 {
+		t.Fatalf("deposed leader inflated its epoch to %d", epoch)
+	}
+	// Clients preferring the max-epoch view must route to the promoted
+	// follower, not back to the deposed leader.
+	if err := cc.refreshMeta(); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := cc.Meta()
+	if got := m2.LeaderOf("t", 0); got == leader || got == "" {
+		t.Fatalf("clients still routed to deposed leader %q (meta leader %q)", leader, got)
+	}
+}

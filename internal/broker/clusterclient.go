@@ -1,0 +1,563 @@
+package broker
+
+// ClusterClient is the routing client of the broker cluster: it fetches
+// and caches the partition→leader map, routes produce and fetch per
+// partition to the leader, follows NotLeader redirects, and fails over
+// transparently when a broker dies — so consumers and the serving tier
+// work against a cluster with nothing but a list of seed addresses.
+//
+// It implements the same Cluster interface as the in-process Broker and
+// the single-connection Client, and additionally partitions produce
+// batches on the client side, attaching a producer id + per-partition
+// sequence number so a batch retried across a leader failover is
+// appended exactly once.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ClusterClientOptions tunes routing retries.
+type ClusterClientOptions struct {
+	// Retries is the number of retry rounds per partition op after the
+	// first attempt (default 8). Each round refreshes the metadata
+	// cache, so the budget must cover the cluster's failure-detection
+	// time.
+	Retries int
+	// Backoff is the initial pause between rounds, doubled each round
+	// up to 2s (default 25ms).
+	Backoff time.Duration
+}
+
+// ClusterClient routes broker ops across cluster members. It is safe
+// for concurrent use.
+type ClusterClient struct {
+	opts  ClusterClientOptions
+	seeds []string
+	pid   uint64
+
+	mu     sync.Mutex
+	meta   *ClusterMeta
+	conns  map[string]*Client // by address
+	seqs   map[string]uint64  // topic/partition -> last assigned seq
+	prodMu map[string]*sync.Mutex
+	rr     uint64
+	closed bool
+}
+
+var _ Cluster = (*ClusterClient)(nil)
+
+// DialCluster connects to a broker cluster via any reachable seed
+// address and loads the initial metadata.
+func DialCluster(addrs []string) (*ClusterClient, error) {
+	return DialClusterWithOptions(addrs, ClusterClientOptions{})
+}
+
+// DialClusterWithOptions is DialCluster with explicit retry tuning.
+func DialClusterWithOptions(addrs []string, opts ClusterClientOptions) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("broker: no cluster addresses")
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 8
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 25 * time.Millisecond
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("broker: producer id: %w", err)
+	}
+	cc := &ClusterClient{
+		opts:   opts,
+		seeds:  append([]string(nil), addrs...),
+		pid:    binary.BigEndian.Uint64(b[:]) | 1, // never 0 (0 = dedup off)
+		conns:  make(map[string]*Client),
+		seqs:   make(map[string]uint64),
+		prodMu: make(map[string]*sync.Mutex),
+	}
+	if err := cc.refreshMeta(); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// Close closes all member connections.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	cc.closed = true
+	conns := cc.conns
+	cc.conns = make(map[string]*Client)
+	cc.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return nil
+}
+
+// conn returns (dialing if needed) the connection to one address.
+func (cc *ClusterClient) conn(addr string) (*Client, error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if c, ok := cc.conns[addr]; ok {
+		cc.mu.Unlock()
+		return c, nil
+	}
+	cc.mu.Unlock()
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		_ = c.Close()
+		return nil, errClientClosed
+	}
+	if prev, ok := cc.conns[addr]; ok {
+		cc.mu.Unlock()
+		_ = c.Close()
+		return prev, nil
+	}
+	cc.conns[addr] = c
+	cc.mu.Unlock()
+	return c, nil
+}
+
+// dropConn discards a broken connection.
+func (cc *ClusterClient) dropConn(addr string) {
+	cc.mu.Lock()
+	c := cc.conns[addr]
+	delete(cc.conns, addr)
+	cc.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// candidateAddrs is every address worth asking for metadata: the seeds
+// plus all members of the cached view.
+func (cc *ClusterClient) candidateAddrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	cc.mu.Lock()
+	meta := cc.meta
+	cc.mu.Unlock()
+	for _, a := range cc.seeds {
+		add(a)
+	}
+	if meta != nil {
+		for _, n := range meta.Nodes {
+			add(n.Addr)
+		}
+	}
+	return out
+}
+
+// refreshMeta polls every reachable member and keeps the view with the
+// highest epoch, so a deposed leader's stale view cannot mask a
+// promotion it has not heard about yet.
+func (cc *ClusterClient) refreshMeta() error {
+	var best *ClusterMeta
+	var lastErr error
+	for _, addr := range cc.candidateAddrs() {
+		cli, err := cc.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := cli.Meta()
+		if err != nil {
+			if !isRemoteErr(err) {
+				cc.dropConn(addr)
+			}
+			lastErr = err
+			continue
+		}
+		// A solo server reports a synthetic member whose advertised
+		// address may be unroutable (e.g. a 0.0.0.0 listener); the
+		// address we just dialed is authoritative.
+		for i := range m.Nodes {
+			if m.Nodes[i].ID == soloNodeID {
+				m.Nodes[i].Addr = addr
+			}
+		}
+		if best == nil || m.Epoch > best.Epoch {
+			best = m
+		}
+	}
+	if best == nil {
+		if lastErr == nil {
+			lastErr = errors.New("broker: no cluster member reachable")
+		}
+		return lastErr
+	}
+	cc.mu.Lock()
+	if cc.meta == nil || best.Epoch >= cc.meta.Epoch {
+		cc.meta = best
+	}
+	cc.mu.Unlock()
+	return nil
+}
+
+// metaView returns the cached metadata, fetching it if absent.
+func (cc *ClusterClient) metaView() (*ClusterMeta, error) {
+	cc.mu.Lock()
+	m := cc.meta
+	cc.mu.Unlock()
+	if m != nil {
+		return m, nil
+	}
+	if err := cc.refreshMeta(); err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	m = cc.meta
+	cc.mu.Unlock()
+	return m, nil
+}
+
+// Meta returns the client's current cluster view (refreshing if it has
+// none yet).
+func (cc *ClusterClient) Meta() (*ClusterMeta, error) { return cc.metaView() }
+
+// leaderConn resolves the leader of a partition and returns a
+// connection to it. A non-empty hint (from a NotLeader redirect)
+// overrides the cached view's leader.
+func (cc *ClusterClient) leaderConn(topic string, partition int, hint string) (*Client, string, error) {
+	m, err := cc.metaView()
+	if err != nil {
+		return nil, "", err
+	}
+	ldr := hint
+	if ldr == "" || m.AddrOf(ldr) == "" {
+		ldr = m.LeaderOf(topic, partition)
+	}
+	if ldr == "" {
+		// Topic unknown to the cached view (or no live replica): refresh
+		// once before giving up.
+		if err := cc.refreshMeta(); err != nil {
+			return nil, "", err
+		}
+		cc.mu.Lock()
+		m = cc.meta
+		cc.mu.Unlock()
+		if ldr = m.LeaderOf(topic, partition); ldr == "" {
+			return nil, "", fmt.Errorf("%w: %s", ErrNoReplica, tpKey(topic, partition))
+		}
+	}
+	addr := m.AddrOf(ldr)
+	if addr == "" {
+		return nil, "", fmt.Errorf("broker: no address for node %q", ldr)
+	}
+	cli, err := cc.conn(addr)
+	return cli, addr, err
+}
+
+// permanentErrs are broker rejections no retry can fix.
+var permanentErrs = []string{
+	"unknown topic",
+	"partition out of range",
+	"offset out of range",
+	"topic name too long",
+	"topic already exists",
+}
+
+func isPermanent(err error) bool {
+	msg := err.Error()
+	for _, p := range permanentErrs {
+		if strings.Contains(msg, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// withLeaderRetry runs op against the partition leader, retrying on
+// NotLeader redirects (following the rejecting node's leader hint
+// immediately, without a backoff round), broken connections, and
+// transient under-replication until the retry budget runs out.
+func (cc *ClusterClient) withLeaderRetry(topic string, partition int, op func(cli *Client) error) error {
+	backoff := cc.opts.Backoff
+	var lastErr error
+	hint := ""
+	followedHint := false
+	for attempt := 0; attempt <= cc.opts.Retries; attempt++ {
+		if attempt > 0 && hint == "" {
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			_ = cc.refreshMeta() // a stale cache may still route correctly
+		}
+		cli, addr, err := cc.leaderConn(topic, partition, hint)
+		followedHint = hint != ""
+		hint = ""
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err = op(cli); err == nil {
+			return nil
+		}
+		lastErr = err
+		if isPermanent(err) {
+			return err
+		}
+		if IsNotLeader(err) {
+			// Route straight to the named leader — but at most one hop,
+			// so two stale views naming each other cannot ping-pong away
+			// the retry budget without ever refreshing.
+			if !followedHint {
+				hint = leaderHint(err)
+			}
+		} else if !isRemoteErr(err) {
+			// Transport failure: the connection is suspect; reconnect
+			// next round. Answered rejections (e.g. transient
+			// under-replication) keep the healthy connection.
+			cc.dropConn(addr)
+		}
+	}
+	return lastErr
+}
+
+// partitionForKey mirrors the broker's keyed routing (FNV-32a), with a
+// client-local round-robin cursor for keyless records.
+func (cc *ClusterClient) partitionForKey(key string, parts int) int {
+	if key == "" {
+		cc.mu.Lock()
+		p := int(cc.rr % uint64(parts))
+		cc.rr++
+		cc.mu.Unlock()
+		return p
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32()) % parts
+}
+
+// produceLock returns the per-partition mutex serializing produce
+// batches, which keeps producer sequence numbers arriving in order —
+// the invariant the leader's dedup table relies on.
+func (cc *ClusterClient) produceLock(tp string) *sync.Mutex {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	mu, ok := cc.prodMu[tp]
+	if !ok {
+		mu = &sync.Mutex{}
+		cc.prodMu[tp] = mu
+	}
+	return mu
+}
+
+// Produce partitions records by key and sends each batch to its
+// partition leader with an idempotent (pid, seq) identity: a batch
+// retried across redirects or a failover is appended exactly once.
+func (cc *ClusterClient) Produce(topicName string, recs []Record) (int, error) {
+	parts, err := cc.Partitions(topicName)
+	if err != nil {
+		return 0, err
+	}
+	byPart := make([][]Record, parts)
+	for _, r := range recs {
+		p := cc.partitionForKey(r.Key, parts)
+		byPart[p] = append(byPart[p], r)
+	}
+	total := 0
+	for p, batch := range byPart {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := cc.producePartition(topicName, p, batch); err != nil {
+			return total, err
+		}
+		total += len(batch)
+	}
+	return total, nil
+}
+
+// producePartition sends one partition's batch under the partition's
+// produce lock with a fresh sequence number.
+func (cc *ClusterClient) producePartition(topicName string, partition int, batch []Record) error {
+	tp := tpKey(topicName, partition)
+	mu := cc.produceLock(tp)
+	mu.Lock()
+	defer mu.Unlock()
+	cc.mu.Lock()
+	cc.seqs[tp]++
+	seq := cc.seqs[tp]
+	cc.mu.Unlock()
+	return cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		_, err := cli.ProducePartition(topicName, partition, cc.pid, seq, batch)
+		return err
+	})
+}
+
+// Fetch reads records from the partition leader.
+func (cc *ClusterClient) Fetch(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	var out []Record
+	err := cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		recs, err := cli.Fetch(topicName, partition, offset, max)
+		if err == nil {
+			out = recs
+		}
+		return err
+	})
+	return out, err
+}
+
+// HighWatermark returns the partition's committed watermark (the
+// leader's consumer-visible offset frontier).
+func (cc *ClusterClient) HighWatermark(topicName string, partition int) (int64, error) {
+	var hwm int64
+	err := cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		h, err := cli.HighWatermark(topicName, partition)
+		if err == nil {
+			hwm = h
+		}
+		return err
+	})
+	return hwm, err
+}
+
+// Partitions returns the topic's partition count from the cached view.
+func (cc *ClusterClient) Partitions(topicName string) (int, error) {
+	m, err := cc.metaView()
+	if err != nil {
+		return 0, err
+	}
+	if t, ok := m.Topics[topicName]; ok {
+		return len(t.Partitions), nil
+	}
+	if err := cc.refreshMeta(); err != nil {
+		return 0, err
+	}
+	cc.mu.Lock()
+	m = cc.meta
+	cc.mu.Unlock()
+	if t, ok := m.Topics[topicName]; ok {
+		return len(t.Partitions), nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownTopic, topicName)
+}
+
+// CreateTopic creates the topic on every live member (partition logs
+// live on all nodes; placement decides which hold data). Members that
+// already have it are fine, but a live member that cannot be reached
+// fails the call: a member silently missing the topic would later have
+// every replication to it rejected, so partial creation must be
+// retried, not masked.
+func (cc *ClusterClient) CreateTopic(name string, partitions int) error {
+	m, err := cc.metaView()
+	if err != nil {
+		return err
+	}
+	required := make([]string, 0, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.Alive {
+			required = append(required, n.Addr)
+		}
+	}
+	if len(required) == 0 {
+		return errors.New("broker: no live cluster member")
+	}
+	for _, addr := range required {
+		cli, err := cc.conn(addr)
+		if err != nil {
+			return fmt.Errorf("create topic on %s: %w", addr, err)
+		}
+		err = cli.CreateTopic(name, partitions)
+		if err != nil && !strings.Contains(err.Error(), "already exists") {
+			if !isRemoteErr(err) {
+				cc.dropConn(addr)
+			}
+			return fmt.Errorf("create topic on %s: %w", addr, err)
+		}
+	}
+	_ = cc.refreshMeta() // pick up the new topic in the cached view
+	return nil
+}
+
+// Commit fans the group offset out to every reachable member, so the
+// position survives any single broker's death. Best effort: one ack
+// suffices.
+func (cc *ClusterClient) Commit(group, topicName string, partition int, offset int64) error {
+	acked := 0
+	var lastErr error
+	for _, addr := range cc.candidateAddrs() {
+		cli, err := cc.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := cli.Commit(group, topicName, partition, offset); err != nil {
+			if !isRemoteErr(err) {
+				cc.dropConn(addr)
+			}
+			lastErr = err
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		if lastErr == nil {
+			lastErr = errors.New("broker: no cluster member reachable")
+		}
+		return lastErr
+	}
+	return nil
+}
+
+// Committed returns the highest committed group offset any reachable
+// member knows — the max, because a past commit fan-out may have
+// reached only a subset.
+func (cc *ClusterClient) Committed(group, topicName string, partition int) (int64, error) {
+	var best int64
+	ok := false
+	var lastErr error
+	for _, addr := range cc.candidateAddrs() {
+		cli, err := cc.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		off, err := cli.Committed(group, topicName, partition)
+		if err != nil {
+			if isPermanent(err) {
+				return 0, err
+			}
+			if !isRemoteErr(err) {
+				cc.dropConn(addr)
+			}
+			lastErr = err
+			continue
+		}
+		if !ok || off > best {
+			best = off
+		}
+		ok = true
+	}
+	if !ok {
+		if lastErr == nil {
+			lastErr = errors.New("broker: no cluster member reachable")
+		}
+		return 0, lastErr
+	}
+	return best, nil
+}

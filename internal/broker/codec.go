@@ -45,6 +45,15 @@ const (
 	binOpFetch   byte = 2
 	binOpHWM     byte = 3
 	binOpJSON    byte = 4 // JSON control request wrapped in a binary envelope
+	// binOpProducePart appends to one explicit partition: the cluster
+	// routing client partitions on its side and sends each batch to the
+	// partition leader, carrying a producer id + sequence number so a
+	// retried batch after a leader failover is deduplicated.
+	binOpProducePart byte = 5
+	// binOpReplicate is the leader→follower hot op: an appended chunk
+	// streamed at an explicit base offset, answered with the follower's
+	// resulting high watermark (short answers drive backfill).
+	binOpReplicate byte = 6
 )
 
 const (
@@ -281,6 +290,49 @@ func encodeJSONReq(fb *frameBuf, corr uint64, payload []byte) {
 	fb.b = append(fb.b, payload...)
 }
 
+// encodeProducePartReq encodes a partitioned produce: explicit target
+// partition plus the producer id / sequence pair for idempotent retries
+// (pid 0 disables deduplication).
+func encodeProducePartReq(fb *frameBuf, corr uint64, topic string, partition int, pid, seq uint64, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProducePart, corr)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, pid)
+	fb.b = appendU64(fb.b, seq)
+	fb.b = appendU32(fb.b, uint32(len(recs)))
+	for i := range recs {
+		fb.b = appendRecord(fb.b, &recs[i])
+	}
+}
+
+// encodeReplicateReq encodes one leader→follower replicated chunk. The
+// sender id and epoch fence stale leaders; base is the exact offset the
+// chunk starts at in the leader's log; metas are the producer-batch
+// journal entries covering the chunk's range, so the follower can adopt
+// dedup state for every producer whose records it receives.
+func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicate, corr)
+	fb.b = appendU64(fb.b, uint64(epoch))
+	fb.b = appendU16(fb.b, uint16(len(sender)))
+	fb.b = append(fb.b, sender...)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, uint64(base))
+	fb.b = appendU32(fb.b, uint32(len(metas)))
+	for _, bm := range metas {
+		fb.b = appendU64(fb.b, bm.pid)
+		fb.b = appendU64(fb.b, bm.seq)
+		fb.b = appendU64(fb.b, uint64(bm.base))
+		fb.b = appendU64(fb.b, uint64(bm.end))
+	}
+	fb.b = appendU32(fb.b, uint32(len(recs)))
+	for i := range recs {
+		fb.b = appendRecord(fb.b, &recs[i])
+	}
+}
+
 // ---- request decoding (server side) ----
 
 type binRequest struct {
@@ -292,6 +344,14 @@ type binRequest struct {
 	max       int
 	recs      []Record
 	jsonBody  []byte
+
+	// Cluster fields (producePart / replicate).
+	pid    uint64
+	seq    uint64
+	epoch  int64
+	sender string
+	base   int64
+	metas  []batchMeta
 }
 
 func decodeBinRequest(payload []byte) (binRequest, error) {
@@ -305,17 +365,7 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 	switch req.op {
 	case binOpProduce:
 		req.topic = cur.str(int(cur.u16()))
-		count := int(cur.u32())
-		if cur.err == nil && count*minWireRecord > cur.remaining() {
-			return req, errTruncatedFrame
-		}
-		if cur.err == nil {
-			req.recs = make([]Record, count)
-			intern := make(map[string]string, 8)
-			for i := range req.recs {
-				decodeRecordInto(cur, &req.recs[i], intern)
-			}
-		}
+		req.recs = decodeRecordBatch(cur)
 	case binOpFetch:
 		req.topic = cur.str(int(cur.u16()))
 		req.partition = int(int32(cur.u32()))
@@ -324,12 +374,59 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 	case binOpHWM:
 		req.topic = cur.str(int(cur.u16()))
 		req.partition = int(int32(cur.u32()))
+	case binOpProducePart:
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.pid = cur.u64()
+		req.seq = cur.u64()
+		req.recs = decodeRecordBatch(cur)
+	case binOpReplicate:
+		req.epoch = int64(cur.u64())
+		req.sender = cur.str(int(cur.u16()))
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.base = int64(cur.u64())
+		nmetas := int(cur.u32())
+		if cur.err == nil && nmetas*32 > cur.remaining() {
+			return req, errTruncatedFrame
+		}
+		if cur.err == nil && nmetas > 0 {
+			req.metas = make([]batchMeta, nmetas)
+			for i := range req.metas {
+				req.metas[i] = batchMeta{
+					pid:  cur.u64(),
+					seq:  cur.u64(),
+					base: int64(cur.u64()),
+					end:  int64(cur.u64()),
+				}
+			}
+		}
+		req.recs = decodeRecordBatch(cur)
 	case binOpJSON:
 		req.jsonBody = cur.rest()
 	default:
 		return req, fmt.Errorf("broker: unknown binary op %d", req.op)
 	}
 	return req, cur.err
+}
+
+// decodeRecordBatch decodes a count-prefixed record batch, leaving the
+// cursor's error set on truncation.
+func decodeRecordBatch(cur *wireCursor) []Record {
+	count := int(cur.u32())
+	if cur.err != nil {
+		return nil
+	}
+	if count*minWireRecord > cur.remaining() {
+		cur.err = errTruncatedFrame
+		return nil
+	}
+	recs := make([]Record, count)
+	intern := make(map[string]string, 8)
+	for i := range recs {
+		decodeRecordInto(cur, &recs[i], intern)
+	}
+	return recs
 }
 
 // decodeRecordInto decodes one record, interning its key through the
@@ -367,6 +464,19 @@ func encodeProduceResp(fb *frameBuf, corr uint64, n int) {
 	fb.b = appendU32(fb.b, uint32(n))
 }
 
+func encodeProducePartResp(fb *frameBuf, corr uint64, n int) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpProducePart, corr, binStatusOK)
+	fb.b = appendU32(fb.b, uint32(n))
+}
+
+// encodeReplicateResp carries the follower's high watermark after
+// applying (or skipping) the chunk; a watermark short of the chunk's
+// base tells the leader to backfill from there.
+func encodeReplicateResp(fb *frameBuf, corr uint64, hwm int64) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpReplicate, corr, binStatusOK)
+	fb.b = appendU64(fb.b, uint64(hwm))
+}
+
 // encodeFetchResp encodes the fetched records. Offsets in a fetch are
 // consecutive from the request offset, so only the base is shipped and
 // the client reconstructs topic/partition/offset per record.
@@ -396,6 +506,21 @@ func encodeJSONResp(fb *frameBuf, corr uint64, resp *wireResponse) error {
 
 // ---- response decoding (client side) ----
 
+// remoteError is a broker-level rejection that arrived as a well-formed
+// error response — proof the peer is alive and answering, as opposed to
+// a transport failure. The cluster's failure detector must never count
+// one as a missed probe: a deposed leader whose replicates are fenced
+// off would otherwise "detect" the healthy majority as dead.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return e.msg }
+
+// isRemoteErr reports whether err is an answered broker rejection.
+func isRemoteErr(err error) bool {
+	var re *remoteError
+	return errors.As(err, &re)
+}
+
 // decodeRespHeader validates a binary response frame and returns a
 // cursor positioned at the body. A non-OK status is surfaced as the
 // remote error carried in the body.
@@ -405,7 +530,7 @@ func decodeRespHeader(fb *frameBuf) (*wireCursor, error) {
 	}
 	cur := &wireCursor{b: fb.b, off: binRespHdrLen}
 	if fb.b[10] != binStatusOK {
-		return nil, errors.New(string(cur.rest()))
+		return nil, &remoteError{msg: string(cur.rest())}
 	}
 	return cur, nil
 }

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"testing"
+	"time"
 
 	"streamapprox/internal/stream"
 )
@@ -114,5 +115,77 @@ func TestGroupMembersSplitWorkWithoutOverlap(t *testing.T) {
 			t.Fatalf("record (p=%d, off=%d) read twice", r.Partition, r.Offset)
 		}
 		seen[r.Offset][r.Partition] = true
+	}
+}
+
+// TestConsumerResumesAcrossLeaderFailover drives the consumer-group
+// machinery through the routing client while the partition leader dies
+// mid-stream: polls must keep delivering every record exactly once,
+// resuming against the promoted follower from committed offsets.
+func TestConsumerResumesAcrossLeaderFailover(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("in", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Produce("in", keylessRecs(0, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(cc, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]int{}
+	drain := func() {
+		for {
+			recs, err := cons.Poll()
+			if err != nil {
+				t.Fatalf("poll: %v", err)
+			}
+			if len(recs) == 0 {
+				return
+			}
+			for _, r := range recs {
+				seen[r.Value]++
+			}
+		}
+	}
+	drain()
+	if err := cons.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3000 {
+		t.Fatalf("pre-failover: saw %d records", len(seen))
+	}
+
+	m, _ := cc.Meta()
+	leader := m.LeaderOf("in", 0)
+	tc.kill(tc.indexOf(leader))
+	if _, err := cc.Produce("in", keylessRecs(3000, 2000)); err != nil {
+		t.Fatalf("produce after leader death: %v", err)
+	}
+	// The same consumer object keeps polling; the routing client under
+	// it redirects to the promoted follower.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(seen) < 5000 && time.Now().Before(deadline) {
+		drain()
+	}
+	if len(seen) != 5000 {
+		t.Fatalf("post-failover: saw %d distinct records, want 5000", len(seen))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("record %v delivered %d times", v, c)
+		}
+	}
+	// A fresh consumer in the same group resumes from the committed
+	// offset, which survived the leader's death via commit fan-out.
+	cons2, err := NewConsumer(cc, "g", "in", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := cons2.Offsets()
+	if offs[0] != 3000 {
+		t.Fatalf("resumed offset = %d, want 3000 (committed before failover)", offs[0])
 	}
 }

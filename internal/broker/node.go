@@ -1,0 +1,774 @@
+package broker
+
+// ClusterNode turns one broker process into a member of a multi-broker
+// cluster. The cluster has no external coordinator: every node is
+// started with the same static id→addr member map, placement is a pure
+// function of it (cluster.go), and each node maintains its own liveness
+// view via heartbeats + gossip, promoting the next replica of a
+// partition the moment its leader is observed dead.
+//
+// Data-plane roles per partition:
+//
+//   - the LEADER accepts produce, appends locally, then streams the
+//     appended chunk to every live follower over the binary `replicate`
+//     op, acking the producer only once MinISR replicas (counting
+//     itself, shrunk to the live replica count) hold the records. The
+//     offset acked that way is the partition's COMMITTED watermark; the
+//     leader serves fetches only up to it, so consumers can never
+//     observe records that a failover could lose.
+//   - a FOLLOWER applies replicated chunks at their exact base offset
+//     (idempotently: duplicate prefixes are trimmed, gaps answered with
+//     the local watermark so the leader backfills) and tracks producer
+//     sequence numbers, so after a promotion it can deduplicate a
+//     producer's retry of a batch the dead leader already replicated.
+//
+// Failure model: fail-stop. A node marked dead stays dead for the
+// cluster's lifetime (rejoin requires restarting the cluster); this
+// keeps fencing trivial — replicas reject replication from deposed
+// leaders by their dead set — at the price of no automated re-entry.
+// The no-loss guarantee holds when MinISR == Replicas; with fewer
+// required acks, records on the minority side of a failover can be
+// lost, exactly as in Kafka with acks < all.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeConfig configures one broker's membership in a cluster.
+type NodeConfig struct {
+	// ID is this node's member id; it must be a key of Peers.
+	ID string
+	// Peers maps every member id (including this node's) to its
+	// advertised broker address.
+	Peers map[string]string
+	// Replicas is the replication factor for every partition (default
+	// 2, capped at the member count).
+	Replicas int
+	// MinISR is the number of replicas (counting the leader) that must
+	// hold a produced batch before it is acked and becomes fetchable.
+	// It shrinks to the live replica count, so a partition stays
+	// writable after failures (default Replicas).
+	MinISR int
+	// HeartbeatEvery is the peer probe interval (default 250ms).
+	HeartbeatEvery time.Duration
+	// FailAfter is the number of consecutive failed probes (heartbeats
+	// or replication calls) after which a peer is declared dead
+	// (default 3).
+	FailAfter int
+	// StartupGrace is how long failures against a peer that was NEVER
+	// seen alive are forgiven (default 10s) — cluster members boot at
+	// different times, and a node marked dead stays dead.
+	StartupGrace time.Duration
+	// Logf, when set, receives membership and replication log lines.
+	Logf func(format string, args ...any)
+}
+
+// prodSeq is the last applied produce of one producer on one partition,
+// kept on every replica so a post-failover retry deduplicates.
+type prodSeq struct {
+	seq  uint64
+	base int64
+	end  int64
+}
+
+// batchMeta identifies one idempotent producer batch inside a partition
+// log. Replicas keep a bounded journal of recent batches and ship the
+// entries covering each replicated chunk alongside it, so a follower
+// learns the dedup state for EVERY producer whose records reach it —
+// including records that arrived inside another producer's backfill —
+// and a promotion never forgets a batch it physically holds.
+type batchMeta struct {
+	pid  uint64
+	seq  uint64
+	base int64
+	end  int64
+}
+
+// metaJournalCap bounds the per-partition batch journal. Backfills
+// deeper than this many batches lose dedup coverage for the oldest
+// entries, which only matters for a follower that lagged that far
+// without being declared dead.
+const metaJournalCap = 256
+
+// partLead is the leader-side state of one partition: the committed
+// watermark and a mutex serializing produce+replicate rounds.
+type partLead struct {
+	mu        sync.Mutex // serializes append→replicate→commit rounds
+	committed atomic.Int64
+	init      atomic.Bool
+}
+
+// ClusterNode is one broker's cluster brain, attached to its TCP server.
+type ClusterNode struct {
+	cfg     NodeConfig
+	b       *Broker
+	members []string // all member ids, sorted
+
+	started time.Time
+
+	mu    sync.Mutex
+	epoch int64
+	dead  map[string]bool
+	miss  map[string]int
+	seen  map[string]bool // peers observed alive at least once
+	conns map[string]*Client
+	leads map[string]*partLead
+	seqs  map[string]map[uint64]prodSeq // topic/partition -> pid -> last batch
+	metas map[string][]batchMeta        // topic/partition -> recent batch journal
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewClusterNode validates the config and returns a node. Call Start to
+// begin heartbeating once the node is attached to a serving Server.
+func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("broker: cluster node needs an id")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("broker: node id %q missing from peer map", cfg.ID)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Peers) {
+		cfg.Replicas = len(cfg.Peers)
+	}
+	if cfg.MinISR < 1 || cfg.MinISR > cfg.Replicas {
+		cfg.MinISR = cfg.Replicas
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if cfg.FailAfter < 1 {
+		cfg.FailAfter = 3
+	}
+	if cfg.StartupGrace <= 0 {
+		cfg.StartupGrace = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	members := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+	return &ClusterNode{
+		cfg:     cfg,
+		b:       b,
+		members: members,
+		started: time.Now(),
+		dead:    make(map[string]bool),
+		miss:    make(map[string]int),
+		seen:    make(map[string]bool),
+		conns:   make(map[string]*Client),
+		leads:   make(map[string]*partLead),
+		seqs:    make(map[string]map[uint64]prodSeq),
+		metas:   make(map[string][]batchMeta),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's member id.
+func (n *ClusterNode) ID() string { return n.cfg.ID }
+
+// Start launches the heartbeat loop. Safe to call once.
+func (n *ClusterNode) Start() {
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+}
+
+// Close stops heartbeating and closes peer connections.
+func (n *ClusterNode) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		n.mu.Lock()
+		for id, c := range n.conns {
+			_ = c.Close()
+			delete(n.conns, id)
+		}
+		n.mu.Unlock()
+	})
+}
+
+func tpKey(topic string, partition int) string {
+	return fmt.Sprintf("%s/%d", topic, partition)
+}
+
+// ---- membership view ----
+
+func (n *ClusterNode) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		}
+		for _, id := range n.members {
+			if id == n.cfg.ID || n.isDead(id) {
+				continue
+			}
+			n.probe(id)
+		}
+	}
+}
+
+// probe heartbeats one peer, exchanging views: the request carries our
+// epoch + dead set, the response the peer's, and both sides merge.
+func (n *ClusterNode) probe(id string) {
+	cli, err := n.peerClient(id)
+	if err != nil {
+		n.markFailure(id, err)
+		return
+	}
+	epoch, dead := n.viewSnapshot()
+	repoch, rdead, err := cli.ping(n.cfg.ID, epoch, dead)
+	if err != nil {
+		// Ping IS the liveness probe, so any failure counts — but only a
+		// transport failure taints the connection.
+		if !isRemoteErr(err) {
+			n.dropConn(id, cli)
+		}
+		n.markFailure(id, err)
+		return
+	}
+	n.markAlive(id)
+	n.mergeView(repoch, rdead)
+}
+
+// viewSnapshot returns the current epoch and dead set.
+func (n *ClusterNode) viewSnapshot() (int64, []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dead := make([]string, 0, len(n.dead))
+	for id := range n.dead {
+		dead = append(dead, id)
+	}
+	sort.Strings(dead)
+	return n.epoch, dead
+}
+
+// mergeView folds a peer's view into ours: dead sets union (never
+// marking ourselves), epochs take the max.
+func (n *ClusterNode) mergeView(epoch int64, dead []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range dead {
+		if id != n.cfg.ID && !n.dead[id] {
+			n.dead[id] = true
+			n.cfg.Logf("cluster %s: learned %s is dead (gossip)", n.cfg.ID, id)
+		}
+	}
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+}
+
+// handlePing serves the "ping" control op: merge the sender's view,
+// answer with ours. A ping also proves the sender booted.
+func (n *ClusterNode) handlePing(sender string, epoch int64, dead []string) (int64, []string) {
+	n.mergeView(epoch, dead)
+	if sender != "" {
+		n.markAlive(sender)
+	}
+	return n.viewSnapshot()
+}
+
+func (n *ClusterNode) isDead(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead[id]
+}
+
+// markFailure counts one failed probe or replication call against a
+// peer; FailAfter consecutive failures declare it dead and bump the
+// epoch, which moves leadership of its partitions to the next replica.
+func (n *ClusterNode) markFailure(id string, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.dead[id] {
+		return
+	}
+	if !n.seen[id] && time.Since(n.started) < n.cfg.StartupGrace {
+		return // peer may simply not have booted yet
+	}
+	n.miss[id]++
+	if n.miss[id] < n.cfg.FailAfter {
+		return
+	}
+	n.dead[id] = true
+	n.epoch++
+	if c := n.conns[id]; c != nil {
+		_ = c.Close()
+		delete(n.conns, id)
+	}
+	n.cfg.Logf("cluster %s: peer %s declared dead (epoch %d): %v", n.cfg.ID, id, n.epoch, err)
+}
+
+func (n *ClusterNode) markAlive(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.dead[id] {
+		n.miss[id] = 0
+		n.seen[id] = true
+	}
+}
+
+// peerClient returns (dialing if needed) the connection to a peer.
+func (n *ClusterNode) peerClient(id string) (*Client, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[id]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.cfg.Peers[id]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("broker: unknown peer %q", id)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if prev, ok := n.conns[id]; ok { // lost the dial race; keep the first
+		n.mu.Unlock()
+		_ = c.Close()
+		return prev, nil
+	}
+	n.conns[id] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// dropConn discards a broken peer connection (only if still current).
+func (n *ClusterNode) dropConn(id string, c *Client) {
+	n.mu.Lock()
+	if n.conns[id] == c {
+		delete(n.conns, id)
+	}
+	n.mu.Unlock()
+	_ = c.Close()
+}
+
+// ---- placement ----
+
+// leaderFor returns the current leader of a partition in this node's
+// view: the first live replica in rendezvous order ("" if none live).
+func (n *ClusterNode) leaderFor(topic string, partition int) string {
+	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range reps {
+		if !n.dead[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+// meta builds the metadata snapshot the "meta" control op serves.
+func (n *ClusterNode) meta() *ClusterMeta {
+	n.mu.Lock()
+	epoch := n.epoch
+	dead := make(map[string]bool, len(n.dead))
+	for id := range n.dead {
+		dead[id] = true
+	}
+	n.mu.Unlock()
+	m := &ClusterMeta{Epoch: epoch, Topics: make(map[string]TopicInfo)}
+	for _, id := range n.members {
+		m.Nodes = append(m.Nodes, NodeInfo{ID: id, Addr: n.cfg.Peers[id], Alive: !dead[id]})
+	}
+	for _, t := range n.b.Topics() {
+		parts, err := n.b.Partitions(t)
+		if err != nil {
+			continue
+		}
+		ti := TopicInfo{Partitions: make([]PartitionInfo, parts)}
+		for p := 0; p < parts; p++ {
+			reps := replicasFor(t, p, n.members, n.cfg.Replicas)
+			leader := ""
+			for _, id := range reps {
+				if !dead[id] {
+					leader = id
+					break
+				}
+			}
+			ti.Partitions[p] = PartitionInfo{Leader: leader, Replicas: reps}
+		}
+		m.Topics[t] = ti
+	}
+	return m
+}
+
+// ---- leader data path ----
+
+// lead returns (creating and initializing if needed) the leader-side
+// state of a partition. On first touch after a promotion the committed
+// watermark adopts the local log's high watermark: everything a
+// promoted follower holds was replicated to it and becomes committed by
+// fiat, the classic bounded-by-the-replicated-HWM promotion rule.
+func (n *ClusterNode) lead(topic string, partition int) (*partLead, error) {
+	key := tpKey(topic, partition)
+	n.mu.Lock()
+	pl, ok := n.leads[key]
+	if !ok {
+		pl = &partLead{}
+		n.leads[key] = pl
+	}
+	n.mu.Unlock()
+	if !pl.init.Load() {
+		pl.mu.Lock()
+		if !pl.init.Load() {
+			hwm, err := n.b.HighWatermark(topic, partition)
+			if err != nil {
+				pl.mu.Unlock()
+				return nil, err
+			}
+			pl.committed.Store(hwm)
+			pl.init.Store(true)
+		}
+		pl.mu.Unlock()
+	}
+	return pl, nil
+}
+
+func (n *ClusterNode) lastSeq(tp string, pid uint64) (prodSeq, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.seqs[tp][pid]
+	return ps, ok
+}
+
+// noteBatch records a producer's batch — in the dedup table (if newer
+// than what is known) and in the partition's bounded replication
+// journal.
+func (n *ClusterNode) noteBatch(tp string, bm batchMeta) {
+	if bm.pid == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.seqs[tp]
+	if !ok {
+		m = make(map[uint64]prodSeq)
+		n.seqs[tp] = m
+	}
+	if cur, ok := m[bm.pid]; !ok || bm.seq > cur.seq {
+		m[bm.pid] = prodSeq{seq: bm.seq, base: bm.base, end: bm.end}
+	}
+	j := append(n.metas[tp], bm)
+	if len(j) > metaJournalCap {
+		j = j[len(j)-metaJournalCap:]
+	}
+	n.metas[tp] = j
+}
+
+// metasInRange returns the journal entries overlapping [from, to) — the
+// dedup state shipped with a replicated chunk of that range.
+func (n *ClusterNode) metasInRange(tp string, from, to int64) []batchMeta {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []batchMeta
+	for _, bm := range n.metas[tp] {
+		if bm.end > from && bm.base < to {
+			out = append(out, bm)
+		}
+	}
+	return out
+}
+
+// producePart is the leader-side handling of a partitioned produce:
+// dedup by (pid, seq), append locally, replicate synchronously, ack
+// once MinISR (shrunk to the live replica count) replicas hold it.
+func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
+	ldr := n.leaderFor(topic, partition)
+	if ldr == "" {
+		return 0, ErrNoReplica
+	}
+	if ldr != n.cfg.ID {
+		return 0, notLeaderError(ldr)
+	}
+	pl, err := n.lead(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	tp := tpKey(topic, partition)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+
+	count := len(recs)
+	var base, end int64
+	redrive := false
+	if pid != 0 {
+		if ps, ok := n.lastSeq(tp, pid); ok && seq <= ps.seq {
+			if seq < ps.seq || pl.committed.Load() >= ps.end {
+				// Already appended and committed: a duplicate retry.
+				return count, nil
+			}
+			// Retry of the latest batch, appended but not yet committed
+			// (e.g. the previous attempt failed its replica acks): the
+			// records are in the log, so re-drive replication only.
+			base, end, redrive = ps.base, ps.end, true
+		}
+	}
+	if !redrive {
+		base, err = n.b.producePartition(topic, partition, recs)
+		if err != nil {
+			return 0, err
+		}
+		end = base + int64(count)
+		n.noteBatch(tp, batchMeta{pid: pid, seq: seq, base: base, end: end})
+	} else {
+		recs, err = n.b.Fetch(topic, partition, base, int(end-base))
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := n.replicateOut(pl, topic, partition, base, end, recs); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// replicateOut pushes [base, end) to every live follower replica —
+// concurrently, so the wait is the slowest single follower, not the
+// sum — and advances the committed watermark once enough replicas
+// acked.
+func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, base, end int64, recs []Record) error {
+	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	acks, live := 1, 1
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range reps {
+		if id == n.cfg.ID || n.isDead(id) {
+			continue
+		}
+		live++
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := n.pushToFollower(id, topic, partition, base, end, recs); err != nil {
+				// Only TRANSPORT failures feed the failure detector. An
+				// answered rejection (fencing, unknown topic, ...) proves
+				// the peer is alive — a deposed leader must not "detect"
+				// the healthy majority as dead off its own fenced pushes.
+				if isRemoteErr(err) {
+					n.markAlive(id)
+				} else {
+					n.markFailure(id, err)
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			n.markAlive(id)
+			mu.Lock()
+			acks++
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	need := n.cfg.MinISR
+	if live < need {
+		need = live
+	}
+	if acks < need {
+		return fmt.Errorf("%w: %d/%d acked: %v", ErrUnderReplicated, acks, need, firstErr)
+	}
+	if end > pl.committed.Load() {
+		pl.committed.Store(end)
+	}
+	return nil
+}
+
+// pushToFollower replicates [base, end) to one follower, backfilling
+// from the follower's own watermark when it is behind (restart, missed
+// round, or interleaved batches). Each chunk ships the journal entries
+// covering its range, so the follower's dedup table tracks every
+// producer whose records it receives.
+func (n *ClusterNode) pushToFollower(id, topic string, partition int, base, end int64, recs []Record) error {
+	cli, err := n.peerClient(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	tp := tpKey(topic, partition)
+	for tries := 0; tries < 8; tries++ {
+		metas := n.metasInRange(tp, base, base+int64(len(recs)))
+		hwm, err := cli.replicate(epoch, n.cfg.ID, topic, partition, base, metas, recs)
+		if err != nil {
+			if !isRemoteErr(err) {
+				n.dropConn(id, cli) // transport failure: the conn is suspect
+			}
+			return err
+		}
+		if hwm >= end {
+			return nil
+		}
+		fill, err := n.b.Fetch(topic, partition, hwm, int(end-hwm))
+		if err != nil {
+			return err
+		}
+		if int64(len(fill)) < end-hwm {
+			return fmt.Errorf("broker: backfill short read at %d", hwm)
+		}
+		base, recs = hwm, fill
+	}
+	return fmt.Errorf("broker: replication to %s did not converge", id)
+}
+
+// produceRouted handles a legacy key-routed produce arriving at any
+// cluster node: it partitions locally and forwards each batch to its
+// partition leader, so old producers keep working pointed at any one
+// broker. Without a producer id this path is at-least-once under
+// retries; ClusterClient's partitioned produce is the exactly-once one.
+func (n *ClusterNode) produceRouted(topicName string, recs []Record) (int, error) {
+	t, err := n.b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	byPart := make([][]Record, len(t.partitions))
+	for _, r := range recs {
+		p := t.partitionFor(r.Key)
+		byPart[p] = append(byPart[p], r)
+	}
+	total := 0
+	for p, batch := range byPart {
+		if len(batch) == 0 {
+			continue
+		}
+		ldr := n.leaderFor(topicName, p)
+		switch {
+		case ldr == "":
+			return total, ErrNoReplica
+		case ldr == n.cfg.ID:
+			if _, err := n.producePart(topicName, p, 0, 0, batch); err != nil {
+				return total, err
+			}
+		default:
+			cli, err := n.peerClient(ldr)
+			if err != nil {
+				return total, err
+			}
+			if _, err := cli.ProducePartition(topicName, p, 0, 0, batch); err != nil {
+				if !isRemoteErr(err) {
+					n.dropConn(ldr, cli)
+				}
+				return total, err
+			}
+		}
+		total += len(batch)
+	}
+	return total, nil
+}
+
+// fetch serves a consumer read: leaders only, and only up to the
+// committed watermark, so no consumer can observe records a failover
+// might lose.
+func (n *ClusterNode) fetch(topic string, partition int, offset int64, max int) ([]Record, error) {
+	pl, err := n.leaderState(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	committed := pl.committed.Load()
+	if offset >= committed {
+		if offset < 0 {
+			return nil, ErrOffsetOutOfRange
+		}
+		return nil, nil
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	if int64(max) > committed-offset {
+		max = int(committed - offset)
+	}
+	return n.b.Fetch(topic, partition, offset, max)
+}
+
+// hwm serves the consumer-visible high watermark: the committed offset.
+func (n *ClusterNode) hwm(topic string, partition int) (int64, error) {
+	pl, err := n.leaderState(topic, partition)
+	if err != nil {
+		return 0, err
+	}
+	return pl.committed.Load(), nil
+}
+
+// leaderState checks this node leads the partition and returns its
+// initialized leader state.
+func (n *ClusterNode) leaderState(topic string, partition int) (*partLead, error) {
+	if parts, err := n.b.Partitions(topic); err != nil {
+		return nil, err
+	} else if partition < 0 || partition >= parts {
+		return nil, ErrBadPartition
+	}
+	ldr := n.leaderFor(topic, partition)
+	if ldr == "" {
+		return nil, ErrNoReplica
+	}
+	if ldr != n.cfg.ID {
+		return nil, notLeaderError(ldr)
+	}
+	return n.lead(topic, partition)
+}
+
+// applyReplicate is the follower-side handling of a replicated chunk.
+func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) (int64, error) {
+	n.mu.Lock()
+	if n.dead[sender] {
+		ep := n.epoch
+		n.mu.Unlock()
+		return 0, fmt.Errorf("broker: replicate from %s rejected: deposed in epoch %d", sender, ep)
+	}
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	n.mu.Unlock()
+	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	isReplica := false
+	for _, id := range reps {
+		if id == sender {
+			isReplica = true
+			break
+		}
+	}
+	if !isReplica {
+		return 0, fmt.Errorf("broker: %s is not a replica of %s", sender, tpKey(topic, partition))
+	}
+	n.markAlive(sender)
+	hwm, err := n.b.replicateAppend(topic, partition, base, recs)
+	if err != nil {
+		return 0, err
+	}
+	// Adopt dedup state only for batches the local log now fully holds:
+	// a gap-skipped chunk (hwm < base) must not leave seq entries for
+	// records that are not here, or a promoted follower would answer a
+	// producer retry as a duplicate without having the data.
+	tp := tpKey(topic, partition)
+	for _, bm := range metas {
+		if bm.end <= hwm {
+			n.noteBatch(tp, bm)
+		}
+	}
+	return hwm, nil
+}

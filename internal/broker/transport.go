@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +33,12 @@ const (
 	opCommitted = "committed"
 	opParts     = "parts"
 	opHello     = "hello" // codec negotiation: response N carries the binary version
+	// Cluster control ops. "meta" is answered by plain servers too (a
+	// synthetic single-member view), so the routing client works
+	// unchanged against a solo brokerd.
+	opMeta        = "meta"
+	opPing        = "ping"
+	opProducePart = "producep" // JSON fallback of binOpProducePart
 )
 
 type wireRequest struct {
@@ -43,6 +50,14 @@ type wireRequest struct {
 	Max        int      `json:"max,omitempty"`
 	Group      string   `json:"group,omitempty"`
 	Records    []Record `json:"records,omitempty"`
+
+	// Cluster fields: ping carries the sender's view; producep the
+	// idempotent-producer identity.
+	Node  string   `json:"node,omitempty"`
+	Epoch int64    `json:"epoch,omitempty"`
+	Dead  []string `json:"dead,omitempty"`
+	PID   uint64   `json:"pid,omitempty"`
+	Seq   uint64   `json:"seq,omitempty"`
 }
 
 type wireResponse struct {
@@ -50,6 +65,11 @@ type wireResponse struct {
 	N       int      `json:"n,omitempty"`
 	Offset  int64    `json:"offset,omitempty"`
 	Records []Record `json:"records,omitempty"`
+
+	// Cluster fields.
+	Meta  *ClusterMeta `json:"meta,omitempty"`
+	Epoch int64        `json:"epoch,omitempty"`
+	Dead  []string     `json:"dead,omitempty"`
 }
 
 func writeFrame(w io.Writer, v any) error {
@@ -89,6 +109,12 @@ type ServerOptions struct {
 	// parsed as JSON. Used for mixed-version testing and as an escape
 	// hatch against codec bugs.
 	JSONOnly bool
+	// Node, when set, makes this server a cluster member: produce and
+	// fetch are gated by partition leadership and replicated, and the
+	// meta/ping/replicate ops are served. Can also be attached after
+	// Serve with AttachNode (needed when peer addresses are only known
+	// once every listener is bound).
+	Node *ClusterNode
 }
 
 // Server exposes a Broker over TCP.
@@ -96,6 +122,7 @@ type Server struct {
 	broker *Broker
 	ln     net.Listener
 	opts   ServerOptions
+	node   atomic.Pointer[ClusterNode]
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -103,6 +130,13 @@ type Server struct {
 	done      chan struct{}
 	closeOnce sync.Once
 }
+
+// AttachNode attaches (or replaces) the server's cluster node. Ops
+// observe it on their next dispatch.
+func (s *Server) AttachNode(n *ClusterNode) { s.node.Store(n) }
+
+// clusterNode returns the attached node, nil when the server runs solo.
+func (s *Server) clusterNode() *ClusterNode { return s.node.Load() }
 
 // Serve starts serving the broker on addr (e.g. "127.0.0.1:0") and
 // returns once the listener is bound. Stop the server with Close.
@@ -122,6 +156,9 @@ func ServeWithOptions(b *Broker, addr string, opts ServerOptions) (*Server, erro
 		opts:   opts,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
+	}
+	if opts.Node != nil {
+		s.node.Store(opts.Node)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -244,23 +281,60 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 	}
 	out := getFrame()
 	defer putFrame(out)
+	node := s.clusterNode()
 	switch req.op {
 	case binOpProduce:
-		n, err := s.broker.Produce(req.topic, req.recs)
+		var n int
+		var err error
+		if node != nil {
+			n, err = node.produceRouted(req.topic, req.recs)
+		} else {
+			n, err = s.broker.Produce(req.topic, req.recs)
+		}
 		if err != nil {
 			encodeErrResp(out, req.op, req.corr, err.Error())
 		} else {
 			encodeProduceResp(out, req.corr, n)
 		}
+	case binOpProducePart:
+		n, err := s.producePart(node, &req)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeProducePartResp(out, req.corr, n)
+		}
+	case binOpReplicate:
+		if node == nil {
+			encodeErrResp(out, req.op, req.corr, "broker: not a cluster member")
+			break
+		}
+		hwm, err := node.applyReplicate(req.epoch, req.sender, req.topic, req.partition, req.base, req.metas, req.recs)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeReplicateResp(out, req.corr, hwm)
+		}
 	case binOpFetch:
-		recs, err := s.broker.Fetch(req.topic, req.partition, req.offset, req.max)
+		var recs []Record
+		var err error
+		if node != nil {
+			recs, err = node.fetch(req.topic, req.partition, req.offset, req.max)
+		} else {
+			recs, err = s.broker.Fetch(req.topic, req.partition, req.offset, req.max)
+		}
 		if err != nil {
 			encodeErrResp(out, req.op, req.corr, err.Error())
 		} else {
 			encodeFetchResp(out, req.corr, req.offset, recs)
 		}
 	case binOpHWM:
-		hwm, err := s.broker.HighWatermark(req.topic, req.partition)
+		var hwm int64
+		var err error
+		if node != nil {
+			hwm, err = node.hwm(req.topic, req.partition)
+		} else {
+			hwm, err = s.broker.HighWatermark(req.topic, req.partition)
+		}
 		if err != nil {
 			encodeErrResp(out, req.op, req.corr, err.Error())
 		} else {
@@ -279,7 +353,42 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 	return writeRawFrame(bw, out.b)
 }
 
+// producePart serves a partitioned produce: via the cluster node when
+// attached (leadership + replication), straight to the local partition
+// log otherwise.
+func (s *Server) producePart(node *ClusterNode, req *binRequest) (int, error) {
+	if node != nil {
+		return node.producePart(req.topic, req.partition, req.pid, req.seq, req.recs)
+	}
+	if _, err := s.broker.producePartition(req.topic, req.partition, req.recs); err != nil {
+		return 0, err
+	}
+	return len(req.recs), nil
+}
+
+// soloMeta synthesizes a single-member metadata view for a server
+// running without a cluster node, so ClusterClient can route to it.
+func (s *Server) soloMeta() *ClusterMeta {
+	m := &ClusterMeta{
+		Nodes:  []NodeInfo{{ID: soloNodeID, Addr: s.ln.Addr().String(), Alive: true}},
+		Topics: make(map[string]TopicInfo),
+	}
+	for _, t := range s.broker.Topics() {
+		parts, err := s.broker.Partitions(t)
+		if err != nil {
+			continue
+		}
+		ti := TopicInfo{Partitions: make([]PartitionInfo, parts)}
+		for p := range ti.Partitions {
+			ti.Partitions[p] = PartitionInfo{Leader: soloNodeID, Replicas: []string{soloNodeID}}
+		}
+		m.Topics[t] = ti
+	}
+	return m
+}
+
 func (s *Server) dispatch(req *wireRequest) wireResponse {
+	node := s.clusterNode()
 	switch req.Op {
 	case opCreate:
 		if err := s.broker.CreateTopic(req.Topic, req.Partitions); err != nil {
@@ -287,23 +396,59 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 		}
 		return wireResponse{}
 	case opProduce:
-		n, err := s.broker.Produce(req.Topic, req.Records)
+		var n int
+		var err error
+		if node != nil {
+			n, err = node.produceRouted(req.Topic, req.Records)
+		} else {
+			n, err = s.broker.Produce(req.Topic, req.Records)
+		}
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{N: n}
+	case opProducePart:
+		breq := binRequest{topic: req.Topic, partition: req.Partition, pid: req.PID, seq: req.Seq, recs: req.Records}
+		n, err := s.producePart(node, &breq)
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{N: n}
 	case opFetch:
-		recs, err := s.broker.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		var recs []Record
+		var err error
+		if node != nil {
+			recs, err = node.fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		} else {
+			recs, err = s.broker.Fetch(req.Topic, req.Partition, req.Offset, req.Max)
+		}
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{Records: recs, N: len(recs)}
 	case opHWM:
-		hwm, err := s.broker.HighWatermark(req.Topic, req.Partition)
+		var hwm int64
+		var err error
+		if node != nil {
+			hwm, err = node.hwm(req.Topic, req.Partition)
+		} else {
+			hwm, err = s.broker.HighWatermark(req.Topic, req.Partition)
+		}
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{Offset: hwm}
+	case opMeta:
+		if node != nil {
+			return wireResponse{Meta: node.meta()}
+		}
+		return wireResponse{Meta: s.soloMeta()}
+	case opPing:
+		if node == nil {
+			return wireResponse{Err: "broker: not a cluster member"}
+		}
+		epoch, dead := node.handlePing(req.Node, req.Epoch, req.Dead)
+		return wireResponse{Epoch: epoch, Dead: dead}
 	case opCommit:
 		if err := s.broker.Commit(req.Group, req.Topic, req.Partition, req.Offset); err != nil {
 			return wireResponse{Err: err.Error()}

@@ -25,6 +25,16 @@ import (
 // lock, so no record is lost or duplicated). A query attaching ahead
 // of the plane (From "latest") rides the plane immediately and drops
 // records below its requested start per-sub.
+//
+// Fan-out is decoupled from the partition loop by a BOUNDED per-query
+// delivery queue: the loop enqueues each batch (a cheap slice ref) and
+// a per-(query, partition) drainer applies it to the Session. A query
+// whose drainer falls a full queue behind is SHED — detached on the
+// spot and re-attached through the catch-up path once its drainer
+// empties — so one slow query rereads its backlog from the broker
+// instead of stalling every peer on the partition loop. Catch-up work
+// itself runs under a small semaphore, so a burst of late
+// registrations cannot open unbounded private consumers.
 
 // fetchMax bounds one catch-up fetch's record count; the plane's
 // consumers use the same batch size internally.
@@ -37,44 +47,70 @@ const fetchMax = 4096
 // late.
 const idleAdvanceAfter = 10
 
-// ingestSink is the per-query, per-partition delivery target the plane
-// fans out to (implemented by *shard).
-type ingestSink interface {
-	// consume applies one batch of event-time sorted records ending at
-	// offset next (exclusive). The slice is shared across sinks and
-	// must be treated as read-only. hwm is the partition high watermark
-	// when haveHWM is true.
-	consume(recs []broker.Record, next int64, hwm int64, haveHWM bool)
-	// idleAdvance is the idle-partition punctuation: adopt the peers'
-	// event-time progress so gap windows still merge.
-	idleAdvance()
-}
+// The per-query, per-partition delivery target is *shard: consume
+// applies one batch of event-time sorted records ending at offset next
+// (exclusive; the slice is shared across queries and treated as
+// read-only), idleAdvance is the idle-partition punctuation.
 
 // ingest is one plane: a set of partition loops over one topic.
 type ingest struct {
-	cluster broker.Cluster // control-plane + catch-up connection
-	topic   string
-	group   string // the plane's shared consumer group
-	backoff time.Duration
-	logf    func(format string, args ...any)
+	cluster    broker.Cluster // control-plane + catch-up connection
+	topic      string
+	group      string // the plane's shared consumer group
+	backoff    time.Duration
+	logf       func(format string, args ...any)
+	reg        *metrics.Registry
+	queueDepth int
+
+	// catchupSem bounds simultaneous catch-up consumers across the
+	// whole plane: a burst of late registrations queues here instead of
+	// opening one private broker consumer each.
+	catchupSem    chan struct{}
+	catchupActive *metrics.Gauge
 
 	parts []*partIngest
 	wg    sync.WaitGroup
 }
 
+// subQueue is one query shard's bounded delivery queue on one
+// partition: the plane loop enqueues, the drainer goroutine applies.
+type subQueue struct {
+	j  *job
+	sh *shard
+	ch chan planeDelivery
+	// overflowAt is the resume offset recorded when the queue overflows
+	// (-1 otherwise). Written under the partition lock before ch is
+	// closed; the drainer reads it after draining, so the close is the
+	// memory barrier.
+	overflowAt int64
+	done       chan struct{} // closed when the drainer has fully exited
+	depth      *metrics.Gauge
+	shed       *metrics.Counter
+}
+
+// planeDelivery is one fan-out unit: a shared batch, or an idle
+// punctuation marker.
+type planeDelivery struct {
+	recs    []broker.Record
+	next    int64
+	hwm     int64
+	haveHWM bool
+	idle    bool
+}
+
 // partIngest is the plane for one partition: one consumer, one loop,
-// any number of attached sinks.
+// any number of attached per-query delivery queues.
 type partIngest struct {
 	ing     *ingest
 	idx     int
 	cluster broker.Cluster // dedicated connection when DialShard is set
 	conn    io.Closer      // nil when sharing the control connection
 
-	// mu guards subs and next. Delivery happens with mu held so a
+	// mu guards subs and next. Enqueueing happens with mu held so a
 	// catch-up splice (pos == next, attach) is atomic against the loop
-	// advancing next.
+	// advancing next; the enqueue itself never blocks.
 	mu         sync.Mutex
-	subs       map[ingestSink]struct{}
+	subs       map[*shard]*subQueue
 	next       int64 // next offset the plane will deliver
 	positioned bool  // next is meaningful (restored or first attach)
 	started    bool
@@ -91,11 +127,25 @@ type partIngest struct {
 // newIngest builds a plane with one (not yet started) partition loop
 // per partition. When dial is non-nil each partition gets a dedicated
 // broker connection, closed on stop. extra labels distinguish private
-// per-query planes from the shared one in /metrics.
+// per-query planes from the shared one in /metrics. queueDepth bounds
+// each query's per-partition delivery queue (in batches) and
+// catchupWorkers the simultaneous catch-up consumers.
 func newIngest(cluster broker.Cluster, dial func() (broker.Cluster, error),
-	topic, group string, parts int, backoff time.Duration,
+	topic, group string, parts int, backoff time.Duration, queueDepth, catchupWorkers int,
 	logf func(string, ...any), reg *metrics.Registry, extra metrics.Labels) (*ingest, error) {
-	ing := &ingest{cluster: cluster, topic: topic, group: group, backoff: backoff, logf: logf}
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	if catchupWorkers < 1 {
+		catchupWorkers = 4
+	}
+	ing := &ingest{
+		cluster: cluster, topic: topic, group: group, backoff: backoff, logf: logf,
+		reg: reg, queueDepth: queueDepth,
+		catchupSem: make(chan struct{}, catchupWorkers),
+		catchupActive: reg.Gauge("saproxd_catchup_active",
+			"late-registration catch-up consumers currently running", extra),
+	}
 	for p := 0; p < parts; p++ {
 		pc := cluster
 		var closer io.Closer
@@ -117,7 +167,7 @@ func newIngest(cluster broker.Cluster, dial func() (broker.Cluster, error),
 			idx:     p,
 			cluster: pc,
 			conn:    closer,
-			subs:    make(map[ingestSink]struct{}),
+			subs:    make(map[*shard]*subQueue),
 			done:    make(chan struct{}),
 			recordsMetric: reg.Counter("saproxd_ingest_records_total",
 				"records fetched once and fanned out to all queries, per partition", l),
@@ -178,6 +228,51 @@ func (ing *ingest) commit() {
 	}
 }
 
+// newSub builds a shard's bounded delivery queue (not yet registered).
+func (pi *partIngest) newSub(j *job, sh *shard) *subQueue {
+	labels := metrics.Labels{"query": j.id, "partition": strconv.Itoa(pi.idx)}
+	return &subQueue{
+		j:          j,
+		sh:         sh,
+		ch:         make(chan planeDelivery, pi.ing.queueDepth),
+		overflowAt: -1,
+		done:       make(chan struct{}),
+		depth: pi.ing.reg.Gauge("saproxd_delivery_queue_depth",
+			"batches queued between the partition loop and the query's drainer", labels),
+		shed: pi.ing.reg.Counter("saproxd_delivery_shed_total",
+			"times the query overflowed its delivery queue and was shed to catch-up", labels),
+	}
+}
+
+// register adds a sub to the partition (callers hold pi.mu) and starts
+// its drainer.
+func (pi *partIngest) register(sub *subQueue) {
+	pi.subs[sub.sh] = sub
+	pi.queriesGauge.Set(float64(len(pi.subs)))
+	go pi.drain(sub)
+}
+
+// drain is the per-(query, partition) delivery worker: it applies
+// queued batches to the shard's Session in order. If the sub was shed
+// on overflow, the drainer finishes the queued prefix and then replays
+// the rest through the catch-up path, re-splicing into the live plane.
+func (pi *partIngest) drain(sub *subQueue) {
+	for d := range sub.ch {
+		sub.depth.Set(float64(len(sub.ch)))
+		if d.idle {
+			sub.sh.idleAdvance()
+		} else {
+			sub.sh.consume(d.recs, d.next, d.hwm, d.haveHWM)
+		}
+	}
+	resume := sub.overflowAt // safe: written before close(sub.ch)
+	close(sub.done)
+	if resume >= 0 {
+		// j.wg.Add happened at shed time, under pi.mu; catchUp calls Done.
+		pi.catchUp(sub.j, sub.sh, resume)
+	}
+}
+
 // attach joins one query shard to a partition plane, starting the loop
 // on first use. from is the shard's delivery watermark: behind the
 // plane it is replayed through a catch-up goroutine (tracked in the
@@ -197,8 +292,7 @@ func (ing *ingest) attach(j *job, sh *shard, from int64) {
 	}
 	if from >= pi.next {
 		sh.setSkip(from)
-		pi.subs[sh] = struct{}{}
-		pi.queriesGauge.Set(float64(len(pi.subs)))
+		pi.register(pi.newSub(j, sh))
 		pi.mu.Unlock()
 		return
 	}
@@ -207,18 +301,29 @@ func (ing *ingest) attach(j *job, sh *shard, from int64) {
 	go pi.catchUp(j, sh, from)
 }
 
-// detach removes a sink. After detach returns no further consume call
-// will be made for it (delivery holds the same lock).
+// detach removes a shard's queue and waits for its drainer, so no
+// consume call can follow detach. A shard mid-catch-up (or shed) has no
+// registered queue; its goroutine is tracked by the job's WaitGroup and
+// aborts on the job's done channel.
 func (ing *ingest) detach(sh *shard) {
 	pi := ing.parts[sh.idx]
 	pi.mu.Lock()
-	delete(pi.subs, sh)
-	pi.queriesGauge.Set(float64(len(pi.subs)))
+	sub, ok := pi.subs[sh]
+	if ok {
+		delete(pi.subs, sh)
+		pi.queriesGauge.Set(float64(len(pi.subs)))
+		close(sub.ch)
+	}
 	pi.mu.Unlock()
+	if ok {
+		<-sub.done
+	}
 }
 
-// stop halts every partition loop and closes dedicated connections.
-// Attached sinks receive no further deliveries once stop returns.
+// stop halts every partition loop, drains every attached queue, and
+// closes dedicated connections. Attached shards receive no further
+// plane deliveries once stop returns (catch-up goroutines are the
+// job's, stopped by job.stop).
 func (ing *ingest) stop() {
 	for _, pi := range ing.parts {
 		pi.mu.Lock()
@@ -233,6 +338,22 @@ func (ing *ingest) stop() {
 		}
 	}
 	ing.wg.Wait()
+	// With the loops stopped nothing enqueues anymore; close the queues
+	// and wait out the drainers so every delivered batch is applied.
+	var waits []*subQueue
+	for _, pi := range ing.parts {
+		pi.mu.Lock()
+		for sh, sub := range pi.subs {
+			delete(pi.subs, sh)
+			close(sub.ch)
+			waits = append(waits, sub)
+		}
+		pi.queriesGauge.Set(0)
+		pi.mu.Unlock()
+	}
+	for _, sub := range waits {
+		<-sub.done
+	}
 	ing.closeConns()
 }
 
@@ -322,37 +443,39 @@ func (pi *partIngest) loop(start int64) {
 	}
 }
 
-// parallelDeliverMin is the batch size below which fan-out stays
-// sequential: live-tailing produces many tiny batches, and per-batch
-// goroutine churn would cost more than the session pushes it overlaps.
-const parallelDeliverMin = 256
-
-// deliver fans one batch out to every attached sink and advances the
-// plane position. It runs under pi.mu so catch-up splices are atomic;
-// for large batches with several sinks the fan-out runs them
-// concurrently (each sink locks only its own shard) and joins before
-// releasing the lock.
+// deliver fans one batch out to every attached query's delivery queue
+// and advances the plane position. It runs under pi.mu so catch-up
+// splices are atomic, but never blocks: the enqueue is a slice ref, and
+// a query whose bounded queue is full is shed — detached here, with its
+// drainer re-entering through the catch-up path at the offset where
+// delivery stopped — so one slow query cannot stall the partition loop
+// or its peers.
 func (pi *partIngest) deliver(recs []broker.Record, hwm int64, haveHWM bool) {
 	n := int64(len(recs))
 	pi.recordsMetric.Add(float64(n))
 	pi.throughput.Mark(n)
 	pi.mu.Lock()
-	next := pi.next + n
+	base := pi.next
+	next := base + n
 	pi.next = next
-	if len(pi.subs) <= 1 || len(recs) < parallelDeliverMin {
-		for sink := range pi.subs {
-			sink.consume(recs, next, hwm, haveHWM)
+	d := planeDelivery{recs: recs, next: next, hwm: hwm, haveHWM: haveHWM}
+	for sh, sub := range pi.subs {
+		select {
+		case sub.ch <- d:
+			sub.depth.Set(float64(len(sub.ch)))
+		default:
+			// Queue full: shed this query. Its drainer has applied (or
+			// still holds queued) everything below base, so base is
+			// exactly where its catch-up must resume.
+			delete(pi.subs, sh)
+			sub.overflowAt = base
+			sub.j.wg.Add(1) // the drainer's catch-up continuation
+			close(sub.ch)
+			sub.shed.Inc()
+			pi.queriesGauge.Set(float64(len(pi.subs)))
+			pi.ing.logf("query %s partition %d: delivery queue full at offset %d; shedding to catch-up",
+				sub.j.id, pi.idx, base)
 		}
-	} else {
-		var wg sync.WaitGroup
-		for sink := range pi.subs {
-			wg.Add(1)
-			go func(s ingestSink) {
-				defer wg.Done()
-				s.consume(recs, next, hwm, haveHWM)
-			}(sink)
-		}
-		wg.Wait()
 	}
 	pi.mu.Unlock()
 	if haveHWM {
@@ -360,28 +483,40 @@ func (pi *partIngest) deliver(recs []broker.Record, hwm int64, haveHWM bool) {
 	}
 }
 
-// idleAdvance pushes every attached sink's event-time watermark forward
-// on a quiet partition, flushing windows a sparsely keyed partition
-// would otherwise hold back forever.
+// idleAdvance enqueues an idle punctuation for every attached query,
+// pushing event-time watermarks forward on a quiet partition so windows
+// a sparsely keyed partition would hold back still merge. Best effort:
+// a full queue skips the marker (the next one fires again).
 func (pi *partIngest) idleAdvance() {
 	pi.mu.Lock()
-	sinks := make([]ingestSink, 0, len(pi.subs))
-	for s := range pi.subs {
-		sinks = append(sinks, s)
+	for _, sub := range pi.subs {
+		select {
+		case sub.ch <- planeDelivery{idle: true}:
+		default:
+		}
 	}
 	pi.mu.Unlock()
-	for _, s := range sinks {
-		s.idleAdvance()
-	}
 }
 
-// catchUp replays [from, plane position) to one late-attaching shard
-// through a private consumer, then splices it into the live plane at
-// the handoff offset. The splice check runs under pi.mu: when pos has
-// reached pi.next the plane cannot advance concurrently, so attaching
-// there is exactly-once. The chase is abandoned when the job stops.
+// catchUp replays [from, plane position) to one late-attaching (or
+// shed) shard through a private consumer, then splices it into the live
+// plane at the handoff offset. The splice check runs under pi.mu: when
+// pos has reached pi.next the plane cannot advance concurrently, so
+// attaching there is exactly-once. The chase is abandoned when the job
+// stops. Admission runs through the plane's catch-up semaphore, so a
+// burst of late registrations is worked off a few consumers at a time.
 func (pi *partIngest) catchUp(j *job, sh *shard, from int64) {
 	defer j.wg.Done()
+	select {
+	case pi.ing.catchupSem <- struct{}{}:
+	case <-j.done:
+		return
+	}
+	pi.ing.catchupActive.Add(1)
+	defer func() {
+		pi.ing.catchupActive.Add(-1)
+		<-pi.ing.catchupSem
+	}()
 	var cons *broker.Consumer
 	for {
 		var err error
@@ -409,8 +544,7 @@ func (pi *partIngest) catchUp(j *job, sh *shard, from int64) {
 		target := pi.next
 		if pos >= target {
 			if !j.isStopped() {
-				pi.subs[sh] = struct{}{}
-				pi.queriesGauge.Set(float64(len(pi.subs)))
+				pi.register(pi.newSub(j, sh))
 			}
 			pi.mu.Unlock()
 			return

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"streamapprox/internal/broker"
+	"streamapprox/internal/metrics"
 )
 
 // countingCluster wraps a Cluster and counts broker fetch operations —
@@ -213,5 +215,128 @@ func TestFromLatestSkipsBacklog(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	if n := jobRecords(j2); n != int64(half) {
 		t.Errorf("latest query consumed %d records, want exactly %d (skip leaked backlog)", n, half)
+	}
+}
+
+// TestSlowQuerySheddingNoLossNoDup forces delivery-queue overflows with
+// a depth-1 queue over a large backlog: the shed/catch-up/re-splice
+// cycle must still deliver every record to every query exactly once,
+// and the shed counter must show the path actually ran.
+func TestSlowQuerySheddingNoLossNoDup(t *testing.T) {
+	bk := broker.New()
+	if err := bk.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(29, 40000)
+	if _, err := broker.ProduceEvents(bk, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Cluster:     bk,
+		Topic:       "in",
+		PollBackoff: time.Microsecond,
+		QueueDepth:  1, // every second batch overflows while a drainer works
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var jobs []*job
+	for i := 0; i < 3; i++ {
+		id, err := s.Register(Spec{Kind: "sum", Window: 2 * time.Second, Slide: time.Second,
+			Fraction: 0.5, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := s.job(id)
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitJobRecords(t, j, int64(len(events)), 30*time.Second)
+	}
+	// Exactly once: consumed counts must not exceed the produced total.
+	for _, j := range jobs {
+		if n := jobRecords(j); n != int64(len(events)) {
+			t.Fatalf("query %s consumed %d of %d records", j.id, n, len(events))
+		}
+	}
+	// The depth-1 queue over a 40k backlog must actually have shed; a
+	// zero here means the test stopped exercising the overflow path.
+	var shed float64
+	for _, j := range jobs {
+		for p := 0; p < 2; p++ {
+			labels := metrics.Labels{"query": j.id, "partition": strconv.Itoa(p)}
+			shed += s.reg.Counter("saproxd_delivery_shed_total",
+				"times the query overflowed its delivery queue and was shed to catch-up", labels).Value()
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no delivery-queue shed occurred; overflow path untested")
+	}
+}
+
+// TestCatchUpPoolBoundsConcurrency registers several queries against a
+// deep backlog with a single-slot catch-up pool: the active-catch-up
+// gauge must never exceed the bound, and every query must still finish.
+func TestCatchUpPoolBoundsConcurrency(t *testing.T) {
+	bk := broker.New()
+	if err := bk.CreateTopic("in", 2); err != nil {
+		t.Fatal(err)
+	}
+	events := makeEvents(31, 30000)
+	if _, err := broker.ProduceEvents(bk, "in", events); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Cluster:        bk,
+		Topic:          "in",
+		PollBackoff:    time.Millisecond,
+		CatchUpWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The first query positions the plane at 0 and starts it moving;
+	// the rest then register behind it and must replay through the
+	// single-slot catch-up pool.
+	var jobs []*job
+	for i := 0; i < 5; i++ {
+		id, err := s.Register(Spec{Kind: "count", Window: 2 * time.Second, Slide: time.Second,
+			Fraction: 0.5, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := s.job(id)
+		jobs = append(jobs, j)
+		if i == 0 {
+			waitJobRecords(t, j, 4096, 10*time.Second) // let the plane run ahead
+		}
+	}
+	gauge := s.reg.Gauge("saproxd_catchup_active",
+		"late-registration catch-up consumers currently running", nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, j := range jobs {
+			waitJobRecords(t, j, int64(len(events)), 30*time.Second)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			for _, j := range jobs {
+				if n := jobRecords(j); n != int64(len(events)) {
+					t.Fatalf("query %s consumed %d of %d", j.id, n, len(events))
+				}
+			}
+			return
+		default:
+		}
+		if v := gauge.Value(); v > 1 {
+			t.Fatalf("catch-up pool bound violated: %v active", v)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -83,8 +83,6 @@ type shard struct {
 	lagMetric     *metrics.Gauge
 }
 
-var _ ingestSink = (*shard)(nil)
-
 // newJob builds a job and its shards. When restore is non-nil the
 // shards resume from checkpointed sessions and delivery watermarks and
 // the merger resumes its pending windows; otherwise shards start per
@@ -111,7 +109,8 @@ func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, e
 	}
 	if srv.cfg.PerQueryIngest {
 		plane, err := newIngest(srv.cfg.Cluster, srv.cfg.DialShard, srv.cfg.Topic,
-			j.group()+"-ingest", srv.parts, srv.cfg.PollBackoff, srv.cfg.Logf,
+			j.group()+"-ingest", srv.parts, srv.cfg.PollBackoff,
+			srv.cfg.QueueDepth, srv.cfg.CatchUpWorkers, srv.cfg.Logf,
 			srv.reg, metrics.Labels{"query": id})
 		if err != nil {
 			return nil, fmt.Errorf("private ingest: %w", err)

@@ -58,6 +58,14 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// PollBackoff is the ingest idle-poll pause (default 10ms).
 	PollBackoff time.Duration
+	// QueueDepth bounds each query's per-partition delivery queue, in
+	// batches (default 64). A query that falls a full queue behind is
+	// shed to the catch-up path instead of stalling the partition loop.
+	QueueDepth int
+	// CatchUpWorkers bounds simultaneous late-registration catch-up
+	// consumers per ingest plane (default 4), so a burst of late
+	// queries cannot open unbounded private consumers.
+	CatchUpWorkers int
 	// GlobalBudget, when positive, enables the cross-query budget
 	// scheduler: the total sampled items per second shared by all
 	// registered queries, reapportioned every ScheduleEvery from each
@@ -136,7 +144,7 @@ func New(cfg Config) (*Server, error) {
 	s.buildMux()
 	if !cfg.PerQueryIngest {
 		s.ing, err = newIngest(cfg.Cluster, cfg.DialShard, cfg.Topic, cfg.Group+"-ingest",
-			parts, cfg.PollBackoff, cfg.Logf, s.reg, nil)
+			parts, cfg.PollBackoff, cfg.QueueDepth, cfg.CatchUpWorkers, cfg.Logf, s.reg, nil)
 		if err != nil {
 			return nil, fmt.Errorf("server: ingest plane: %w", err)
 		}
