@@ -5,6 +5,8 @@
 // Usage:
 //
 //	brokerd [-addr host:port] [-topic name] [-partitions N] [-json-only]
+//	        [-data-dir path] [-fsync always|interval|none] [-fsync-every d]
+//	        [-segment-records N]
 //	        [-node-id id -peers id=host:port,id=host:port,...]
 //	        [-replicas N] [-min-isr N] [-heartbeat d] [-fail-after N]
 //
@@ -13,6 +15,11 @@
 // legacy JSON lockstep protocol), an escape hatch for debugging wire
 // issues or emulating a pre-codec broker.
 //
+// With -data-dir the partition logs are DURABLE: segmented append-only
+// files with CRC-framed records, fsynced per -fsync, recovered (with
+// torn tails truncated) on the next start. Without it everything is
+// in-memory and dies with the process.
+//
 // With -node-id and -peers the daemon joins a broker cluster: partition
 // placement is rendezvous-hashed over the member list, each partition's
 // leader streams appended chunks to its followers (`-replicas` copies,
@@ -20,9 +27,14 @@
 // partitions fail over to the next live replica. Every member must be
 // started with the same -peers map and the same topic flags. Point
 // producers and saproxd at any subset of members (`saproxd -brokers`).
+// A killed member restarted with the same -node-id and -data-dir
+// recovers its logs, rejoins the running cluster as a follower,
+// truncates any divergence back to the committed watermark, catches up
+// and re-enters the ISR.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +45,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker"
+	"streamapprox/internal/broker/storage"
 )
 
 func main() {
@@ -70,6 +83,10 @@ func run() error {
 	topic := flag.String("topic", "stream", "topic to pre-create")
 	partitions := flag.Int("partitions", 4, "partition count for the topic")
 	jsonOnly := flag.Bool("json-only", false, "disable the binary wire codec (legacy JSON protocol only)")
+	dataDir := flag.String("data-dir", "", "directory for durable partition logs (empty: in-memory)")
+	fsyncFlag := flag.String("fsync", "always", "fsync policy for appended records: always, interval or none")
+	fsyncEvery := flag.Duration("fsync-every", 50*time.Millisecond, "flush period with -fsync interval")
+	segRecords := flag.Int("segment-records", 0, "records per segment file (0: default 4096)")
 	nodeID := flag.String("node-id", "", "cluster member id (empty: standalone)")
 	peersFlag := flag.String("peers", "", "full cluster member map id=host:port,... (must include -node-id)")
 	replicas := flag.Int("replicas", 2, "replication factor per partition (cluster mode)")
@@ -78,9 +95,31 @@ func run() error {
 	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a peer is declared dead")
 	flag.Parse()
 
-	b := broker.New()
-	if err := b.CreateTopic(*topic, *partitions); err != nil {
+	policy, err := storage.ParseSyncPolicy(*fsyncFlag)
+	if err != nil {
 		return err
+	}
+	b, err := broker.Open(broker.StorageConfig{
+		Dir:            *dataDir,
+		Policy:         policy,
+		SyncEvery:      *fsyncEvery,
+		SegmentRecords: *segRecords,
+	})
+	if err != nil {
+		return err
+	}
+	// On a restart the topic is recovered from the data directory; a
+	// partition count that disagrees with the flags is an operator
+	// error better caught at boot than as mysterious routing failures.
+	if err := b.CreateTopic(*topic, *partitions); err != nil {
+		if !errors.Is(err, broker.ErrTopicExists) {
+			return err
+		}
+		if n, err := b.Partitions(*topic); err != nil {
+			return err
+		} else if n != *partitions {
+			return fmt.Errorf("recovered topic %q has %d partitions but -partitions is %d; match the flag or use a fresh -data-dir", *topic, n, *partitions)
+		}
 	}
 
 	var node *broker.ClusterNode
@@ -124,12 +163,16 @@ func run() error {
 	if *jsonOnly {
 		codec = "json-only"
 	}
+	store := "in-memory"
+	if *dataDir != "" {
+		store = fmt.Sprintf("durable %s (fsync %s)", *dataDir, policy)
+	}
 	if node != nil {
-		fmt.Printf("brokerd %s listening on %s (topic %q, %d partitions, replicas %d, %s wire)\n",
-			*nodeID, srv.Addr(), *topic, *partitions, *replicas, codec)
+		fmt.Printf("brokerd %s listening on %s (topic %q, %d partitions, replicas %d, %s wire, %s)\n",
+			*nodeID, srv.Addr(), *topic, *partitions, *replicas, codec, store)
 	} else {
-		fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire)\n",
-			srv.Addr(), *topic, *partitions, codec)
+		fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire, %s)\n",
+			srv.Addr(), *topic, *partitions, codec, store)
 	}
 
 	sig := make(chan os.Signal, 1)

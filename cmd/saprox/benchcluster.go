@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker"
+	"streamapprox/internal/broker/storage"
 )
 
 type benchClusterMembers struct {
@@ -26,13 +27,31 @@ type benchClusterMembers struct {
 	nodes   []*broker.ClusterNode
 	addrs   []string
 	ids     []string
+	dirs    []string
 }
 
-func startBenchCluster(members, replicas, minISR int) (*benchClusterMembers, error) {
+// startBenchCluster boots an in-process cluster; with durable set each
+// member keeps its partition logs in a temp directory (fsync interval,
+// the realistic durable serving configuration).
+func startBenchCluster(members, replicas, minISR int, durable bool) (*benchClusterMembers, error) {
 	bc := &benchClusterMembers{}
 	peers := make(map[string]string, members)
 	for i := 0; i < members; i++ {
-		b := broker.New()
+		var cfg broker.StorageConfig
+		if durable {
+			dir, err := os.MkdirTemp("", "benchcluster")
+			if err != nil {
+				bc.stop()
+				return nil, err
+			}
+			bc.dirs = append(bc.dirs, dir)
+			cfg = broker.StorageConfig{Dir: dir, Policy: storage.SyncInterval}
+		}
+		b, err := broker.Open(cfg)
+		if err != nil {
+			bc.stop()
+			return nil, err
+		}
 		srv, err := broker.Serve(b, "127.0.0.1:0")
 		if err != nil {
 			bc.stop()
@@ -86,6 +105,10 @@ func (bc *benchClusterMembers) stop() {
 		bc.servers[i].Close()
 		bc.brokers[i].Close()
 	}
+	for _, dir := range bc.dirs {
+		_ = os.RemoveAll(dir)
+	}
+	bc.dirs = nil
 }
 
 func (bc *benchClusterMembers) indexOf(id string) int {
@@ -116,6 +139,7 @@ type benchClusterResult struct {
 	Records   int              `json:"records"`
 	Batch     int              `json:"batch"`
 	Parts     int              `json:"partitions"`
+	Durable   bool             `json:"durable"`
 	Single    benchClusterSide `json:"single_broker"`
 	Cluster3  benchClusterSide `json:"three_brokers_rf2"`
 	// ReplicationCost is single-broker produce rate over 3-broker rate:
@@ -139,9 +163,9 @@ func benchRecs(v0, n int) []broker.Record {
 
 // measureClusterSide produces `records` in `batch`-sized requests and
 // then fetches everything back, both through the routing client.
-func measureClusterSide(members, replicas, minISR, records, batch, parts int) (benchClusterSide, error) {
+func measureClusterSide(members, replicas, minISR, records, batch, parts int, durable bool) (benchClusterSide, error) {
 	side := benchClusterSide{Members: members, Replicas: replicas, MinISR: minISR}
-	bc, err := startBenchCluster(members, replicas, minISR)
+	bc, err := startBenchCluster(members, replicas, minISR, durable)
 	if err != nil {
 		return side, err
 	}
@@ -198,8 +222,8 @@ func measureClusterSide(members, replicas, minISR, records, batch, parts int) (b
 // measureFailoverRecovery kills the leader of partition 0 on a fresh
 // 3-broker cluster and times until a produce to that partition succeeds
 // again.
-func measureFailoverRecovery(batch, parts int) (float64, error) {
-	bc, err := startBenchCluster(3, 2, 2)
+func measureFailoverRecovery(batch, parts int, durable bool) (float64, error) {
+	bc, err := startBenchCluster(3, 2, 2, durable)
 	if err != nil {
 		return 0, err
 	}
@@ -240,6 +264,7 @@ func runBenchCluster(args []string) error {
 	records := fs.Int("records", 100000, "records per measurement")
 	batch := fs.Int("batch", 1000, "records per produce request")
 	parts := fs.Int("partitions", 4, "topic partitions")
+	durable := fs.Bool("durable", false, "use durable on-disk partition logs (temp dirs, fsync interval)")
 	out := fs.String("out", "BENCH_cluster.json", `result file ("-" for stdout only)`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -256,22 +281,27 @@ func runBenchCluster(args []string) error {
 		Records:   *records,
 		Batch:     *batch,
 		Parts:     *parts,
+		Durable:   *durable,
 	}
 
-	fmt.Fprintf(os.Stderr, "bench-cluster: single broker, %d records...\n", *records)
+	mode := "in-memory"
+	if *durable {
+		mode = "durable"
+	}
+	fmt.Fprintf(os.Stderr, "bench-cluster: single broker (%s), %d records...\n", mode, *records)
 	var err error
-	if res.Single, err = measureClusterSide(1, 1, 1, *records, *batch, *parts); err != nil {
+	if res.Single, err = measureClusterSide(1, 1, 1, *records, *batch, *parts, *durable); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench-cluster: 3 brokers rf=2 min-isr=2, %d records...\n", *records)
-	if res.Cluster3, err = measureClusterSide(3, 2, 2, *records, *batch, *parts); err != nil {
+	fmt.Fprintf(os.Stderr, "bench-cluster: 3 brokers rf=2 min-isr=2 (%s), %d records...\n", mode, *records)
+	if res.Cluster3, err = measureClusterSide(3, 2, 2, *records, *batch, *parts, *durable); err != nil {
 		return err
 	}
 	if res.Cluster3.ProduceItemsPerSec > 0 {
 		res.ReplicationCost = res.Single.ProduceItemsPerSec / res.Cluster3.ProduceItemsPerSec
 	}
 	fmt.Fprintln(os.Stderr, "bench-cluster: failover recovery...")
-	if res.FailoverRecoverySeconds, err = measureFailoverRecovery(*batch, *parts); err != nil {
+	if res.FailoverRecoverySeconds, err = measureFailoverRecovery(*batch, *parts, *durable); err != nil {
 		return err
 	}
 

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"streamapprox/internal/broker/storage"
 )
 
 // Microbenchmarks for the broker data plane. The json/binary pairs
@@ -180,12 +182,14 @@ func BenchmarkWirePipelinedFetch(b *testing.B) {
 func BenchmarkLogAppend(b *testing.B) {
 	for _, batch := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			p := &partitionLog{}
+			p := storage.NewMemLog()
 			recs := benchRecords(batch)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.append(recs)
+				if _, err := p.Append(recs); err != nil {
+					b.Fatal(err)
+				}
 			}
 			reportItems(b, int64(b.N)*int64(batch))
 		})
@@ -194,16 +198,18 @@ func BenchmarkLogAppend(b *testing.B) {
 
 // BenchmarkLogRead measures chunked random reads from a loaded log.
 func BenchmarkLogRead(b *testing.B) {
-	p := &partitionLog{}
+	p := storage.NewMemLog()
 	const loaded = 1 << 18
 	for i := 0; i < loaded/4096; i++ {
-		p.append(benchRecords(4096))
+		if _, err := p.Append(benchRecords(4096)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off := int64((i * 7919) % (loaded - benchBatch))
-		recs, err := p.read(off, benchBatch)
+		recs, err := p.Read(off, benchBatch)
 		if err != nil || len(recs) != benchBatch {
 			b.Fatalf("read %d records, %v", len(recs), err)
 		}

@@ -9,14 +9,26 @@
 // the partitions of a topic and track committed offsets. Two transports
 // are provided: direct in-process calls (this file) and a length-prefixed
 // TCP protocol (transport.go) served by cmd/brokerd.
+//
+// Partition logs live behind the storage engine in internal/broker/
+// storage: in-memory chunked logs by default (broker.New), segmented
+// append-only files under a data directory when opened with
+// broker.Open — the durable mode that lets a killed broker recover its
+// logs and rejoin a running cluster (node.go).
 package broker
 
 import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"streamapprox/internal/broker/storage"
 )
 
 // Errors returned by broker operations.
@@ -24,96 +36,45 @@ var (
 	ErrTopicExists      = errors.New("broker: topic already exists")
 	ErrUnknownTopic     = errors.New("broker: unknown topic")
 	ErrBadPartition     = errors.New("broker: partition out of range")
-	ErrOffsetOutOfRange = errors.New("broker: offset out of range")
+	ErrOffsetOutOfRange = storage.ErrOffsetOutOfRange
 	ErrClosed           = errors.New("broker: closed")
 )
 
-// Record is one message in a partition log.
-type Record struct {
-	Topic     string    `json:"topic"`
-	Partition int       `json:"partition"`
-	Offset    int64     `json:"offset"`
-	Key       string    `json:"key"`
-	Value     float64   `json:"value"`
-	Time      time.Time `json:"time"`
-}
+// Record is one message in a partition log. The type is owned by the
+// storage engine; the alias keeps the broker API unchanged.
+type Record = storage.Record
 
-// logChunkSize is the record capacity of one partition-log chunk.
-const logChunkSize = 4096
-
-// partitionLog is one partition's append-only record log, stored as
-// fixed-capacity chunks. Appends bulk-copy into the tail chunk (never
-// reallocating earlier history, unlike a single growing slice), and
-// reads locate their chunk by division and bulk-copy out — a record's
-// offset is its position, so no scanning is ever needed.
-type partitionLog struct {
-	mu     sync.RWMutex
-	chunks [][]Record
-	n      int64 // total records; the high watermark
-}
-
-// append stamps consecutive offsets onto recs (which the caller must
-// own) and bulk-copies them into the log. It returns the base offset.
-func (p *partitionLog) append(recs []Record) int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.appendLocked(recs)
-}
-
-// appendLocked is append with p.mu already held.
-func (p *partitionLog) appendLocked(recs []Record) int64 {
-	base := p.n
-	for i := range recs {
-		recs[i].Offset = base + int64(i)
-	}
-	for rest := recs; len(rest) > 0; {
-		if len(p.chunks) == 0 || len(p.chunks[len(p.chunks)-1]) == logChunkSize {
-			p.chunks = append(p.chunks, make([]Record, 0, logChunkSize))
-		}
-		tail := len(p.chunks) - 1
-		take := logChunkSize - len(p.chunks[tail])
-		if take > len(rest) {
-			take = len(rest)
-		}
-		p.chunks[tail] = append(p.chunks[tail], rest[:take]...)
-		rest = rest[take:]
-	}
-	p.n = base + int64(len(recs))
-	return base
-}
-
-// read returns up to max records starting at offset.
-func (p *partitionLog) read(offset int64, max int) ([]Record, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if offset < 0 || offset > p.n {
-		return nil, ErrOffsetOutOfRange
-	}
-	end := offset + int64(max)
-	if end > p.n {
-		end = p.n
-	}
-	out := make([]Record, end-offset)
-	for filled := int64(0); offset+filled < end; {
-		at := offset + filled
-		chunk := p.chunks[at/logChunkSize]
-		filled += int64(copy(out[filled:], chunk[at%logChunkSize:]))
-	}
-	return out, nil
-}
-
-func (p *partitionLog) highWatermark() int64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.n
+// partition is one partition's log plus the mutex that makes
+// check-then-append sequences (replicateAppend's dedup trim) atomic
+// against concurrent appends. Reads go straight to the log, which is
+// internally synchronized, so they never serialize behind appends.
+type partition struct {
+	appendMu sync.Mutex
+	log      storage.Log
 }
 
 // topic is a named set of partitions.
 type topic struct {
 	name       string
-	partitions []*partitionLog
+	partitions []*partition
 	rr         uint64 // round-robin cursor for keyless records
 	rrMu       sync.Mutex
+}
+
+// StorageConfig selects where a broker keeps its partition logs.
+type StorageConfig struct {
+	// Dir is the data directory ("" = in-memory, nothing survives the
+	// process). Layout: <dir>/<topic>/<partition>/<base>.seg plus
+	// state files alongside the segments.
+	Dir string
+	// Policy is the fsync policy for appended records (default
+	// SyncAlways; see storage.SyncPolicy).
+	Policy storage.SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 50ms).
+	SyncEvery time.Duration
+	// SegmentRecords is the record capacity of one segment file
+	// (default 4096).
+	SegmentRecords int
 }
 
 // Broker is an in-process message broker.
@@ -121,6 +82,8 @@ type Broker struct {
 	mu     sync.RWMutex
 	topics map[string]*topic
 	closed bool
+
+	scfg StorageConfig
 
 	groupMu sync.Mutex
 	groups  map[string]*groupState // committed offsets per consumer group
@@ -130,7 +93,7 @@ type groupState struct {
 	offsets map[string][]int64 // topic -> per-partition committed offset
 }
 
-// New returns an empty broker.
+// New returns an empty in-memory broker.
 func New() *Broker {
 	return &Broker{
 		topics: make(map[string]*topic),
@@ -138,12 +101,156 @@ func New() *Broker {
 	}
 }
 
-// Close marks the broker closed; subsequent operations fail with
-// ErrClosed.
+// Open returns a durable broker backed by cfg.Dir, recovering every
+// topic, partition log (truncating torn tails) and consumer-group
+// offset a previous process left there. With cfg.Dir == "" it is
+// equivalent to New.
+func Open(cfg StorageConfig) (*Broker, error) {
+	b := New()
+	b.scfg = cfg
+	if cfg.Dir == "" {
+		return b, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		parts, err := recoverPartitionCount(filepath.Join(cfg.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if parts == 0 {
+			continue
+		}
+		if err := b.createTopic(name, parts); err != nil {
+			return nil, err
+		}
+	}
+	var jg jsonGroups
+	if ok, err := storage.LoadJSON(b.groupsPath(), &jg); err != nil {
+		return nil, err
+	} else if ok {
+		b.groups = jg.toGroups()
+	}
+	return b, nil
+}
+
+// recoverPartitionCount counts the numeric partition subdirectories of
+// one recovered topic directory (0..N-1 must all exist).
+func recoverPartitionCount(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("broker: %w", err)
+	}
+	max := -1
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		p, err := strconv.Atoi(e.Name())
+		if err != nil || p < 0 {
+			continue
+		}
+		if p > max {
+			max = p
+		}
+	}
+	return max + 1, nil
+}
+
+// Dir returns the broker's data directory ("" when in-memory).
+func (b *Broker) Dir() string { return b.scfg.Dir }
+
+// SyncAlways reports whether the broker fsyncs every append — the mode
+// in which state files are fsynced too.
+func (b *Broker) syncAlways() bool {
+	return b.scfg.Dir != "" && b.scfg.Policy == storage.SyncAlways
+}
+
+// PartitionDir returns the directory holding one partition's segments
+// ("" for an in-memory broker). Cluster state files live next to them.
+func (b *Broker) PartitionDir(topicName string, p int) string {
+	if b.scfg.Dir == "" {
+		return ""
+	}
+	return filepath.Join(b.scfg.Dir, topicName, strconv.Itoa(p))
+}
+
+func (b *Broker) groupsPath() string {
+	return filepath.Join(b.scfg.Dir, "groups.json")
+}
+
+// jsonGroups is the on-disk form of the consumer-group offset table.
+type jsonGroups struct {
+	Groups map[string]map[string][]int64 `json:"groups"` // group -> topic -> offsets
+}
+
+func (jg *jsonGroups) toGroups() map[string]*groupState {
+	out := make(map[string]*groupState, len(jg.Groups))
+	for g, topics := range jg.Groups {
+		gs := &groupState{offsets: make(map[string][]int64, len(topics))}
+		for t, offs := range topics {
+			gs.offsets[t] = append([]int64(nil), offs...)
+		}
+		out[g] = gs
+	}
+	return out
+}
+
+// saveGroupsLocked persists the group table (groupMu held). Best
+// effort off the commit path is not enough: the commit is acked only
+// after the write, so a restart resumes from it.
+func (b *Broker) saveGroupsLocked() error {
+	if b.scfg.Dir == "" {
+		return nil
+	}
+	jg := jsonGroups{Groups: make(map[string]map[string][]int64, len(b.groups))}
+	for g, gs := range b.groups {
+		topics := make(map[string][]int64, len(gs.offsets))
+		for t, offs := range gs.offsets {
+			topics[t] = append([]int64(nil), offs...)
+		}
+		jg.Groups[g] = topics
+	}
+	return storage.SaveJSON(b.groupsPath(), &jg, b.syncAlways())
+}
+
+// Close marks the broker closed and syncs + closes every partition
+// log; subsequent operations fail with ErrClosed.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
 	b.closed = true
+	for _, t := range b.topics {
+		for _, p := range t.partitions {
+			_ = p.log.Close()
+		}
+	}
+}
+
+// newLog builds the storage for one partition per the broker's config.
+func (b *Broker) newLog(topicName string, p int) (storage.Log, error) {
+	if b.scfg.Dir == "" {
+		return storage.NewMemLog(), nil
+	}
+	return storage.OpenFileLog(b.PartitionDir(topicName, p), storage.FileConfig{
+		Topic:          topicName,
+		Partition:      p,
+		SegmentRecords: b.scfg.SegmentRecords,
+		Policy:         b.scfg.Policy,
+		SyncEvery:      b.scfg.SyncEvery,
+	})
 }
 
 // CreateTopic creates a topic with the given partition count.
@@ -151,6 +258,10 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if partitions < 1 {
 		partitions = 1
 	}
+	return b.createTopic(name, partitions)
+}
+
+func (b *Broker) createTopic(name string, partitions int) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -159,9 +270,16 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 	if _, ok := b.topics[name]; ok {
 		return ErrTopicExists
 	}
-	parts := make([]*partitionLog, partitions)
+	parts := make([]*partition, partitions)
 	for i := range parts {
-		parts[i] = &partitionLog{}
+		log, err := b.newLog(name, i)
+		if err != nil {
+			for _, p := range parts[:i] {
+				_ = p.log.Close()
+			}
+			return err
+		}
+		parts[i] = &partition{log: log}
 	}
 	b.topics[name] = &topic{name: name, partitions: parts}
 	return nil
@@ -175,6 +293,13 @@ func (b *Broker) Topics() []string {
 	for name := range b.topics {
 		out = append(out, name)
 	}
+	return out
+}
+
+// TopicsSorted returns the topic names in lexical order.
+func (b *Broker) TopicsSorted() []string {
+	out := b.Topics()
+	sort.Strings(out)
 	return out
 }
 
@@ -217,6 +342,14 @@ func (t *topic) partitionFor(key string) int {
 	return int(h.Sum32()) % len(t.partitions)
 }
 
+// append stamps topic/partition onto a caller-owned batch and appends
+// it under the partition's append mutex, returning the base offset.
+func (p *partition) append(batch []Record) (int64, error) {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	return p.log.Append(batch)
+}
+
 // Produce appends records to a topic, routing each by its key. It returns
 // the number of records appended.
 func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
@@ -234,7 +367,9 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 			r.Partition = 0
 			batch[i] = r
 		}
-		t.partitions[0].append(batch)
+		if _, err := t.partitions[0].append(batch); err != nil {
+			return 0, err
+		}
 		return len(recs), nil
 	}
 	byPart := make([][]Record, len(t.partitions))
@@ -246,7 +381,9 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 	}
 	for p, batch := range byPart {
 		if len(batch) > 0 {
-			t.partitions[p].append(batch)
+			if _, err := t.partitions[p].append(batch); err != nil {
+				return 0, err
+			}
 		}
 	}
 	return len(recs), nil
@@ -270,7 +407,7 @@ func (b *Broker) producePartition(topicName string, partition int, recs []Record
 		r.Partition = partition
 		batch[i] = r
 	}
-	return t.partitions[partition].append(batch), nil
+	return t.partitions[partition].append(batch)
 }
 
 // replicateAppend applies a leader's replicated batch at an exact base
@@ -288,13 +425,14 @@ func (b *Broker) replicateAppend(topicName string, partition int, base int64, re
 		return 0, ErrBadPartition
 	}
 	p := t.partitions[partition]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if base > p.n {
-		return p.n, nil // gap: leader must resend from our watermark
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	hwm := p.log.HighWatermark()
+	if base > hwm {
+		return hwm, nil // gap: leader must resend from our watermark
 	}
-	if skip := p.n - base; skip >= int64(len(recs)) {
-		return p.n, nil // fully duplicate batch
+	if skip := hwm - base; skip >= int64(len(recs)) {
+		return hwm, nil // fully duplicate batch
 	} else if skip > 0 {
 		recs = recs[skip:]
 	}
@@ -304,8 +442,27 @@ func (b *Broker) replicateAppend(topicName string, partition int, base int64, re
 		r.Partition = partition
 		batch[i] = r
 	}
-	p.appendLocked(batch)
-	return p.n, nil
+	if _, err := p.log.Append(batch); err != nil {
+		return hwm, err
+	}
+	return p.log.HighWatermark(), nil
+}
+
+// truncatePartition discards every record at offset >= hwm — the rejoin
+// path's divergence cut, applied before a recovered replica re-enters
+// the cluster.
+func (b *Broker) truncatePartition(topicName string, partition int, hwm int64) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return ErrBadPartition
+	}
+	p := t.partitions[partition]
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	return p.log.TruncateTo(hwm)
 }
 
 // Fetch reads up to max records from one partition starting at offset.
@@ -320,7 +477,7 @@ func (b *Broker) Fetch(topicName string, partition int, offset int64, max int) (
 	if max <= 0 {
 		max = 1024
 	}
-	return t.partitions[partition].read(offset, max)
+	return t.partitions[partition].log.Read(offset, max)
 }
 
 // HighWatermark returns the next offset to be written in a partition.
@@ -332,10 +489,12 @@ func (b *Broker) HighWatermark(topicName string, partition int) (int64, error) {
 	if partition < 0 || partition >= len(t.partitions) {
 		return 0, ErrBadPartition
 	}
-	return t.partitions[partition].highWatermark(), nil
+	return t.partitions[partition].log.HighWatermark(), nil
 }
 
 // Commit records a consumer group's committed offset for a partition.
+// On a durable broker the offset table is persisted (atomically) before
+// the commit is acked, so a restarted process resumes from it.
 func (b *Broker) Commit(group, topicName string, partition int, offset int64) error {
 	t, err := b.topic(topicName)
 	if err != nil {
@@ -352,12 +511,14 @@ func (b *Broker) Commit(group, topicName string, partition int, offset int64) er
 		b.groups[group] = g
 	}
 	offs, ok := g.offsets[topicName]
-	if !ok {
-		offs = make([]int64, len(t.partitions))
+	if !ok || len(offs) < len(t.partitions) {
+		grown := make([]int64, len(t.partitions))
+		copy(grown, offs)
+		offs = grown
 		g.offsets[topicName] = offs
 	}
 	offs[partition] = offset
-	return nil
+	return b.saveGroupsLocked()
 }
 
 // Committed returns a consumer group's committed offset for a partition

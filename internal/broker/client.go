@@ -391,12 +391,46 @@ func (c *Client) Meta() (*ClusterMeta, error) {
 }
 
 // ping exchanges failure-detector views with a cluster peer.
-func (c *Client) ping(node string, epoch int64, dead []string) (int64, []string, error) {
-	resp, err := c.controlRoundTrip(&wireRequest{Op: opPing, Node: node, Epoch: epoch, Dead: dead})
+func (c *Client) ping(node string, epoch int64, view map[string]PeerStatus) (int64, map[string]PeerStatus, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{Op: opPing, Node: node, Epoch: epoch, View: view})
 	if err != nil {
 		return 0, nil, err
 	}
-	return resp.Epoch, resp.Dead, nil
+	return resp.Epoch, resp.View, nil
+}
+
+// replicaFetch reads committed records from a fellow cluster member
+// regardless of partition leadership — the rejoin catch-up surface.
+func (c *Client) replicaFetch(sender, topic string, partition int, offset int64, max int) ([]Record, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{
+		Op: opRFetch, Node: sender, Topic: topic, Partition: partition, Offset: offset, Max: max,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// replicaHWM reads a member's known committed watermark for a
+// partition, leadership-independent.
+func (c *Client) replicaHWM(sender, topic string, partition int) (int64, error) {
+	resp, err := c.controlRoundTrip(&wireRequest{
+		Op: opRHWM, Node: sender, Topic: topic, Partition: partition,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// commitRep replicates a consumer-group commit from a partition leader
+// to a follower replica.
+func (c *Client) commitRep(epoch int64, sender, group, topic string, partition int, offset int64) error {
+	_, err := c.controlRoundTrip(&wireRequest{
+		Op: opCommitRep, Node: sender, Epoch: epoch,
+		Group: group, Topic: topic, Partition: partition, Offset: offset,
+	})
+	return err
 }
 
 // ProducePartition appends records to one explicit partition, carrying
@@ -438,12 +472,12 @@ func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint
 // replicate streams one leader-appended chunk to a follower, returning
 // the follower's resulting high watermark. Cluster peers always speak
 // the binary codec.
-func (c *Client) replicate(epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) (int64, error) {
+func (c *Client) replicate(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
 	if !c.binary {
 		return 0, errors.New("broker: replicate requires the binary codec")
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeReplicateReq(fb, corr, epoch, sender, topic, partition, base, metas, recs)
+		encodeReplicateReq(fb, corr, epoch, sender, topic, partition, base, committed, metas, recs)
 	})
 	if err != nil {
 		return 0, err

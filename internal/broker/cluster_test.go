@@ -366,6 +366,65 @@ func TestProducerDedupAcrossRetries(t *testing.T) {
 	}
 }
 
+// TestLeaderRoutedCommitsExact pins the consumer-group commit path:
+// commits route through the partition leader and replicate to its
+// follower replicas, so Committed is exact (reads at the leader) and
+// survives a leader failover — including a commit that moves
+// BACKWARDS, which the old best-effort max-over-members fan-out could
+// never represent.
+func TestLeaderRoutedCommitsExact(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	cc := tc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Produce("t", keylessRecs(0, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Commit("g", "t", 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	// A rewind (seek back) must stick: exact semantics, not max.
+	if err := cc.Commit("g", "t", 0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := cc.Committed("g", "t", 0); err != nil || off != 250 {
+		t.Fatalf("committed = %d, %v (want the rewound 250)", off, err)
+	}
+	// A non-replica answers Committed with a NotLeader redirect rather
+	// than a stale local value.
+	reps := replicasFor("t", 0, tc.ids, 2)
+	for _, id := range tc.ids {
+		if id == reps[0] || id == reps[1] {
+			continue
+		}
+		cli, err := Dial(tc.addrs[tc.indexOf(id)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Committed("g", "t", 0); !IsNotLeader(err) {
+			t.Fatalf("committed at non-replica: %v, want NotLeader", err)
+		}
+		_ = cli.Close()
+	}
+	// The committed offset survives the leader's death: the promoted
+	// follower holds the replicated copy.
+	m, _ := cc.Meta()
+	leader := m.LeaderOf("t", 0)
+	tc.kill(tc.indexOf(leader))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		off, err := cc.Committed("g", "t", 0)
+		if err == nil && off == 250 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("committed after failover = %d, %v (want 250)", off, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // ---- failover ----
 
 func TestClusterFailoverPromotesFollowerNoLossNoDup(t *testing.T) {
@@ -525,13 +584,17 @@ func TestBackfillCarriesOtherProducersDedup(t *testing.T) {
 	}
 }
 
-// TestDeposedLeaderDoesNotDetectMajorityDead pins the fencing/liveness
-// separation: when the majority has deposed a stalled leader, the
-// deposed node's replicates are rejected — but those ANSWERED
-// rejections must not feed its failure detector, inflate its epoch, or
-// let it shrink min-ISR and commit solo. Otherwise its higher epoch
-// would win clients' max-epoch metadata selection and split the brain.
-func TestDeposedLeaderDoesNotDetectMajorityDead(t *testing.T) {
+// TestDeposedLeaderDemotesAndRejoins pins the fencing/liveness
+// separation under the fail-recover membership model: when the
+// majority deposes a leader, the deposed node's replicates are
+// rejected — and those ANSWERED rejections must not feed its failure
+// detector (a deposed leader must never "detect" the healthy majority
+// as dead and commit solo). On learning of its deposal it demotes
+// itself to the joining state, truncates its unacked tail back to the
+// promoted leader's committed watermark, and re-announces with a
+// status version above the accusation. Through the whole episode every
+// produce it ACKED must be visible exactly once.
+func TestDeposedLeaderDemotesAndRejoins(t *testing.T) {
 	tc := startCluster(t, 3, nil)
 	cc := tc.dialCluster()
 	if err := cc.CreateTopic("t", 1); err != nil {
@@ -548,37 +611,83 @@ func TestDeposedLeaderDoesNotDetectMajorityDead(t *testing.T) {
 	// after it stalled through its heartbeat deadline.
 	for i, node := range tc.nodes {
 		if i != li {
-			node.mergeView(node.epoch+1, []string{leader})
+			node.mergeView(node.epoch+1, map[string]PeerStatus{leader: {Dead: true, Ver: 1}})
 		}
 	}
 
-	// The deposed leader keeps trying to produce: every replicate is
-	// rejected by fencing, so the produce must fail under-replicated...
+	// The deposed leader keeps trying to produce fresh batches. While
+	// fenced, every replicate is rejected (answered) and the produce
+	// fails under-replicated; meanwhile its heartbeats bring back the
+	// deposal, it demotes, resyncs, re-announces, and completes the
+	// takeover handshake — after which produces succeed, REPLICATED.
+	// (Whether the first attempts land in the fenced window is timing;
+	// the invariants — every ack exactly-once, never a solo commit
+	// that survives as a divergent log — are asserted below.)
 	cliL, err := Dial(tc.addrs[li])
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = cliL.Close() }()
-	for i := 0; i < 10; i++ {
-		if _, err := cliL.ProducePartition("t", 0, 33, uint64(i+1), keylessRecs(100, 10)); err == nil {
-			t.Fatal("deposed leader acked a produce solo")
+	acked := map[int]bool{}
+	fenced := 0
+	deadline := time.Now().Add(10 * time.Second)
+	seq, batch := uint64(0), -1
+	for {
+		seq++
+		batch++
+		v0 := 1000 + batch*10
+		if _, err := cliL.ProducePartition("t", 0, 33, seq, keylessRecs(v0, 10)); err == nil {
+			acked[v0] = true
+			break
 		}
+		fenced++
+		if time.Now().After(deadline) {
+			t.Fatal("deposed leader never rejoined")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	// ...and the rejections must not have poisoned its view.
-	epoch, dead := tc.nodes[li].viewSnapshot()
-	if len(dead) != 0 {
+	t.Logf("%d produce attempts fenced before the rejoin", fenced)
+
+	// The fencing rejections must not have poisoned its view: it never
+	// declared the healthy majority dead.
+	if _, dead := tc.nodes[li].viewSnapshot(); len(dead) != 0 {
 		t.Fatalf("deposed leader marked peers dead off fencing rejections: %v", dead)
 	}
-	if epoch != 0 {
-		t.Fatalf("deposed leader inflated its epoch to %d", epoch)
+
+	// Acked ⇒ exactly once; everything ⇒ at most once. (A FAILED
+	// produce may still become visible — either truncated at rejoin or
+	// committed by a later round's backfill; produce errors are
+	// at-least-once, exactly as before this refactor.)
+	got := fetchAllValues(t, cc, "t")
+	for v := 0; v < 100; v++ {
+		if got[float64(v)] != 1 {
+			t.Fatalf("pre-deposal record %d appears %d times", v, got[float64(v)])
+		}
 	}
-	// Clients preferring the max-epoch view must route to the promoted
-	// follower, not back to the deposed leader.
-	if err := cc.refreshMeta(); err != nil {
-		t.Fatal(err)
+	for v0 := range acked {
+		for i := 0; i < 10; i++ {
+			if got[float64(v0+i)] != 1 {
+				t.Fatalf("acked record %d appears %d times", v0+i, got[float64(v0+i)])
+			}
+		}
 	}
-	m2, _ := cc.Meta()
-	if got := m2.LeaderOf("t", 0); got == leader || got == "" {
-		t.Fatalf("clients still routed to deposed leader %q (meta leader %q)", leader, got)
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("record %v appears %d times", v, c)
+		}
+	}
+	// Both replicas converge to the same log.
+	reps := replicasFor("t", 0, tc.ids, 2)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		h0, _ := tc.brokers[tc.indexOf(reps[0])].HighWatermark("t", 0)
+		h1, _ := tc.brokers[tc.indexOf(reps[1])].HighWatermark("t", 0)
+		if h0 == h1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas diverge after rejoin: %d vs %d", h0, h1)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

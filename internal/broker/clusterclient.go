@@ -369,6 +369,9 @@ func (cc *ClusterClient) produceLock(tp string) *sync.Mutex {
 // Produce partitions records by key and sends each batch to its
 // partition leader with an idempotent (pid, seq) identity: a batch
 // retried across redirects or a failover is appended exactly once.
+// Per-partition batches go out concurrently — paired with the leaders'
+// pipelined replication, the produce cost of one call is the slowest
+// single partition, not the sum over partitions.
 func (cc *ClusterClient) Produce(topicName string, recs []Record) (int, error) {
 	parts, err := cc.Partitions(topicName)
 	if err != nil {
@@ -379,17 +382,33 @@ func (cc *ClusterClient) Produce(topicName string, recs []Record) (int, error) {
 		p := cc.partitionForKey(r.Key, parts)
 		byPart[p] = append(byPart[p], r)
 	}
-	total := 0
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		firstErr error
+	)
 	for p, batch := range byPart {
 		if len(batch) == 0 {
 			continue
 		}
-		if err := cc.producePartition(topicName, p, batch); err != nil {
-			return total, err
-		}
-		total += len(batch)
+		wg.Add(1)
+		go func(p int, batch []Record) {
+			defer wg.Done()
+			err := cc.producePartition(topicName, p, batch)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				total += len(batch)
+			}
+			mu.Unlock()
+		}(p, batch)
 	}
-	return total, nil
+	wg.Wait()
+	return total, firstErr
 }
 
 // producePartition sends one partition's batch under the partition's
@@ -494,70 +513,26 @@ func (cc *ClusterClient) CreateTopic(name string, partitions int) error {
 	return nil
 }
 
-// Commit fans the group offset out to every reachable member, so the
-// position survives any single broker's death. Best effort: one ack
-// suffices.
+// Commit routes the group offset to the partition leader, which
+// replicates it to the partition's follower replicas exactly like
+// record data — the position survives a failover and Committed is
+// exact, not a best-effort max over members.
 func (cc *ClusterClient) Commit(group, topicName string, partition int, offset int64) error {
-	acked := 0
-	var lastErr error
-	for _, addr := range cc.candidateAddrs() {
-		cli, err := cc.conn(addr)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if err := cli.Commit(group, topicName, partition, offset); err != nil {
-			if !isRemoteErr(err) {
-				cc.dropConn(addr)
-			}
-			lastErr = err
-			continue
-		}
-		acked++
-	}
-	if acked == 0 {
-		if lastErr == nil {
-			lastErr = errors.New("broker: no cluster member reachable")
-		}
-		return lastErr
-	}
-	return nil
+	return cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		return cli.Commit(group, topicName, partition, offset)
+	})
 }
 
-// Committed returns the highest committed group offset any reachable
-// member knows — the max, because a past commit fan-out may have
-// reached only a subset.
+// Committed reads the group's committed offset from the partition
+// leader — the authoritative copy.
 func (cc *ClusterClient) Committed(group, topicName string, partition int) (int64, error) {
-	var best int64
-	ok := false
-	var lastErr error
-	for _, addr := range cc.candidateAddrs() {
-		cli, err := cc.conn(addr)
-		if err != nil {
-			lastErr = err
-			continue
+	var off int64
+	err := cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		o, err := cli.Committed(group, topicName, partition)
+		if err == nil {
+			off = o
 		}
-		off, err := cli.Committed(group, topicName, partition)
-		if err != nil {
-			if isPermanent(err) {
-				return 0, err
-			}
-			if !isRemoteErr(err) {
-				cc.dropConn(addr)
-			}
-			lastErr = err
-			continue
-		}
-		if !ok || off > best {
-			best = off
-		}
-		ok = true
-	}
-	if !ok {
-		if lastErr == nil {
-			lastErr = errors.New("broker: no cluster member reachable")
-		}
-		return 0, lastErr
-	}
-	return best, nil
+		return err
+	})
+	return off, err
 }

@@ -308,10 +308,12 @@ func encodeProducePartReq(fb *frameBuf, corr uint64, topic string, partition int
 
 // encodeReplicateReq encodes one leader→follower replicated chunk. The
 // sender id and epoch fence stale leaders; base is the exact offset the
-// chunk starts at in the leader's log; metas are the producer-batch
-// journal entries covering the chunk's range, so the follower can adopt
-// dedup state for every producer whose records it receives.
-func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) {
+// chunk starts at in the leader's log; committed is the leader's
+// committed watermark (the follower persists it as its restart
+// truncation point); metas are the producer-batch journal entries
+// covering the chunk's range, so the follower can adopt dedup state
+// for every producer whose records it receives.
+func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) {
 	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicate, corr)
 	fb.b = appendU64(fb.b, uint64(epoch))
 	fb.b = appendU16(fb.b, uint16(len(sender)))
@@ -320,6 +322,7 @@ func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic st
 	fb.b = append(fb.b, topic...)
 	fb.b = appendU32(fb.b, uint32(int32(partition)))
 	fb.b = appendU64(fb.b, uint64(base))
+	fb.b = appendU64(fb.b, uint64(committed))
 	fb.b = appendU32(fb.b, uint32(len(metas)))
 	for _, bm := range metas {
 		fb.b = appendU64(fb.b, bm.pid)
@@ -346,12 +349,13 @@ type binRequest struct {
 	jsonBody  []byte
 
 	// Cluster fields (producePart / replicate).
-	pid    uint64
-	seq    uint64
-	epoch  int64
-	sender string
-	base   int64
-	metas  []batchMeta
+	pid       uint64
+	seq       uint64
+	epoch     int64
+	sender    string
+	base      int64
+	committed int64
+	metas     []batchMeta
 }
 
 func decodeBinRequest(payload []byte) (binRequest, error) {
@@ -386,6 +390,7 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 		req.topic = cur.str(int(cur.u16()))
 		req.partition = int(int32(cur.u32()))
 		req.base = int64(cur.u64())
+		req.committed = int64(cur.u64())
 		nmetas := int(cur.u32())
 		if cur.err == nil && nmetas*32 > cur.remaining() {
 			return req, errTruncatedFrame

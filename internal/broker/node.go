@@ -15,28 +15,53 @@ package broker
 //     itself, shrunk to the live replica count) hold the records. The
 //     offset acked that way is the partition's COMMITTED watermark; the
 //     leader serves fetches only up to it, so consumers can never
-//     observe records that a failover could lose.
+//     observe records that a failover could lose. Replication is
+//     pipelined: the partition's append lock is released before the
+//     pushes go out, so any number of produce batches can be in flight
+//     per partition, bounded by a per-follower send window; followers
+//     apply out-of-order arrivals via the gap/backfill protocol below.
 //   - a FOLLOWER applies replicated chunks at their exact base offset
 //     (idempotently: duplicate prefixes are trimmed, gaps answered with
 //     the local watermark so the leader backfills) and tracks producer
 //     sequence numbers, so after a promotion it can deduplicate a
 //     producer's retry of a batch the dead leader already replicated.
+//     Each chunk carries the leader's committed watermark, which the
+//     follower persists — the truncation point of its next restart.
 //
-// Failure model: fail-stop. A node marked dead stays dead for the
-// cluster's lifetime (rejoin requires restarting the cluster); this
-// keeps fencing trivial — replicas reject replication from deposed
-// leaders by their dead set — at the price of no automated re-entry.
-// The no-loss guarantee holds when MinISR == Replicas; with fewer
-// required acks, records on the minority side of a failover can be
-// lost, exactly as in Kafka with acks < all.
+// Failure model: fail-recover. Liveness is a per-member versioned
+// status (SWIM-style incarnations): declaring a peer dead bumps its
+// status version, and only the peer itself can announce itself alive
+// again, with a HIGHER version — so gossip converges on the newest
+// observation and a resurrection cannot be undone by a stale dead set.
+// A node boots (and re-enters after being deposed) in a JOINING state:
+// it takes no leadership and accepts no replication until it has
+// fetched the cluster's current view, created any topics it missed,
+// truncated its recovered logs back to each partition leader's
+// committed watermark (discarding divergent uncommitted tails), and
+// announced itself with a bumped version. Catch-up then rides the
+// ordinary replication backfill. The no-loss guarantee holds when
+// MinISR == Replicas; with fewer required acks, records on the
+// minority side of a failover can be lost, exactly as in Kafka with
+// acks < all.
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streamapprox/internal/broker/storage"
 )
+
+// PeerStatus is one member's liveness in a node's view: Dead plus the
+// status version (incarnation) of the observation. Higher versions win
+// on merge; only a member itself announces its own resurrection.
+type PeerStatus struct {
+	Dead bool  `json:"dead,omitempty"`
+	Ver  int64 `json:"ver,omitempty"`
+}
 
 // NodeConfig configures one broker's membership in a cluster.
 type NodeConfig struct {
@@ -61,8 +86,11 @@ type NodeConfig struct {
 	FailAfter int
 	// StartupGrace is how long failures against a peer that was NEVER
 	// seen alive are forgiven (default 10s) — cluster members boot at
-	// different times, and a node marked dead stays dead.
+	// different times.
 	StartupGrace time.Duration
+	// ReplWindow bounds the replicate batches in flight per follower
+	// (default 32): the send window of pipelined replication.
+	ReplWindow int
 	// Logf, when set, receives membership and replication log lines.
 	Logf func(format string, args ...any)
 }
@@ -94,12 +122,44 @@ type batchMeta struct {
 // without being declared dead.
 const metaJournalCap = 256
 
+// deadProbeEvery is how many heartbeat ticks pass between probes of a
+// peer marked dead — the channel through which mutually-partitioned
+// halves exchange views again once the network heals.
+const deadProbeEvery = 8
+
 // partLead is the leader-side state of one partition: the committed
-// watermark and a mutex serializing produce+replicate rounds.
+// watermark and a mutex serializing the dedup-check + append + journal
+// section of a produce (replication happens outside it). leading
+// tracks whether this node currently serves the partition as leader —
+// every ACQUISITION of leadership re-adopts the local log's high
+// watermark as committed (promotion by fiat), not just the first.
 type partLead struct {
-	mu        sync.Mutex // serializes append→replicate→commit rounds
+	mu        sync.Mutex
 	committed atomic.Int64
 	init      atomic.Bool
+	leading   atomic.Bool
+}
+
+// stateSaver serializes the persisted cluster-state writes of one
+// partition so a slower older snapshot can never overwrite a newer one.
+type stateSaver struct{ mu sync.Mutex }
+
+// partitionState is the on-disk cluster state of one partition, stored
+// as state.json next to its segments: the committed watermark (the
+// restart truncation point) and the producer dedup table and journal.
+// (Consumer-group offsets live in the broker's groups.json, written
+// durably by Commit itself.)
+type partitionState struct {
+	Committed int64           `json:"committed"`
+	Producers []producerEntry `json:"producers,omitempty"`
+	Journal   []producerEntry `json:"journal,omitempty"`
+}
+
+type producerEntry struct {
+	PID  uint64 `json:"pid"`
+	Seq  uint64 `json:"seq"`
+	Base int64  `json:"base"`
+	End  int64  `json:"end"`
 }
 
 // ClusterNode is one broker's cluster brain, attached to its TCP server.
@@ -110,23 +170,38 @@ type ClusterNode struct {
 
 	started time.Time
 
-	mu    sync.Mutex
-	epoch int64
-	dead  map[string]bool
-	miss  map[string]int
-	seen  map[string]bool // peers observed alive at least once
-	conns map[string]*Client
-	leads map[string]*partLead
-	seqs  map[string]map[uint64]prodSeq // topic/partition -> pid -> last batch
-	metas map[string][]batchMeta        // topic/partition -> recent batch journal
+	mu          sync.Mutex
+	epoch       int64
+	view        map[string]PeerStatus // liveness per member (missing = alive, ver 0)
+	selfDeadVer int64                 // highest version anyone declared US dead at
+	joining     bool                  // not yet announced: no leadership, no replication in
+	miss        map[string]int
+	seen        map[string]bool // peers observed alive at least once
+	conns       map[string]*Client
+	leads       map[string]*partLead
+	seqs        map[string]map[uint64]prodSeq // topic/partition -> pid -> last batch
+	metas       map[string][]batchMeta        // topic/partition -> recent batch journal
+	remoteHWM   map[string]int64              // topic/partition -> committed heard from the leader
+	sendWin     map[string]chan struct{}      // follower id -> in-flight replicate slots
+	savers      map[string]*stateSaver
+	commitMus   map[string]*sync.Mutex // topic/partition -> group-commit round lock
+	probing     map[string]bool        // dead peers with a slow probe in flight
+
+	syncing map[string]bool // topic/partition mid-takeover: no leadership yet
+
+	rejoinWake chan struct{} // signaled when a deposal demotes us mid-run
 
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// NewClusterNode validates the config and returns a node. Call Start to
-// begin heartbeating once the node is attached to a serving Server.
+// NewClusterNode validates the config and returns a node. On a durable
+// broker it also loads the persisted per-partition cluster state and
+// truncates each recovered log back to its persisted committed
+// watermark — records past it were never acked and may diverge from
+// the cluster. Call Start (once the node is attached to a serving
+// Server) to run the join handshake and begin heartbeating.
 func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("broker: cluster node needs an id")
@@ -152,6 +227,9 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 	if cfg.StartupGrace <= 0 {
 		cfg.StartupGrace = 10 * time.Second
 	}
+	if cfg.ReplWindow < 1 {
+		cfg.ReplWindow = 32
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -160,28 +238,93 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 		members = append(members, id)
 	}
 	sort.Strings(members)
-	return &ClusterNode{
-		cfg:     cfg,
-		b:       b,
-		members: members,
-		started: time.Now(),
-		dead:    make(map[string]bool),
-		miss:    make(map[string]int),
-		seen:    make(map[string]bool),
-		conns:   make(map[string]*Client),
-		leads:   make(map[string]*partLead),
-		seqs:    make(map[string]map[uint64]prodSeq),
-		metas:   make(map[string][]batchMeta),
-		done:    make(chan struct{}),
-	}, nil
+	n := &ClusterNode{
+		cfg:        cfg,
+		b:          b,
+		members:    members,
+		started:    time.Now(),
+		view:       make(map[string]PeerStatus),
+		joining:    true,
+		miss:       make(map[string]int),
+		seen:       make(map[string]bool),
+		conns:      make(map[string]*Client),
+		leads:      make(map[string]*partLead),
+		seqs:       make(map[string]map[uint64]prodSeq),
+		metas:      make(map[string][]batchMeta),
+		remoteHWM:  make(map[string]int64),
+		sendWin:    make(map[string]chan struct{}),
+		savers:     make(map[string]*stateSaver),
+		commitMus:  make(map[string]*sync.Mutex),
+		probing:    make(map[string]bool),
+		syncing:    make(map[string]bool),
+		rejoinWake: make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	if err := n.loadState(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// loadState recovers the persisted cluster state of every local
+// partition and applies the restart truncation rule.
+func (n *ClusterNode) loadState() error {
+	if n.b.Dir() == "" {
+		return nil
+	}
+	for _, t := range n.b.TopicsSorted() {
+		parts, err := n.b.Partitions(t)
+		if err != nil {
+			continue
+		}
+		for p := 0; p < parts; p++ {
+			var st partitionState
+			ok, err := storage.LoadJSON(n.statePath(t, p), &st)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := n.b.truncatePartition(t, p, st.Committed); err != nil {
+				return fmt.Errorf("broker: recover %s/%d: %w", t, p, err)
+			}
+			tp := tpKey(t, p)
+			n.remoteHWM[tp] = st.Committed
+			for _, pe := range st.Producers {
+				if pe.End > st.Committed {
+					continue // covered records were truncated away
+				}
+				m, ok := n.seqs[tp]
+				if !ok {
+					m = make(map[uint64]prodSeq)
+					n.seqs[tp] = m
+				}
+				m[pe.PID] = prodSeq{seq: pe.Seq, base: pe.Base, end: pe.End}
+			}
+			for _, pe := range st.Journal {
+				if pe.End <= st.Committed {
+					n.metas[tp] = append(n.metas[tp], batchMeta{pid: pe.PID, seq: pe.Seq, base: pe.Base, end: pe.End})
+				}
+			}
+			n.cfg.Logf("cluster %s: recovered %s committed=%d", n.cfg.ID, tp, st.Committed)
+		}
+	}
+	return nil
+}
+
+func (n *ClusterNode) statePath(topic string, partition int) string {
+	return filepath.Join(n.b.PartitionDir(topic, partition), "state.json")
 }
 
 // ID returns the node's member id.
 func (n *ClusterNode) ID() string { return n.cfg.ID }
 
-// Start launches the heartbeat loop. Safe to call once.
+// Start launches the join handshake and the heartbeat loop. Safe to
+// call once, after the node's server is accepting connections.
 func (n *ClusterNode) Start() {
-	n.wg.Add(1)
+	n.wg.Add(2)
+	go n.joinLoop()
 	go n.heartbeatLoop()
 }
 
@@ -209,14 +352,26 @@ func (n *ClusterNode) heartbeatLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(n.cfg.HeartbeatEvery)
 	defer t.Stop()
+	tick := 0
 	for {
 		select {
 		case <-n.done:
 			return
 		case <-t.C:
 		}
+		tick++
 		for _, id := range n.members {
-			if id == n.cfg.ID || n.isDead(id) {
+			if id == n.cfg.ID {
+				continue
+			}
+			if n.isDead(id) {
+				// Slow-probe dead peers to catch healed partitions — in
+				// the background, because dialing an address that is
+				// actually down can block for the full dial timeout and
+				// must not stall liveness probing of healthy peers.
+				if tick%deadProbeEvery == 0 {
+					n.probeDeadAsync(id)
+				}
 				continue
 			}
 			n.probe(id)
@@ -224,16 +379,36 @@ func (n *ClusterNode) heartbeatLoop() {
 	}
 }
 
+// probeDeadAsync probes one dead peer off the heartbeat loop, at most
+// one probe in flight per peer.
+func (n *ClusterNode) probeDeadAsync(id string) {
+	n.mu.Lock()
+	if n.probing[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.probing[id] = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.probe(id)
+		n.mu.Lock()
+		delete(n.probing, id)
+		n.mu.Unlock()
+	}()
+}
+
 // probe heartbeats one peer, exchanging views: the request carries our
-// epoch + dead set, the response the peer's, and both sides merge.
+// epoch + status view, the response the peer's, and both sides merge.
 func (n *ClusterNode) probe(id string) {
 	cli, err := n.peerClient(id)
 	if err != nil {
 		n.markFailure(id, err)
 		return
 	}
-	epoch, dead := n.viewSnapshot()
-	repoch, rdead, err := cli.ping(n.cfg.ID, epoch, dead)
+	epoch, view := n.viewCopy()
+	repoch, rview, err := cli.ping(n.cfg.ID, epoch, view)
 	if err != nil {
 		// Ping IS the liveness probe, so any failure counts — but only a
 		// transport failure taints the connection.
@@ -244,60 +419,118 @@ func (n *ClusterNode) probe(id string) {
 		return
 	}
 	n.markAlive(id)
-	n.mergeView(repoch, rdead)
+	n.mergeView(repoch, rview)
 }
 
-// viewSnapshot returns the current epoch and dead set.
+// viewCopy returns the current epoch and a copy of the status view,
+// always including this node's own entry (its self-announcement).
+func (n *ClusterNode) viewCopy() (int64, map[string]PeerStatus) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]PeerStatus, len(n.view)+1)
+	for id, st := range n.view {
+		out[id] = st
+	}
+	if _, ok := out[n.cfg.ID]; !ok {
+		out[n.cfg.ID] = PeerStatus{}
+	}
+	return n.epoch, out
+}
+
+// viewSnapshot returns the current epoch and dead-member list.
 func (n *ClusterNode) viewSnapshot() (int64, []string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	dead := make([]string, 0, len(n.dead))
-	for id := range n.dead {
-		dead = append(dead, id)
+	var dead []string
+	for id, st := range n.view {
+		if st.Dead {
+			dead = append(dead, id)
+		}
 	}
 	sort.Strings(dead)
 	return n.epoch, dead
 }
 
-// mergeView folds a peer's view into ours: dead sets union (never
-// marking ourselves), epochs take the max.
-func (n *ClusterNode) mergeView(epoch int64, dead []string) {
+// mergeView folds a peer's view into ours: per-member entries with a
+// higher status version win; epochs take the max. A node never adopts
+// "dead" for ITSELF — instead, learning that the cluster deposed it
+// demotes it back to joining, so it resyncs its log and re-announces
+// with a version above the accusation.
+func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, id := range dead {
-		if id != n.cfg.ID && !n.dead[id] {
-			n.dead[id] = true
-			n.cfg.Logf("cluster %s: learned %s is dead (gossip)", n.cfg.ID, id)
+	demoted := false
+	for id, st := range remote {
+		if id == n.cfg.ID {
+			if st.Dead && st.Ver > n.selfDeadVer {
+				n.selfDeadVer = st.Ver
+			}
+			if st.Dead && !n.joining && st.Ver >= n.view[n.cfg.ID].Ver {
+				n.joining = true
+				demoted = true
+			}
+			continue
+		}
+		cur := n.view[id]
+		if st.Ver > cur.Ver {
+			n.view[id] = st
+			if st.Dead != cur.Dead {
+				n.epoch++
+				if st.Dead {
+					n.cfg.Logf("cluster %s: learned %s is dead (gossip, ver %d)", n.cfg.ID, id, st.Ver)
+					if c := n.conns[id]; c != nil {
+						_ = c.Close()
+						delete(n.conns, id)
+					}
+				} else {
+					n.miss[id] = 0
+					n.cfg.Logf("cluster %s: %s rejoined (ver %d)", n.cfg.ID, id, st.Ver)
+				}
+			}
 		}
 	}
 	if epoch > n.epoch {
 		n.epoch = epoch
 	}
+	n.mu.Unlock()
+	if demoted {
+		n.cfg.Logf("cluster %s: deposed by the cluster; demoting to rejoin", n.cfg.ID)
+		select {
+		case n.rejoinWake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // handlePing serves the "ping" control op: merge the sender's view,
-// answer with ours. A ping also proves the sender booted.
-func (n *ClusterNode) handlePing(sender string, epoch int64, dead []string) (int64, []string) {
-	n.mergeView(epoch, dead)
+// answer with ours. A ping also proves the sender is reachable.
+func (n *ClusterNode) handlePing(sender string, epoch int64, view map[string]PeerStatus) (int64, map[string]PeerStatus) {
+	n.mergeView(epoch, view)
 	if sender != "" {
 		n.markAlive(sender)
 	}
-	return n.viewSnapshot()
+	return n.viewCopy()
 }
 
 func (n *ClusterNode) isDead(id string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.dead[id]
+	return n.view[id].Dead
+}
+
+func (n *ClusterNode) isJoining() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joining
 }
 
 // markFailure counts one failed probe or replication call against a
-// peer; FailAfter consecutive failures declare it dead and bump the
-// epoch, which moves leadership of its partitions to the next replica.
+// peer; FailAfter consecutive failures declare it dead (bumping its
+// status version and the epoch), which moves leadership of its
+// partitions to the next replica.
 func (n *ClusterNode) markFailure(id string, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.dead[id] {
+	if n.view[id].Dead {
 		return
 	}
 	if !n.seen[id] && time.Since(n.started) < n.cfg.StartupGrace {
@@ -307,7 +540,7 @@ func (n *ClusterNode) markFailure(id string, err error) {
 	if n.miss[id] < n.cfg.FailAfter {
 		return
 	}
-	n.dead[id] = true
+	n.view[id] = PeerStatus{Dead: true, Ver: n.view[id].Ver + 1}
 	n.epoch++
 	if c := n.conns[id]; c != nil {
 		_ = c.Close()
@@ -319,7 +552,7 @@ func (n *ClusterNode) markFailure(id string, err error) {
 func (n *ClusterNode) markAlive(id string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.dead[id] {
+	if !n.view[id].Dead {
 		n.miss[id] = 0
 		n.seen[id] = true
 	}
@@ -362,16 +595,308 @@ func (n *ClusterNode) dropConn(id string, c *Client) {
 	_ = c.Close()
 }
 
+// ---- join / rejoin ----
+
+// joinLoop runs the join handshake at startup and again whenever the
+// node is demoted (deposed by the cluster's failure detector).
+func (n *ClusterNode) joinLoop() {
+	defer n.wg.Done()
+	for {
+		n.syncAndJoin()
+		select {
+		case <-n.done:
+			return
+		case <-n.rejoinWake:
+		}
+	}
+}
+
+// syncAndJoin brings a joining node up to date and announces it:
+//
+//  1. exchange views with every reachable peer (learning the highest
+//     version at which anyone declared us dead, and the freshest
+//     metadata view by epoch), and create any topic the cluster grew
+//     while we were away;
+//  2. for every partition we replicate, truncate our log back to the
+//     current leader's committed watermark (records past it were never
+//     acked and may diverge from what the cluster committed) and pull
+//     the committed records we missed;
+//  3. announce ourselves alive with a status version above every
+//     accusation, leaving the joining state;
+//  4. for partitions whose leadership falls back to us (we are the
+//     first live replica in rendezvous order), keep pulling from the
+//     interim leader until it has adopted our announcement and
+//     deferred — only then serve leadership. Without this handshake a
+//     produce the interim leader acked between our catch-up and its
+//     handoff could be overwritten at the same offsets.
+//
+// Follower catch-up beyond that rides the ordinary replication
+// backfill on the next produce.
+func (n *ClusterNode) syncAndJoin() {
+	// Leadership from a previous incarnation is void: every partition
+	// re-adopts its (possibly truncated) watermark when leadership is
+	// next acquired.
+	n.mu.Lock()
+	for _, pl := range n.leads {
+		pl.leading.Store(false)
+	}
+	n.mu.Unlock()
+	var bestMeta *ClusterMeta
+	for _, id := range n.members {
+		if id == n.cfg.ID {
+			continue
+		}
+		cli, err := n.peerClient(id)
+		if err != nil {
+			continue
+		}
+		epoch, view := n.viewCopy()
+		if repoch, rview, err := cli.ping(n.cfg.ID, epoch, view); err == nil {
+			n.mergeView(repoch, rview)
+		} else {
+			if !isRemoteErr(err) {
+				n.dropConn(id, cli)
+			}
+			continue
+		}
+		if m, err := cli.Meta(); err == nil {
+			if bestMeta == nil || m.Epoch > bestMeta.Epoch {
+				bestMeta = m
+			}
+		}
+	}
+	var takeovers []takeover
+	if bestMeta != nil {
+		n.mu.Lock()
+		if bestMeta.Epoch > n.epoch {
+			n.epoch = bestMeta.Epoch
+		}
+		n.mu.Unlock()
+		// Topics created while we were down: create them locally so
+		// replication to us has somewhere to land.
+		for t, ti := range bestMeta.Topics {
+			if _, err := n.b.Partitions(t); err != nil {
+				if err := n.b.CreateTopic(t, len(ti.Partitions)); err != nil {
+					n.cfg.Logf("cluster %s: rejoin create topic %s: %v", n.cfg.ID, t, err)
+				}
+			}
+		}
+		takeovers = n.resyncPartitions(bestMeta)
+	}
+	n.mu.Lock()
+	ver := n.view[n.cfg.ID].Ver
+	if n.selfDeadVer >= ver {
+		ver = n.selfDeadVer + 1
+	}
+	n.view[n.cfg.ID] = PeerStatus{Dead: false, Ver: ver}
+	n.joining = false
+	n.epoch++
+	epoch := n.epoch
+	n.mu.Unlock()
+	n.cfg.Logf("cluster %s: joined (ver %d, epoch %d, %d takeovers pending)", n.cfg.ID, ver, epoch, len(takeovers))
+	n.finishTakeovers(takeovers)
+}
+
+// takeover is one partition whose leadership falls back to this node
+// once its rejoin announcement spreads.
+type takeover struct {
+	topic     string
+	partition int
+	oldLeader string
+}
+
+// resyncPartitions runs the pre-announce log repair for every local
+// replica partition: truncate divergence back to the current leader's
+// committed watermark, then pull the committed records we missed. It
+// returns the partitions whose leadership will fall back to us, after
+// marking them as syncing (no leadership until the handshake is done).
+func (n *ClusterNode) resyncPartitions(m *ClusterMeta) []takeover {
+	var takeovers []takeover
+	for t, ti := range m.Topics {
+		for p := range ti.Partitions {
+			ldr := ti.Partitions[p].Leader
+			if ldr == "" || ldr == n.cfg.ID {
+				continue
+			}
+			selfReplica := false
+			for _, id := range ti.Partitions[p].Replicas {
+				if id == n.cfg.ID {
+					selfReplica = true
+				}
+			}
+			if !selfReplica {
+				continue
+			}
+			committed, err := n.leaderCommitted(ldr, t, p)
+			if err != nil {
+				n.cfg.Logf("cluster %s: rejoin %s/%d: leader %s unreachable: %v", n.cfg.ID, t, p, ldr, err)
+				continue
+			}
+			n.truncateDivergence(t, p, ldr, committed)
+			if err := n.pullCommitted(ldr, t, p); err != nil {
+				n.cfg.Logf("cluster %s: rejoin pull %s/%d from %s: %v", n.cfg.ID, t, p, ldr, err)
+			}
+			// Will leadership fall back to us once we are alive again?
+			// (First replica in rendezvous order that is live in our
+			// merged view, counting ourselves.)
+			first := ""
+			for _, id := range ti.Partitions[p].Replicas {
+				if id == n.cfg.ID || !n.isDead(id) {
+					first = id
+					break
+				}
+			}
+			if first == n.cfg.ID {
+				tp := tpKey(t, p)
+				n.mu.Lock()
+				n.syncing[tp] = true
+				n.mu.Unlock()
+				takeovers = append(takeovers, takeover{topic: t, partition: p, oldLeader: ldr})
+			}
+		}
+	}
+	return takeovers
+}
+
+// leaderCommitted asks a (possibly former) leader for its committed
+// watermark of a partition via the replica-fetch surface, which is not
+// leadership-gated.
+func (n *ClusterNode) leaderCommitted(ldr, t string, p int) (int64, error) {
+	cli, err := n.peerClient(ldr)
+	if err != nil {
+		return 0, err
+	}
+	return cli.replicaHWM(n.cfg.ID, t, p)
+}
+
+// truncateDivergence cuts one local partition log back to the leader's
+// committed watermark and drops dedup state past the cut.
+func (n *ClusterNode) truncateDivergence(t string, p int, ldr string, committed int64) {
+	local, err := n.b.HighWatermark(t, p)
+	if err != nil || local <= committed {
+		return
+	}
+	if err := n.b.truncatePartition(t, p, committed); err != nil {
+		n.cfg.Logf("cluster %s: rejoin truncate %s/%d: %v", n.cfg.ID, t, p, err)
+		return
+	}
+	tp := tpKey(t, p)
+	n.mu.Lock()
+	if pl, ok := n.leads[tp]; ok {
+		pl.leading.Store(false)
+		if pl.committed.Load() > committed {
+			pl.committed.Store(committed) // the cut discarded those records
+		}
+	}
+	if n.remoteHWM[tp] > committed {
+		n.remoteHWM[tp] = committed
+	}
+	if m := n.seqs[tp]; m != nil {
+		for pid, ps := range m {
+			if ps.end > committed {
+				delete(m, pid)
+			}
+		}
+	}
+	kept := n.metas[tp][:0]
+	for _, bm := range n.metas[tp] {
+		if bm.end <= committed {
+			kept = append(kept, bm)
+		}
+	}
+	n.metas[tp] = kept
+	n.mu.Unlock()
+	n.saveClusterState(t, p)
+	n.cfg.Logf("cluster %s: rejoin truncated %s/%d from %d to leader %s committed %d",
+		n.cfg.ID, t, p, local, ldr, committed)
+}
+
+// pullCommitted drains the committed records this replica is missing
+// from a peer via replica-fetch, applying them through the idempotent
+// replicated-append path.
+func (n *ClusterNode) pullCommitted(ldr, t string, p int) error {
+	cli, err := n.peerClient(ldr)
+	if err != nil {
+		return err
+	}
+	tp := tpKey(t, p)
+	for {
+		local, err := n.b.HighWatermark(t, p)
+		if err != nil {
+			return err
+		}
+		recs, err := cli.replicaFetch(n.cfg.ID, t, p, local, 4096)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			n.saveClusterState(t, p)
+			return nil
+		}
+		hwm, err := n.b.replicateAppend(t, p, recs[0].Offset, recs)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		if hwm > n.remoteHWM[tp] {
+			n.remoteHWM[tp] = hwm
+		}
+		n.mu.Unlock()
+	}
+}
+
+// finishTakeovers completes the leadership handoff of each pending
+// takeover: keep pulling the interim leader's committed records until
+// it has adopted our rejoin announcement and deferred (its own
+// metadata names us leader), then serve. If the interim leader dies
+// mid-handshake, we promote with what we hold — the same guarantee as
+// any failover.
+func (n *ClusterNode) finishTakeovers(takeovers []takeover) {
+	deadline := time.Now().Add(30 * time.Second)
+	for _, to := range takeovers {
+		tp := tpKey(to.topic, to.partition)
+		for !n.isDead(to.oldLeader) && !time.Now().After(deadline) {
+			deferred := false
+			if cli, err := n.peerClient(to.oldLeader); err == nil {
+				if m, err := cli.Meta(); err == nil {
+					deferred = m.LeaderOf(to.topic, to.partition) == n.cfg.ID
+				}
+			}
+			err := n.pullCommitted(to.oldLeader, to.topic, to.partition)
+			if err == nil && deferred {
+				// The old leader had already deferred before this pull,
+				// so its committed watermark was final and is drained.
+				break
+			}
+			select {
+			case <-n.done:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		n.mu.Lock()
+		delete(n.syncing, tp)
+		n.mu.Unlock()
+		n.saveClusterState(to.topic, to.partition)
+		n.cfg.Logf("cluster %s: took over leadership of %s from %s", n.cfg.ID, tp, to.oldLeader)
+	}
+}
+
 // ---- placement ----
 
 // leaderFor returns the current leader of a partition in this node's
 // view: the first live replica in rendezvous order ("" if none live).
+// While this node is joining, or mid-takeover of the partition, it
+// never claims leadership.
 func (n *ClusterNode) leaderFor(topic string, partition int) string {
 	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, id := range reps {
-		if !n.dead[id] {
+		if id == n.cfg.ID && (n.joining || n.syncing[tpKey(topic, partition)]) {
+			continue
+		}
+		if !n.view[id].Dead {
 			return id
 		}
 	}
@@ -382,9 +907,16 @@ func (n *ClusterNode) leaderFor(topic string, partition int) string {
 func (n *ClusterNode) meta() *ClusterMeta {
 	n.mu.Lock()
 	epoch := n.epoch
-	dead := make(map[string]bool, len(n.dead))
-	for id := range n.dead {
-		dead[id] = true
+	joining := n.joining
+	syncing := make(map[string]bool, len(n.syncing))
+	for tp := range n.syncing {
+		syncing[tp] = true
+	}
+	dead := make(map[string]bool, len(n.view))
+	for id, st := range n.view {
+		if st.Dead {
+			dead[id] = true
+		}
 	}
 	n.mu.Unlock()
 	m := &ClusterMeta{Epoch: epoch, Topics: make(map[string]TopicInfo)}
@@ -401,6 +933,9 @@ func (n *ClusterNode) meta() *ClusterMeta {
 			reps := replicasFor(t, p, n.members, n.cfg.Replicas)
 			leader := ""
 			for _, id := range reps {
+				if id == n.cfg.ID && (joining || syncing[tpKey(t, p)]) {
+					continue
+				}
 				if !dead[id] {
 					leader = id
 					break
@@ -416,10 +951,7 @@ func (n *ClusterNode) meta() *ClusterMeta {
 // ---- leader data path ----
 
 // lead returns (creating and initializing if needed) the leader-side
-// state of a partition. On first touch after a promotion the committed
-// watermark adopts the local log's high watermark: everything a
-// promoted follower holds was replicated to it and becomes committed by
-// fiat, the classic bounded-by-the-replicated-HWM promotion rule.
+// state of a partition.
 func (n *ClusterNode) lead(topic string, partition int) (*partLead, error) {
 	key := tpKey(topic, partition)
 	n.mu.Lock()
@@ -443,6 +975,32 @@ func (n *ClusterNode) lead(topic string, partition int) (*partLead, error) {
 		pl.mu.Unlock()
 	}
 	return pl, nil
+}
+
+// markLeading records that this node now serves the partition as
+// leader. On each ACQUISITION of leadership the committed watermark
+// adopts the local log's high watermark: everything a promoted replica
+// holds was replicated to it and becomes committed by fiat, the
+// classic bounded-by-the-replicated-HWM promotion rule. (The flag is
+// cleared when replication from another leader arrives, or on a
+// demotion — so a RE-promotion adopts again.)
+func (n *ClusterNode) markLeading(pl *partLead, topic string, partition int) {
+	if pl.leading.Load() {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.leading.Load() {
+		return
+	}
+	hwm, err := n.b.HighWatermark(topic, partition)
+	if err != nil {
+		return
+	}
+	if hwm > pl.committed.Load() {
+		pl.committed.Store(hwm)
+	}
+	pl.leading.Store(true)
 }
 
 func (n *ClusterNode) lastSeq(tp string, pid uint64) (prodSeq, bool) {
@@ -491,8 +1049,10 @@ func (n *ClusterNode) metasInRange(tp string, from, to int64) []batchMeta {
 }
 
 // producePart is the leader-side handling of a partitioned produce:
-// dedup by (pid, seq), append locally, replicate synchronously, ack
-// once MinISR (shrunk to the live replica count) replicas hold it.
+// dedup by (pid, seq), append locally, replicate, ack once MinISR
+// (shrunk to the live replica count) replicas hold it. Only the
+// dedup-check + append runs under the partition lock; replication is
+// pipelined across in-flight batches.
 func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
 	ldr := n.leaderFor(topic, partition)
 	if ldr == "" {
@@ -505,17 +1065,22 @@ func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, 
 	if err != nil {
 		return 0, err
 	}
+	n.markLeading(pl, topic, partition)
 	tp := tpKey(topic, partition)
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
 
 	count := len(recs)
 	var base, end int64
 	redrive := false
+	pl.mu.Lock()
+	if n.isJoining() { // deposed between the leadership check and here
+		pl.mu.Unlock()
+		return 0, notLeaderError("")
+	}
 	if pid != 0 {
 		if ps, ok := n.lastSeq(tp, pid); ok && seq <= ps.seq {
 			if seq < ps.seq || pl.committed.Load() >= ps.end {
 				// Already appended and committed: a duplicate retry.
+				pl.mu.Unlock()
 				return count, nil
 			}
 			// Retry of the latest batch, appended but not yet committed
@@ -527,20 +1092,38 @@ func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, 
 	if !redrive {
 		base, err = n.b.producePartition(topic, partition, recs)
 		if err != nil {
+			pl.mu.Unlock()
 			return 0, err
 		}
 		end = base + int64(count)
 		n.noteBatch(tp, batchMeta{pid: pid, seq: seq, base: base, end: end})
-	} else {
-		recs, err = n.b.Fetch(topic, partition, base, int(end-base))
-		if err != nil {
+	}
+	pl.mu.Unlock()
+	if redrive {
+		if recs, err = n.b.Fetch(topic, partition, base, int(end-base)); err != nil {
 			return 0, err
 		}
 	}
 	if err := n.replicateOut(pl, topic, partition, base, end, recs); err != nil {
 		return 0, err
 	}
+	n.saveClusterState(topic, partition)
 	return count, nil
+}
+
+// sendSlot acquires one slot of a follower's send window, returning the
+// release func. The window bounds replicate batches in flight per
+// follower, so pipelining cannot bury a slow follower.
+func (n *ClusterNode) sendSlot(id string) func() {
+	n.mu.Lock()
+	win, ok := n.sendWin[id]
+	if !ok {
+		win = make(chan struct{}, n.cfg.ReplWindow)
+		n.sendWin[id] = win
+	}
+	n.mu.Unlock()
+	win <- struct{}{}
+	return func() { <-win }
 }
 
 // replicateOut pushes [base, end) to every live follower replica —
@@ -561,7 +1144,10 @@ func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, ba
 		wg.Add(1)
 		go func(id string) {
 			defer wg.Done()
-			if err := n.pushToFollower(id, topic, partition, base, end, recs); err != nil {
+			release := n.sendSlot(id)
+			err := n.pushToFollower(pl, id, topic, partition, base, end, recs)
+			release()
+			if err != nil {
 				// Only TRANSPORT failures feed the failure detector. An
 				// answered rejection (fencing, unknown topic, ...) proves
 				// the peer is alive — a deposed leader must not "detect"
@@ -592,8 +1178,11 @@ func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, ba
 	if acks < need {
 		return fmt.Errorf("%w: %d/%d acked: %v", ErrUnderReplicated, acks, need, firstErr)
 	}
-	if end > pl.committed.Load() {
-		pl.committed.Store(end)
+	for {
+		cur := pl.committed.Load()
+		if end <= cur || pl.committed.CompareAndSwap(cur, end) {
+			break
+		}
 	}
 	return nil
 }
@@ -602,8 +1191,10 @@ func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, ba
 // from the follower's own watermark when it is behind (restart, missed
 // round, or interleaved batches). Each chunk ships the journal entries
 // covering its range, so the follower's dedup table tracks every
-// producer whose records it receives.
-func (n *ClusterNode) pushToFollower(id, topic string, partition int, base, end int64, recs []Record) error {
+// producer whose records it receives, plus the leader's committed
+// watermark, which the follower persists as its restart truncation
+// point.
+func (n *ClusterNode) pushToFollower(pl *partLead, id, topic string, partition int, base, end int64, recs []Record) error {
 	cli, err := n.peerClient(id)
 	if err != nil {
 		return err
@@ -614,7 +1205,7 @@ func (n *ClusterNode) pushToFollower(id, topic string, partition int, base, end 
 	tp := tpKey(topic, partition)
 	for tries := 0; tries < 8; tries++ {
 		metas := n.metasInRange(tp, base, base+int64(len(recs)))
-		hwm, err := cli.replicate(epoch, n.cfg.ID, topic, partition, base, metas, recs)
+		hwm, err := cli.replicate(epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, recs)
 		if err != nil {
 			if !isRemoteErr(err) {
 				n.dropConn(id, cli) // transport failure: the conn is suspect
@@ -729,13 +1320,96 @@ func (n *ClusterNode) leaderState(topic string, partition int) (*partLead, error
 	if ldr != n.cfg.ID {
 		return nil, notLeaderError(ldr)
 	}
-	return n.lead(topic, partition)
+	pl, err := n.lead(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	n.markLeading(pl, topic, partition)
+	return pl, nil
+}
+
+// knownCommittedLocked returns the highest committed watermark this
+// node knows for a partition — its own leader state or the last value
+// a leader shipped to it (n.mu held).
+func (n *ClusterNode) knownCommittedLocked(tp string) int64 {
+	c := n.remoteHWM[tp]
+	if pl, ok := n.leads[tp]; ok && pl.init.Load() {
+		if v := pl.committed.Load(); v > c {
+			c = v
+		}
+	}
+	return c
+}
+
+// replicaCommitted is the committed watermark this node vouches for to
+// a catching-up peer. When this node currently LEADS the partition,
+// that is its (promotion-adopted) leader watermark — a freshly
+// promoted interim leader must answer with everything it holds, not
+// the lagging value the dead leader last shipped it. Otherwise it is
+// the best locally-known committed value.
+func (n *ClusterNode) replicaCommitted(topic string, partition int) int64 {
+	if n.leaderFor(topic, partition) == n.cfg.ID {
+		if pl, err := n.lead(topic, partition); err == nil {
+			n.markLeading(pl, topic, partition)
+			return pl.committed.Load()
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.knownCommittedLocked(tpKey(topic, partition))
+}
+
+// replicaFetch serves committed records to a fellow cluster member
+// regardless of leadership — the pull side of rejoin catch-up and of
+// the leadership-takeover handshake, where the interim leader has
+// already deferred and would answer a normal fetch with NotLeader.
+func (n *ClusterNode) replicaFetch(sender, topic string, partition int, offset int64, max int) ([]Record, error) {
+	if _, ok := n.cfg.Peers[sender]; !ok {
+		return nil, fmt.Errorf("broker: replica fetch from non-member %q", sender)
+	}
+	if parts, err := n.b.Partitions(topic); err != nil {
+		return nil, err
+	} else if partition < 0 || partition >= parts {
+		return nil, ErrBadPartition
+	}
+	committed := n.replicaCommitted(topic, partition)
+	if offset >= committed {
+		if offset < 0 {
+			return nil, ErrOffsetOutOfRange
+		}
+		return nil, nil
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	if int64(max) > committed-offset {
+		max = int(committed - offset)
+	}
+	return n.b.Fetch(topic, partition, offset, max)
+}
+
+// replicaHWM answers a member's query for this node's committed
+// watermark of a partition, leadership-independent.
+func (n *ClusterNode) replicaHWM(sender, topic string, partition int) (int64, error) {
+	if _, ok := n.cfg.Peers[sender]; !ok {
+		return 0, fmt.Errorf("broker: replica hwm from non-member %q", sender)
+	}
+	if parts, err := n.b.Partitions(topic); err != nil {
+		return 0, err
+	} else if partition < 0 || partition >= parts {
+		return 0, ErrBadPartition
+	}
+	return n.replicaCommitted(topic, partition), nil
 }
 
 // applyReplicate is the follower-side handling of a replicated chunk.
-func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partition int, base int64, metas []batchMeta, recs []Record) (int64, error) {
+func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
 	n.mu.Lock()
-	if n.dead[sender] {
+	if n.joining {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("broker: %s is rejoining; replication refused until synced", n.cfg.ID)
+	}
+	if n.view[sender].Dead {
 		ep := n.epoch
 		n.mu.Unlock()
 		return 0, fmt.Errorf("broker: replicate from %s rejected: deposed in epoch %d", sender, ep)
@@ -756,6 +1430,14 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 		return 0, fmt.Errorf("broker: %s is not a replica of %s", sender, tpKey(topic, partition))
 	}
 	n.markAlive(sender)
+	// Replication from a live peer proves we are not this partition's
+	// leader: a later RE-promotion must re-adopt the watermark.
+	tpk := tpKey(topic, partition)
+	n.mu.Lock()
+	if pl, ok := n.leads[tpk]; ok {
+		pl.leading.Store(false)
+	}
+	n.mu.Unlock()
 	hwm, err := n.b.replicateAppend(topic, partition, base, recs)
 	if err != nil {
 		return 0, err
@@ -770,5 +1452,182 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 			n.noteBatch(tp, bm)
 		}
 	}
+	// Track the leader's committed watermark, clamped to what we hold:
+	// it is this replica's restart truncation point.
+	if committed > hwm {
+		committed = hwm
+	}
+	n.mu.Lock()
+	advanced := committed > n.remoteHWM[tp]
+	if advanced {
+		n.remoteHWM[tp] = committed
+	}
+	n.mu.Unlock()
+	if advanced || len(recs) > 0 {
+		n.saveClusterState(topic, partition)
+	}
 	return hwm, nil
+}
+
+// ---- consumer-group commits ----
+
+// commitGroup is the leader-side handling of a consumer-group commit:
+// store + persist locally, then replicate to every live follower
+// replica, acking under the same shrunk-MinISR rule as produce. Routing
+// commits through the partition leader (instead of best-effort fan-out
+// to all members) makes Committed exact: the leader always answers with
+// the newest acked offset, and a failover inherits it from a replica.
+func (n *ClusterNode) commitGroup(group, topic string, partition int, offset int64) error {
+	if _, err := n.leaderState(topic, partition); err != nil {
+		return err
+	}
+	// One commit round at a time per partition: the local apply and the
+	// follower fan-out happen in the same order, so two racing commits
+	// (e.g. a rewind racing a stale forward commit) cannot leave leader
+	// and follower tables permanently disagreeing.
+	round := n.commitLock(tpKey(topic, partition))
+	round.Lock()
+	defer round.Unlock()
+	if err := n.b.Commit(group, topic, partition, offset); err != nil {
+		return err
+	}
+	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	acks, live := 1, 1
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range reps {
+		if id == n.cfg.ID || n.isDead(id) {
+			continue
+		}
+		live++
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			cli, err := n.peerClient(id)
+			if err == nil {
+				err = cli.commitRep(epoch, n.cfg.ID, group, topic, partition, offset)
+			}
+			if err != nil {
+				if isRemoteErr(err) {
+					n.markAlive(id)
+				} else {
+					n.markFailure(id, err)
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			n.markAlive(id)
+			mu.Lock()
+			acks++
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	need := n.cfg.MinISR
+	if live < need {
+		need = live
+	}
+	if acks < need {
+		return fmt.Errorf("%w: commit %d/%d acked: %v", ErrUnderReplicated, acks, need, firstErr)
+	}
+	return nil
+}
+
+// commitLock returns the per-partition mutex serializing group-commit
+// rounds.
+func (n *ClusterNode) commitLock(tp string) *sync.Mutex {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mu, ok := n.commitMus[tp]
+	if !ok {
+		mu = &sync.Mutex{}
+		n.commitMus[tp] = mu
+	}
+	return mu
+}
+
+// committedGroup answers a Committed query at the partition leader.
+func (n *ClusterNode) committedGroup(group, topic string, partition int) (int64, error) {
+	if _, err := n.leaderState(topic, partition); err != nil {
+		return 0, err
+	}
+	return n.b.Committed(group, topic, partition)
+}
+
+// applyGroupCommit is the follower side of a replicated group commit.
+func (n *ClusterNode) applyGroupCommit(epoch int64, sender, group, topic string, partition int, offset int64) error {
+	n.mu.Lock()
+	if n.joining {
+		n.mu.Unlock()
+		return fmt.Errorf("broker: %s is rejoining; commit replication refused", n.cfg.ID)
+	}
+	if n.view[sender].Dead {
+		ep := n.epoch
+		n.mu.Unlock()
+		return fmt.Errorf("broker: commit from %s rejected: deposed in epoch %d", sender, ep)
+	}
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	n.mu.Unlock()
+	n.markAlive(sender)
+	// b.Commit persists groups.json before returning, so the replicated
+	// offset is durable here once acked.
+	return n.b.Commit(group, topic, partition, offset)
+}
+
+// ---- persisted cluster state ----
+
+func (n *ClusterNode) saver(tp string) *stateSaver {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sv, ok := n.savers[tp]
+	if !ok {
+		sv = &stateSaver{}
+		n.savers[tp] = sv
+	}
+	return sv
+}
+
+// saveClusterState persists one partition's cluster state (committed
+// watermark, producer dedup table + journal, group offsets) next to
+// its segments. No-op on an in-memory broker. Saves of one partition
+// are serialized and always snapshot the freshest state, so a slow
+// older write cannot clobber a newer one.
+func (n *ClusterNode) saveClusterState(topic string, partition int) {
+	dir := n.b.PartitionDir(topic, partition)
+	if dir == "" {
+		return
+	}
+	tp := tpKey(topic, partition)
+	sv := n.saver(tp)
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	n.mu.Lock()
+	committed := n.remoteHWM[tp]
+	if pl, ok := n.leads[tp]; ok && pl.init.Load() {
+		if c := pl.committed.Load(); c > committed {
+			committed = c
+		}
+	}
+	st := partitionState{Committed: committed}
+	for pid, ps := range n.seqs[tp] {
+		st.Producers = append(st.Producers, producerEntry{PID: pid, Seq: ps.seq, Base: ps.base, End: ps.end})
+	}
+	for _, bm := range n.metas[tp] {
+		st.Journal = append(st.Journal, producerEntry{PID: bm.pid, Seq: bm.seq, Base: bm.base, End: bm.end})
+	}
+	n.mu.Unlock()
+	sort.Slice(st.Producers, func(i, j int) bool { return st.Producers[i].PID < st.Producers[j].PID })
+	if err := storage.SaveJSON(n.statePath(topic, partition), &st, n.b.syncAlways()); err != nil {
+		n.cfg.Logf("cluster %s: save state %s: %v", n.cfg.ID, tp, err)
+	}
 }

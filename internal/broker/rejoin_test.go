@@ -1,0 +1,501 @@
+package broker
+
+// Restart/rejoin tests for the durable broker tier: a killed cluster
+// member restarted with the same -data-dir must recover its segments,
+// rejoin as a follower in a new status incarnation, truncate any log
+// divergence, catch up, and re-enter the ISR — with no record lost or
+// duplicated across the whole episode.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker/storage"
+)
+
+// durableCluster is an n-member broker cluster whose members keep
+// their partition logs in per-member temp directories, so a killed
+// member can be restarted against the same data.
+type durableCluster struct {
+	t       *testing.T
+	brokers []*Broker
+	servers []*Server
+	nodes   []*ClusterNode
+	ids     []string
+	addrs   []string
+	dirs    []string
+	peers   map[string]string
+	tune    func(*NodeConfig)
+	killed  []bool
+}
+
+func startDurableCluster(t *testing.T, n int, tune func(*NodeConfig)) *durableCluster {
+	t.Helper()
+	dc := &durableCluster{t: t, tune: tune, killed: make([]bool, n), peers: make(map[string]string, n)}
+	for i := 0; i < n; i++ {
+		dir := t.TempDir()
+		b, err := Open(StorageConfig{Dir: dir, Policy: storage.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(b, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("n%d", i)
+		dc.peers[id] = srv.Addr()
+		dc.brokers = append(dc.brokers, b)
+		dc.servers = append(dc.servers, srv)
+		dc.ids = append(dc.ids, id)
+		dc.addrs = append(dc.addrs, srv.Addr())
+		dc.dirs = append(dc.dirs, dir)
+	}
+	for i := 0; i < n; i++ {
+		node, err := NewClusterNode(dc.brokers[i], dc.nodeConfig(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc.servers[i].AttachNode(node)
+		dc.nodes = append(dc.nodes, node)
+	}
+	for _, node := range dc.nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for i := range dc.servers {
+			dc.kill(i)
+		}
+	})
+	return dc
+}
+
+func (dc *durableCluster) nodeConfig(i int) NodeConfig {
+	cfg := NodeConfig{
+		ID:             dc.ids[i],
+		Peers:          dc.peers,
+		Replicas:       2,
+		MinISR:         2,
+		HeartbeatEvery: 10 * time.Millisecond,
+		FailAfter:      2,
+	}
+	if dc.tune != nil {
+		dc.tune(&cfg)
+	}
+	return cfg
+}
+
+// kill fail-stops one member. The broker is NOT flushed or closed:
+// with the always-fsync policy everything acked is already on disk,
+// exactly as after a kill -9.
+func (dc *durableCluster) kill(i int) {
+	if dc.killed[i] {
+		return
+	}
+	dc.killed[i] = true
+	dc.nodes[i].Close()
+	dc.servers[i].Close()
+}
+
+// restart boots a member again from its data directory, on its
+// original address (the static peer map names it).
+func (dc *durableCluster) restart(i int) {
+	dc.t.Helper()
+	if !dc.killed[i] {
+		dc.t.Fatal("restarting a live member")
+	}
+	b, err := Open(StorageConfig{Dir: dc.dirs[i], Policy: storage.SyncAlways})
+	if err != nil {
+		dc.t.Fatal(err)
+	}
+	node, err := NewClusterNode(b, dc.nodeConfig(i))
+	if err != nil {
+		dc.t.Fatal(err)
+	}
+	srv, err := ServeWithOptions(b, dc.addrs[i], ServerOptions{Node: node})
+	if err != nil {
+		dc.t.Fatal(err)
+	}
+	node.Start()
+	dc.brokers[i], dc.servers[i], dc.nodes[i] = b, srv, node
+	dc.killed[i] = false
+}
+
+func (dc *durableCluster) indexOf(id string) int {
+	for i, nid := range dc.ids {
+		if nid == id {
+			return i
+		}
+	}
+	dc.t.Fatalf("unknown node id %q", id)
+	return -1
+}
+
+func (dc *durableCluster) dialCluster() *ClusterClient {
+	dc.t.Helper()
+	cc, err := DialClusterWithOptions(dc.addrs, ClusterClientOptions{
+		Retries: 25,
+		Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		dc.t.Fatal(err)
+	}
+	dc.t.Cleanup(func() { _ = cc.Close() })
+	return cc
+}
+
+// waitConverged waits until both replicas of every partition hold the
+// same log length.
+func (dc *durableCluster) waitConverged(topic string, parts int) {
+	dc.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for p := 0; p < parts; p++ {
+			reps := replicasFor(topic, p, dc.ids, 2)
+			h0, err0 := dc.brokers[dc.indexOf(reps[0])].HighWatermark(topic, p)
+			h1, err1 := dc.brokers[dc.indexOf(reps[1])].HighWatermark(topic, p)
+			if err0 != nil || err1 != nil || h0 != h1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for p := 0; p < parts; p++ {
+				reps := replicasFor(topic, p, dc.ids, 2)
+				h0, _ := dc.brokers[dc.indexOf(reps[0])].HighWatermark(topic, p)
+				h1, _ := dc.brokers[dc.indexOf(reps[1])].HighWatermark(topic, p)
+				dc.t.Logf("partition %d: %s=%d %s=%d", p, reps[0], h0, reps[1], h1)
+			}
+			dc.t.Fatal("replicas never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDurableClusterRejoinAfterKill is the cluster-layer acceptance
+// test of the storage refactor: kill a partition leader mid-stream,
+// keep producing through the failover, restart the dead member from
+// its data directory, and verify it rejoins as a follower, syncs its
+// log, re-enters the ISR (RF2 produce needs both replicas again), and
+// the full record set is exactly-once.
+func TestDurableClusterRejoinAfterKill(t *testing.T) {
+	dc := startDurableCluster(t, 3, nil)
+	cc := dc.dialCluster()
+	if err := cc.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	const per = 100
+	produce := func(from, to int) {
+		t.Helper()
+		for v := from; v < to; v += per {
+			if _, err := cc.Produce("t", keylessRecs(v, per)); err != nil {
+				t.Fatalf("produce at %d: %v", v, err)
+			}
+		}
+	}
+	produce(0, 2000)
+
+	// A consumer-group position committed before the kill must survive
+	// it (leader-routed commits are replicated with the partition).
+	if err := cc.Commit("g", "t", 0, 123); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := cc.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := m.LeaderOf("t", 0)
+	if victim == "" {
+		t.Fatal("no leader for partition 0")
+	}
+	vi := dc.indexOf(victim)
+	dc.kill(vi)
+	produce(2000, 4000) // rides through detection + promotion
+
+	dc.restart(vi)
+	// The restarted member must re-enter: wait until every peer's view
+	// has it alive and it leads partition 0 again (it is the first
+	// rendezvous replica, so leadership falls back after the takeover
+	// handshake).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := cc.refreshMeta(); err == nil {
+			if m, err := cc.Meta(); err == nil && m.LeaderOf("t", 0) == victim {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted member never took its leadership back")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	produce(4000, 6000)
+
+	got := fetchAllValues(t, cc, "t")
+	if len(got) != 6000 {
+		t.Fatalf("fetched %d distinct values, want 6000", len(got))
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Fatalf("value %v appears %d times", v, c)
+		}
+	}
+	// ISR re-entry: both replicas of both partitions hold identical
+	// logs again (MinISR=2 produce above already required the restarted
+	// member's acks).
+	dc.waitConverged("t", 2)
+
+	// The pre-kill commit survived the restart and is exact.
+	if off, err := cc.Committed("g", "t", 0); err != nil || off != 123 {
+		t.Fatalf("committed after rejoin = %d, %v (want 123)", off, err)
+	}
+}
+
+// TestDurableClusterFollowerRestartCatchesUp kills a FOLLOWER, streams
+// more records, restarts it, and verifies it drains the gap (rejoin
+// pull + push backfill) without disturbing the leader.
+func TestDurableClusterFollowerRestartCatchesUp(t *testing.T) {
+	dc := startDurableCluster(t, 3, nil)
+	cc := dc.dialCluster()
+	if err := cc.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Produce("t", keylessRecs(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cc.Meta()
+	reps := replicasFor("t", 0, dc.ids, 2)
+	follower := reps[1]
+	if follower == m.LeaderOf("t", 0) {
+		follower = reps[0]
+	}
+	fi := dc.indexOf(follower)
+	dc.kill(fi)
+	// Produce while the follower is down (MinISR shrinks after
+	// detection), then bring it back and keep producing.
+	for v := 1000; v < 3000; v += 100 {
+		if _, err := cc.Produce("t", keylessRecs(v, 100)); err != nil {
+			t.Fatalf("produce at %d: %v", v, err)
+		}
+	}
+	dc.restart(fi)
+	// Wait until the leader resurrects the follower in its view, so
+	// the next produces require (and exercise) its acks again.
+	li := dc.indexOf(m.LeaderOf("t", 0))
+	deadline := time.Now().Add(10 * time.Second)
+	for dc.nodes[li].isDead(follower) {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never resurrected the restarted follower")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for v := 3000; v < 4000; v += 100 {
+		if _, err := cc.Produce("t", keylessRecs(v, 100)); err != nil {
+			t.Fatalf("produce at %d: %v", v, err)
+		}
+	}
+	got := fetchAllValues(t, cc, "t")
+	if len(got) != 4000 {
+		t.Fatalf("fetched %d distinct values, want 4000", len(got))
+	}
+	dc.waitConverged("t", 1)
+}
+
+// TestDurableSoloBrokerRestart pins the standalone durable path: a
+// plain brokerd with -data-dir recovers its topics, records and
+// consumer-group offsets across a restart.
+func TestDurableSoloBrokerRestart(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(StorageConfig{Dir: dir, Policy: storage.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", recs("a", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit("g", "t", 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	re, err := Open(StorageConfig{Dir: dir, Policy: storage.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if parts, err := re.Partitions("t"); err != nil || parts != 2 {
+		t.Fatalf("recovered partitions = %d, %v", parts, err)
+	}
+	total := 0
+	for p := 0; p < 2; p++ {
+		hwm, err := re.HighWatermark("t", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := re.Fetch("t", p, 0, int(hwm)+10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(rs)) != hwm {
+			t.Fatalf("partition %d: fetched %d of %d", p, len(rs), hwm)
+		}
+		for i, r := range rs {
+			if r.Offset != int64(i) || r.Topic != "t" || r.Partition != p {
+				t.Fatalf("bad recovered record %+v at %d", r, i)
+			}
+		}
+		total += len(rs)
+	}
+	if total != 500 {
+		t.Fatalf("recovered %d records, want 500", total)
+	}
+	if off, err := re.Committed("g", "t", 1); err != nil || off != 42 {
+		t.Fatalf("recovered committed = %d, %v", off, err)
+	}
+	// A topic that exists already is reported as such (brokerd
+	// tolerates this on restart).
+	if err := re.CreateTopic("t", 2); err != ErrTopicExists {
+		t.Fatalf("recreate recovered topic: %v", err)
+	}
+}
+
+// TestBrokerCrashRecoveryProperty is the crash-recovery property test:
+// repeatedly "kill -9" a durable solo broker mid-stream (abandon it
+// without closing, sometimes tearing the tail of a segment file by
+// direct manipulation, as a crash mid-write would), restart it from
+// the same directory, and assert that every acked record is served
+// exactly once, at its original offset, with no duplicates — across
+// many random batch patterns.
+func TestBrokerCrashRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dir := t.TempDir()
+	acked := 0
+	b, err := Open(StorageConfig{Dir: dir, Policy: storage.SyncAlways, SegmentRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 25; iter++ {
+		// Produce a random number of random-size batches.
+		for rounds := rng.Intn(4); rounds >= 0; rounds-- {
+			n := 1 + rng.Intn(300)
+			if _, err := b.Produce("t", keylessRecs(acked, n)); err != nil {
+				t.Fatal(err)
+			}
+			acked += n
+		}
+		// Crash: abandon the broker (no Close, no final sync), and in
+		// some iterations tear the last segment's tail as an
+		// interrupted write would.
+		switch rng.Intn(3) {
+		case 1:
+			tearSegmentTail(t, b, rng, validFramePrefix)
+		case 2:
+			tearSegmentTail(t, b, rng, garbageBytes)
+		}
+		re, err := Open(StorageConfig{Dir: dir, Policy: storage.SyncAlways, SegmentRecords: 128})
+		if err != nil {
+			t.Fatalf("iteration %d: reopen: %v", iter, err)
+		}
+		hwm, err := re.HighWatermark("t", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hwm != int64(acked) {
+			t.Fatalf("iteration %d: recovered hwm %d, want %d acked", iter, hwm, acked)
+		}
+		seen := make(map[float64]bool, acked)
+		for off := int64(0); off < hwm; {
+			rs, err := re.Fetch("t", 0, off, 1000)
+			if err != nil || len(rs) == 0 {
+				t.Fatalf("iteration %d: fetch@%d: %d recs, %v", iter, off, len(rs), err)
+			}
+			for i, r := range rs {
+				if r.Offset != off+int64(i) {
+					t.Fatalf("iteration %d: offset %d at %d+%d", iter, r.Offset, off, i)
+				}
+				if seen[r.Value] {
+					t.Fatalf("iteration %d: value %v served twice", iter, r.Value)
+				}
+				if int(r.Value) != int(r.Offset) {
+					t.Fatalf("iteration %d: value %v at offset %d", iter, r.Value, r.Offset)
+				}
+				seen[r.Value] = true
+			}
+			off += int64(len(rs))
+		}
+		if len(seen) != acked {
+			t.Fatalf("iteration %d: served %d distinct records, want %d", iter, len(seen), acked)
+		}
+		b = re
+	}
+	b.Close()
+}
+
+// validFramePrefix is a torn write: the first bytes of a well-formed
+// record frame (length + CRC + partial payload), as a crash mid-write
+// leaves behind.
+func validFramePrefix(rng *rand.Rand) []byte {
+	payload := make([]byte, 0, 24)
+	key := "torn"
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(key)))
+	payload = append(payload, key...)
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(99))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(time.Now().UnixNano()))
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	return frame[:1+rng.Intn(len(frame)-1)]
+}
+
+// garbageBytes is a corrupt write: random bytes that parse as neither
+// a frame header nor a payload.
+func garbageBytes(rng *rand.Rand) []byte {
+	buf := make([]byte, 1+rng.Intn(64))
+	rng.Read(buf)
+	return buf
+}
+
+// tearSegmentTail appends torn bytes to the newest segment file of the
+// broker's only partition, simulating a write cut short by the crash.
+func tearSegmentTail(t *testing.T, b *Broker, rng *rand.Rand, torn func(*rand.Rand) []byte) {
+	t.Helper()
+	entries, err := os.ReadDir(b.PartitionDir("t", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		return // nothing on disk yet
+	}
+	f, err := os.OpenFile(filepath.Join(b.PartitionDir("t", 0), last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := f.Write(torn(rng)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package storage is the partition-log storage engine under the broker
+// tier: an append-only record log addressed by offset, behind a Log
+// interface with two implementations — the chunked in-memory MemLog the
+// broker always had, and the segmented on-disk FileLog that makes a
+// broker restartable (recover segments, truncate a torn tail, rejoin
+// the cluster).
+//
+// The storage layer owns the Record type; the broker package aliases it
+// so the public API is unchanged. A Log stamps consecutive offsets onto
+// appended records — a record's offset IS its position, so reads never
+// scan — and supports truncation from the tail, which the cluster layer
+// uses to discard a rejoining replica's divergent uncommitted records.
+package storage
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	Topic     string    `json:"topic"`
+	Partition int       `json:"partition"`
+	Offset    int64     `json:"offset"`
+	Key       string    `json:"key"`
+	Value     float64   `json:"value"`
+	Time      time.Time `json:"time"`
+}
+
+// Errors returned by log operations.
+var (
+	ErrOffsetOutOfRange = errors.New("broker: offset out of range")
+	ErrLogClosed        = errors.New("broker: log closed")
+)
+
+// Log is one partition's append-only record log.
+//
+// Append stamps consecutive offsets onto recs (which the caller must
+// own) and returns the base offset. Read returns up to max records
+// starting at offset. HighWatermark is the next offset to be written.
+// TruncateTo discards every record at offset >= hwm (a no-op when the
+// log is already shorter); the next append continues at hwm. Sync
+// forces buffered appends to stable storage (a no-op for MemLog).
+type Log interface {
+	Append(recs []Record) (int64, error)
+	Read(offset int64, max int) ([]Record, error)
+	HighWatermark() int64
+	TruncateTo(hwm int64) error
+	Sync() error
+	Close() error
+}
+
+// memChunkSize is the record capacity of one in-memory log chunk,
+// mirrored by FileLog's default segment capacity.
+const memChunkSize = 4096
+
+// MemLog is the in-memory Log: fixed-capacity chunks, bulk appends into
+// the tail chunk (never reallocating earlier history, unlike a single
+// growing slice), and reads that locate their chunk by division and
+// bulk-copy out. It is the implementation behind broker.New() and
+// `brokerd -data-dir ""`.
+type MemLog struct {
+	mu     sync.RWMutex
+	chunks [][]Record
+	n      int64 // total records; the high watermark
+}
+
+// NewMemLog returns an empty in-memory log. The optional base is the
+// offset the first append starts at (used after a truncate-everything).
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (m *MemLog) Append(recs []Record) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := m.n
+	for i := range recs {
+		recs[i].Offset = base + int64(i)
+	}
+	for rest := recs; len(rest) > 0; {
+		if len(m.chunks) == 0 || len(m.chunks[len(m.chunks)-1]) == memChunkSize {
+			m.chunks = append(m.chunks, make([]Record, 0, memChunkSize))
+		}
+		tail := len(m.chunks) - 1
+		take := memChunkSize - len(m.chunks[tail])
+		if take > len(rest) {
+			take = len(rest)
+		}
+		m.chunks[tail] = append(m.chunks[tail], rest[:take]...)
+		rest = rest[take:]
+	}
+	m.n = base + int64(len(recs))
+	return base, nil
+}
+
+// Read implements Log.
+func (m *MemLog) Read(offset int64, max int) ([]Record, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if offset < 0 || offset > m.n {
+		return nil, ErrOffsetOutOfRange
+	}
+	end := offset + int64(max)
+	if end > m.n {
+		end = m.n
+	}
+	// The log's base is m.n minus the records actually held: after a
+	// truncate-to-zero followed by appends at a non-zero watermark the
+	// first chunk starts at that watermark, not offset 0.
+	base := m.base()
+	if offset < base {
+		return nil, ErrOffsetOutOfRange
+	}
+	out := make([]Record, end-offset)
+	for filled := int64(0); offset+filled < end; {
+		at := offset + filled - base
+		chunk := m.chunks[at/memChunkSize]
+		filled += int64(copy(out[filled:], chunk[at%memChunkSize:]))
+	}
+	return out, nil
+}
+
+// base returns the offset of the first held record (mu held).
+func (m *MemLog) base() int64 {
+	held := int64(0)
+	for _, c := range m.chunks {
+		held += int64(len(c))
+	}
+	return m.n - held
+}
+
+// HighWatermark implements Log.
+func (m *MemLog) HighWatermark() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// TruncateTo implements Log.
+func (m *MemLog) TruncateTo(hwm int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hwm < 0 {
+		hwm = 0
+	}
+	if hwm >= m.n {
+		return nil
+	}
+	base := m.base()
+	if hwm <= base {
+		m.chunks = nil
+		m.n = hwm
+		return nil
+	}
+	keep := hwm - base
+	full := keep / memChunkSize
+	rem := keep % memChunkSize
+	chunks := m.chunks[:full]
+	if rem > 0 {
+		tail := m.chunks[full][:rem]
+		chunks = append(chunks, tail)
+	}
+	m.chunks = chunks
+	m.n = hwm
+	return nil
+}
+
+// Sync implements Log (no-op in memory).
+func (m *MemLog) Sync() error { return nil }
+
+// Close implements Log (no-op in memory).
+func (m *MemLog) Close() error { return nil }

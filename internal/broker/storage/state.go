@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveJSON atomically replaces path with the JSON encoding of v: write
+// to a temp file in the same directory, optionally fsync, rename. A
+// crash mid-save leaves the previous state intact — a state file is
+// either the old version or the new one, never a torn mix.
+func SaveJSON(path string, v any, fsync bool) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("storage: marshal %s: %w", filepath.Base(path), err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		_ = os.Remove(name)
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads path into v. A missing file is not an error; it
+// returns (false, nil) so callers can treat it as "no saved state".
+func LoadJSON(path string, v any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("storage: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("storage: unmarshal %s: %w", filepath.Base(path), err)
+	}
+	return true, nil
+}

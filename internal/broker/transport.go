@@ -38,7 +38,12 @@ const (
 	// unchanged against a solo brokerd.
 	opMeta        = "meta"
 	opPing        = "ping"
-	opProducePart = "producep" // JSON fallback of binOpProducePart
+	opProducePart = "producep"  // JSON fallback of binOpProducePart
+	opCommitRep   = "commitrep" // leader→follower replicated group commit
+	// Replica catch-up ops: committed reads between cluster members,
+	// not gated on leadership (rejoin pulls, takeover handshake).
+	opRFetch = "rfetch"
+	opRHWM   = "rhwm"
 )
 
 type wireRequest struct {
@@ -51,13 +56,13 @@ type wireRequest struct {
 	Group      string   `json:"group,omitempty"`
 	Records    []Record `json:"records,omitempty"`
 
-	// Cluster fields: ping carries the sender's view; producep the
-	// idempotent-producer identity.
-	Node  string   `json:"node,omitempty"`
-	Epoch int64    `json:"epoch,omitempty"`
-	Dead  []string `json:"dead,omitempty"`
-	PID   uint64   `json:"pid,omitempty"`
-	Seq   uint64   `json:"seq,omitempty"`
+	// Cluster fields: ping carries the sender's versioned status view;
+	// producep the idempotent-producer identity.
+	Node  string                `json:"node,omitempty"`
+	Epoch int64                 `json:"epoch,omitempty"`
+	View  map[string]PeerStatus `json:"view,omitempty"`
+	PID   uint64                `json:"pid,omitempty"`
+	Seq   uint64                `json:"seq,omitempty"`
 }
 
 type wireResponse struct {
@@ -67,9 +72,9 @@ type wireResponse struct {
 	Records []Record `json:"records,omitempty"`
 
 	// Cluster fields.
-	Meta  *ClusterMeta `json:"meta,omitempty"`
-	Epoch int64        `json:"epoch,omitempty"`
-	Dead  []string     `json:"dead,omitempty"`
+	Meta  *ClusterMeta          `json:"meta,omitempty"`
+	Epoch int64                 `json:"epoch,omitempty"`
+	View  map[string]PeerStatus `json:"view,omitempty"`
 }
 
 func writeFrame(w io.Writer, v any) error {
@@ -308,7 +313,7 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 			encodeErrResp(out, req.op, req.corr, "broker: not a cluster member")
 			break
 		}
-		hwm, err := node.applyReplicate(req.epoch, req.sender, req.topic, req.partition, req.base, req.metas, req.recs)
+		hwm, err := node.applyReplicate(req.epoch, req.sender, req.topic, req.partition, req.base, req.committed, req.metas, req.recs)
 		if err != nil {
 			encodeErrResp(out, req.op, req.corr, err.Error())
 		} else {
@@ -447,19 +452,60 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 		if node == nil {
 			return wireResponse{Err: "broker: not a cluster member"}
 		}
-		epoch, dead := node.handlePing(req.Node, req.Epoch, req.Dead)
-		return wireResponse{Epoch: epoch, Dead: dead}
+		epoch, view := node.handlePing(req.Node, req.Epoch, req.View)
+		return wireResponse{Epoch: epoch, View: view}
 	case opCommit:
-		if err := s.broker.Commit(req.Group, req.Topic, req.Partition, req.Offset); err != nil {
+		// Clustered: group commits route through the partition leader
+		// and replicate to its followers, so Committed is exact and the
+		// offset survives a failover.
+		var err error
+		if node != nil {
+			err = node.commitGroup(req.Group, req.Topic, req.Partition, req.Offset)
+		} else {
+			err = s.broker.Commit(req.Group, req.Topic, req.Partition, req.Offset)
+		}
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{}
+	case opCommitRep:
+		if node == nil {
+			return wireResponse{Err: "broker: not a cluster member"}
+		}
+		if err := node.applyGroupCommit(req.Epoch, req.Node, req.Group, req.Topic, req.Partition, req.Offset); err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{}
 	case opCommitted:
-		off, err := s.broker.Committed(req.Group, req.Topic, req.Partition)
+		var off int64
+		var err error
+		if node != nil {
+			off, err = node.committedGroup(req.Group, req.Topic, req.Partition)
+		} else {
+			off, err = s.broker.Committed(req.Group, req.Topic, req.Partition)
+		}
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
 		return wireResponse{Offset: off}
+	case opRFetch:
+		if node == nil {
+			return wireResponse{Err: "broker: not a cluster member"}
+		}
+		recs, err := node.replicaFetch(req.Node, req.Topic, req.Partition, req.Offset, req.Max)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Records: recs, N: len(recs)}
+	case opRHWM:
+		if node == nil {
+			return wireResponse{Err: "broker: not a cluster member"}
+		}
+		hwm, err := node.replicaHWM(req.Node, req.Topic, req.Partition)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Offset: hwm}
 	case opParts:
 		n, err := s.broker.Partitions(req.Topic)
 		if err != nil {
