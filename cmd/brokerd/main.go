@@ -9,6 +9,13 @@
 //	        [-segment-records N]
 //	        [-node-id id -peers id=host:port,id=host:port,...]
 //	        [-replicas N] [-min-isr N] [-heartbeat d] [-fail-after N]
+//	        [-http host:port] [-log-level debug|info|warn|error]
+//
+// With -http an admin listener serves /metrics (Prometheus text),
+// /healthz (ISR-aware readiness) and net/http/pprof. Log output is
+// structured key=value lines; -log-level debug additionally logs every
+// traced wire request (see `saprox status` and the README's
+// Observability section).
 //
 // The daemon pre-creates the given topic and serves until interrupted.
 // -json-only disables the binary wire codec (clients fall back to the
@@ -37,7 +44,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +54,8 @@ import (
 
 	"streamapprox/internal/broker"
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/metrics"
+	"streamapprox/internal/obs"
 )
 
 func main() {
@@ -93,7 +103,15 @@ func run() error {
 	minISR := flag.Int("min-isr", 0, "replicas that must ack a produce, counting the leader (0: = -replicas)")
 	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "peer heartbeat interval (cluster mode)")
 	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a peer is declared dead")
+	httpAddr := flag.String("http", "", "admin listen address for /metrics, /healthz and pprof (empty: disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.New(os.Stdout, level).With("daemon", "brokerd")
 
 	policy, err := storage.ParseSyncPolicy(*fsyncFlag)
 	if err != nil {
@@ -133,7 +151,6 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		logger := log.New(os.Stdout, "brokerd: ", log.LstdFlags)
 		node, err = broker.NewClusterNode(b, broker.NodeConfig{
 			ID:             *nodeID,
 			Peers:          peers,
@@ -141,7 +158,7 @@ func run() error {
 			MinISR:         *minISR,
 			HeartbeatEvery: *heartbeat,
 			FailAfter:      *failAfter,
-			Logf:           logger.Printf,
+			Logf:           logger.With("node", *nodeID).Logf,
 		})
 		if err != nil {
 			return err
@@ -150,7 +167,25 @@ func run() error {
 		return fmt.Errorf("-peers requires -node-id")
 	}
 
-	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{JSONOnly: *jsonOnly, Node: node})
+	// Identity gauge: lets scrapers (saprox status) map a /metrics
+	// endpoint back to a cluster member id.
+	info := "standalone"
+	if *nodeID != "" {
+		info = *nodeID
+	}
+	b.Metrics().Gauge("broker_info",
+		"Always 1; the node label identifies this broker.",
+		metrics.Labels{"node": info}).Set(1)
+	if node != nil {
+		node.RegisterMetrics(b.Metrics())
+	}
+
+	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{
+		JSONOnly: *jsonOnly,
+		Node:     node,
+		Metrics:  b.Metrics(),
+		Log:      logger,
+	})
 	if err != nil {
 		return err
 	}
@@ -159,6 +194,23 @@ func run() error {
 		node.Start()
 		defer node.Close()
 	}
+
+	var admin *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		admin = &http.Server{Handler: broker.AdminHandler(b, node)}
+		go func() {
+			if err := admin.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin listener failed", "err", err)
+			}
+		}()
+		defer admin.Close()
+		logger.Info("admin listening", "addr", ln.Addr().String())
+	}
+
 	codec := "binary+json"
 	if *jsonOnly {
 		codec = "json-only"
@@ -167,17 +219,15 @@ func run() error {
 	if *dataDir != "" {
 		store = fmt.Sprintf("durable %s (fsync %s)", *dataDir, policy)
 	}
+	kv := []any{"addr", srv.Addr(), "topic", *topic, "partitions", *partitions, "wire", codec, "storage", store}
 	if node != nil {
-		fmt.Printf("brokerd %s listening on %s (topic %q, %d partitions, replicas %d, %s wire, %s)\n",
-			*nodeID, srv.Addr(), *topic, *partitions, *replicas, codec, store)
-	} else {
-		fmt.Printf("brokerd listening on %s (topic %q, %d partitions, %s wire, %s)\n",
-			srv.Addr(), *topic, *partitions, codec, store)
+		kv = append(kv, "node", *nodeID, "replicas", *replicas)
 	}
+	logger.Info("listening", kv...)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("brokerd: shutting down")
+	logger.Info("shutting down")
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker"
+	"streamapprox/internal/obs"
 	"streamapprox/internal/stream"
 	"streamapprox/internal/workload"
 	"streamapprox/internal/xrand"
@@ -59,20 +60,29 @@ func run() error {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 
+	// One run ID for the whole replay: stamped on the wire so broker-side
+	// logs attribute this run's produces, and on every progress line so
+	// the two sides grep together.
+	runID := obs.NewTraceID()
+	logger := obs.New(os.Stderr, obs.LevelInfo).With("daemon", "replay", "run", obs.TraceHex(runID))
+
 	cli, err := broker.Dial(*addr)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = cli.Close() }()
+	cli.SetTraceID(runID)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	r := &workload.Replayer{MessagesPerSecond: *rate, ItemsPerMessage: *batch}
+	logger.Info("replay starting", "dataset", *dataset, "items", len(events),
+		"rate_msgs_per_s", *rate, "batch", *batch, "topic", *topic, "addr", *addr)
 	start := time.Now()
 	n, err := r.Replay(ctx, cli, *topic, events)
 	elapsed := time.Since(start)
-	fmt.Printf("replayed %d items in %v (%.0f items/s)\n",
-		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	logger.Info("replay finished", "items", n, "elapsed", elapsed.Round(time.Millisecond),
+		"items_per_s", fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds()))
 	return err
 }

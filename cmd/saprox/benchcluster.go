@@ -19,6 +19,7 @@ import (
 
 	"streamapprox/internal/broker"
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/obs"
 )
 
 type benchClusterMembers struct {
@@ -288,19 +289,22 @@ func runBenchCluster(args []string) error {
 	if *durable {
 		mode = "durable"
 	}
-	fmt.Fprintf(os.Stderr, "bench-cluster: single broker (%s), %d records...\n", mode, *records)
+	// Structured progress on stderr, grep-able by run ID across the
+	// whole benchmark (stdout stays clean JSON).
+	blog := obs.New(os.Stderr, obs.LevelInfo).With("bench", "cluster", "run", obs.TraceHex(obs.NewTraceID()))
+	blog.Info("single broker", "mode", mode, "records", *records)
 	var err error
 	if res.Single, err = measureClusterSide(1, 1, 1, *records, *batch, *parts, *durable); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench-cluster: 3 brokers rf=2 min-isr=2 (%s), %d records...\n", mode, *records)
+	blog.Info("3 brokers", "rf", 2, "min_isr", 2, "mode", mode, "records", *records)
 	if res.Cluster3, err = measureClusterSide(3, 2, 2, *records, *batch, *parts, *durable); err != nil {
 		return err
 	}
 	if res.Cluster3.ProduceItemsPerSec > 0 {
 		res.ReplicationCost = res.Single.ProduceItemsPerSec / res.Cluster3.ProduceItemsPerSec
 	}
-	fmt.Fprintln(os.Stderr, "bench-cluster: failover recovery...")
+	blog.Info("failover recovery")
 	if res.FailoverRecoverySeconds, err = measureFailoverRecovery(*batch, *parts, *durable); err != nil {
 		return err
 	}
@@ -314,7 +318,7 @@ func runBenchCluster(args []string) error {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "bench-cluster: wrote %s\n", *out)
+		blog.Info("wrote result", "file", *out)
 	}
 	return nil
 }

@@ -44,6 +44,8 @@ func run(args []string) error {
 		return runBenchServer(args[1:])
 	case "bench-cluster":
 		return runBenchCluster(args[1:])
+	case "status":
+		return runStatus(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -69,6 +71,10 @@ func usage() {
                                                brokers through the routing
                                                client, plus failover recovery
                                                time, and record the result
+  saprox status -brokers a1,a2 [-saproxd a]    scrape live /metrics endpoints and
+                                               render leaders, ISR, replication
+                                               lag, wire latency quantiles, and
+                                               per-query error vs budget
 
 run flags:
   -scale N     dataset scale multiplier (default 1.0)
@@ -90,7 +96,12 @@ bench-cluster flags:
   -records N       records per measurement (default 100000)
   -batch N         records per produce request (default 1000)
   -partitions N    topic partitions (default 4)
-  -out FILE        result file (default BENCH_cluster.json; "-" for stdout only)`)
+  -out FILE        result file (default BENCH_cluster.json; "-" for stdout only)
+
+status flags:
+  -brokers a1,a2   broker ADMIN addresses (the brokerd -http listeners)
+  -saproxd a       saproxd address for per-query status
+  -timeout d       per-scrape HTTP timeout (default 2s)`)
 }
 
 func list() error {

@@ -48,8 +48,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker"
+	"streamapprox/internal/obs"
 	"streamapprox/internal/server"
 )
 
@@ -78,7 +79,14 @@ func run() error {
 	globalBudget := flag.Float64("budget", 0, "global sample budget in items/s across all queries (0 disables the scheduler)")
 	scheduleEvery := flag.Duration("schedule-every", 2*time.Second, "budget scheduler control interval")
 	perQueryIngest := flag.Bool("per-query-ingest", false, "one private consumer set per query instead of the shared ingest plane (baseline mode)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.New(os.Stdout, level).With("daemon", "saproxd")
 
 	// One routing (or plain) client for control + catch-up work, plus a
 	// DialShard factory handing each ingest partition loop its own
@@ -111,7 +119,6 @@ func run() error {
 	}
 	defer closeCli()
 
-	logger := log.New(os.Stdout, "saproxd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		Cluster:         cli,
 		DialShard:       dialShard,
@@ -122,14 +129,24 @@ func run() error {
 		GlobalBudget:    *globalBudget,
 		ScheduleEvery:   *scheduleEvery,
 		PerQueryIngest:  *perQueryIngest,
-		Logf:            logger.Printf,
+		Logf:            logger.Logf,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Wrap the API handler with the standard pprof endpoints so a live
+	// saproxd can be profiled without a separate listener.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -144,11 +161,10 @@ func run() error {
 	if *brokersFlag != "" {
 		brokerDesc = "cluster " + *brokersFlag
 	}
-	logger.Printf("serving on %s (broker %s, topic %q, %d partitions, %s)",
-		*addr, brokerDesc, *topic, srv.Partitions(), mode)
+	logger.Info("serving", "addr", *addr, "broker", brokerDesc, "topic", *topic,
+		"partitions", srv.Partitions(), "mode", mode)
 	if *globalBudget > 0 {
-		logger.Printf("budget scheduler: %g sampled items/s across all queries, reapportioned every %v",
-			*globalBudget, *scheduleEvery)
+		logger.Info("budget scheduler enabled", "items_per_s", *globalBudget, "reapportion_every", *scheduleEvery)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -157,7 +173,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		logger.Printf("%v: shutting down", s)
+		logger.Info("shutting down", "signal", s)
 	}
 	// Graceful order: stop accepting HTTP work, then let srv.Close
 	// quiesce the ingest plane, finish in-flight merges, and flush
@@ -167,6 +183,6 @@ func run() error {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	srv.Close()
-	logger.Printf("checkpoints flushed; bye")
+	logger.Info("checkpoints flushed; bye")
 	return nil
 }

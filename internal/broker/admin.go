@@ -1,0 +1,39 @@
+package broker
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler serves the broker's operational plane: Prometheus metrics,
+// an ISR-aware readiness probe, and the standard pprof endpoints. node may
+// be nil for a standalone (non-clustered) broker, in which case /healthz
+// reports ready as long as the broker is open.
+func AdminHandler(b *Broker, node *ClusterNode) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		b.Metrics().WriteTo(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if node != nil {
+			if err := node.Ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

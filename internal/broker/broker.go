@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/metrics"
 )
 
 // Errors returned by broker operations.
@@ -84,6 +85,7 @@ type Broker struct {
 	closed bool
 
 	scfg StorageConfig
+	reg  *metrics.Registry
 
 	groupMu sync.Mutex
 	groups  map[string]*groupState // committed offsets per consumer group
@@ -95,9 +97,42 @@ type groupState struct {
 
 // New returns an empty in-memory broker.
 func New() *Broker {
-	return &Broker{
+	b := &Broker{
 		topics: make(map[string]*topic),
 		groups: make(map[string]*groupState),
+		reg:    metrics.NewRegistry(),
+	}
+	b.reg.OnScrape(b.scrapeLogs)
+	return b
+}
+
+// Metrics returns the broker's metric registry — storage counters and
+// histograms accumulate here, per-partition log gauges are computed at
+// scrape time, and the TCP server and cluster node add their families
+// to the same registry so one /metrics endpoint covers the process.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// scrapeLogs publishes the per-partition log gauges: log-end offset
+// for every partition, plus segment count and disk bytes for durable
+// logs (any log implementing Stats).
+func (b *Broker) scrapeLogs() {
+	for _, name := range b.TopicsSorted() {
+		t, err := b.topic(name)
+		if err != nil {
+			return // closed broker; keep the last rendered values
+		}
+		for p, part := range t.partitions {
+			lbl := metrics.Labels{"topic": name, "partition": strconv.Itoa(p)}
+			b.reg.Gauge("broker_partition_log_end_offset",
+				"next offset to be written in the partition log", lbl).Set(float64(part.log.HighWatermark()))
+			if st, ok := part.log.(interface{ Stats() (int, int64) }); ok {
+				segs, bytes := st.Stats()
+				b.reg.Gauge("broker_log_segments",
+					"segment files held by the partition log", lbl).Set(float64(segs))
+				b.reg.Gauge("broker_log_disk_bytes",
+					"bytes on disk held by the partition log", lbl).Set(float64(bytes))
+			}
+		}
 	}
 }
 
@@ -250,6 +285,14 @@ func (b *Broker) newLog(topicName string, p int) (storage.Log, error) {
 		SegmentRecords: b.scfg.SegmentRecords,
 		Policy:         b.scfg.Policy,
 		SyncEvery:      b.scfg.SyncEvery,
+		Instruments: storage.Instruments{
+			FsyncSeconds: b.reg.Histogram("broker_fsync_seconds",
+				"fsync latency of partition-log flushes in seconds", nil),
+			TornTails: b.reg.Counter("broker_storage_torn_tails_total",
+				"torn segment tails truncated during crash recovery", nil),
+			SegmentsDropped: b.reg.Counter("broker_storage_segments_dropped_total",
+				"segment files dropped past a torn tail during crash recovery", nil),
+		},
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,13 @@ type Client struct {
 	bw   *bufio.Writer
 
 	binary bool // negotiated at dial; immutable afterwards
+	v2     bool // peer accepts trace-carrying v2 request headers
+
+	// trace is the ID stamped on every subsequent binary request (0 =
+	// untraced). Connection-scoped on purpose: the ingest plane owns a
+	// dedicated connection per partition pipeline, so the stamp follows
+	// the pipeline without widening every method signature.
+	trace atomic.Uint64
 
 	// mu serializes whole round-trips in lockstep mode, and just the
 	// write+flush of a frame in pipelined mode.
@@ -52,6 +60,7 @@ func Dial(addr string) (*Client, error) {
 	switch {
 	case err == nil && resp.N >= int(binVersion):
 		c.binary = true
+		c.v2 = resp.N >= int(binVersion2)
 		c.pending = make(map[uint64]chan *frameBuf)
 		go c.readLoop()
 	case err != nil && isUnknownOp(err):
@@ -89,6 +98,21 @@ func dial(addr string) (*Client, error) {
 // isUnknownOp reports whether err is a server rejecting an op it does
 // not know — the signature of a pre-codec peer answering hello.
 func isUnknownOp(err error) bool { return strings.Contains(err.Error(), "unknown op") }
+
+// SetTraceID stamps id on every subsequent request sent over this
+// connection (0 clears it). Against a peer that has not negotiated the
+// v2 header the stamp is kept locally but never put on the wire, so
+// old servers keep decoding every frame.
+func (c *Client) SetTraceID(id uint64) { c.trace.Store(id) }
+
+// traceFor returns the trace ID to encode into the next frame: the
+// connection's stamp when the peer speaks v2, zero otherwise.
+func (c *Client) traceFor() uint64 {
+	if !c.v2 {
+		return 0
+	}
+	return c.trace.Load()
+}
 
 // checkTopic guards the binary encoding's uint16 topic-length field.
 func checkTopic(topic string) error {
@@ -234,7 +258,7 @@ func (c *Client) controlRoundTrip(req *wireRequest) (*wireResponse, error) {
 		return nil, err
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeJSONReq(fb, corr, payload)
+		encodeJSONReq(fb, corr, c.traceFor(), payload)
 	})
 	if err != nil {
 		return nil, err
@@ -273,7 +297,7 @@ func (c *Client) Produce(topicName string, recs []Record) (int, error) {
 		return 0, err
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeProduceReq(fb, corr, topicName, recs)
+		encodeProduceReq(fb, corr, c.traceFor(), topicName, recs)
 	})
 	if err != nil {
 		return 0, err
@@ -305,7 +329,7 @@ func (c *Client) Fetch(topicName string, partition int, offset int64, max int) (
 		return nil, err
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeFetchReq(fb, corr, topicName, partition, offset, max)
+		encodeFetchReq(fb, corr, c.traceFor(), topicName, partition, offset, max)
 	})
 	if err != nil {
 		return nil, err
@@ -331,7 +355,7 @@ func (c *Client) HighWatermark(topicName string, partition int) (int64, error) {
 		return 0, err
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeHWMReq(fb, corr, topicName, partition)
+		encodeHWMReq(fb, corr, c.traceFor(), topicName, partition)
 	})
 	if err != nil {
 		return 0, err
@@ -452,7 +476,7 @@ func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint
 		return 0, err
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeProducePartReq(fb, corr, topicName, partition, pid, seq, recs)
+		encodeProducePartReq(fb, corr, c.traceFor(), topicName, partition, pid, seq, recs)
 	})
 	if err != nil {
 		return 0, err
@@ -471,13 +495,18 @@ func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint
 
 // replicate streams one leader-appended chunk to a follower, returning
 // the follower's resulting high watermark. Cluster peers always speak
-// the binary codec.
-func (c *Client) replicate(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
+// the binary codec. The explicit trace parameter forwards the producer
+// request's trace across the leader→follower hop (the connection stamp
+// would attribute every chunk to whichever request dialed first).
+func (c *Client) replicate(trace uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
 	if !c.binary {
 		return 0, errors.New("broker: replicate requires the binary codec")
 	}
+	if !c.v2 {
+		trace = 0
+	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeReplicateReq(fb, corr, epoch, sender, topic, partition, base, committed, metas, recs)
+		encodeReplicateReq(fb, corr, trace, epoch, sender, topic, partition, base, committed, metas, recs)
 	})
 	if err != nil {
 		return 0, err

@@ -48,7 +48,24 @@ type ClusterClient struct {
 	seqs   map[string]uint64  // topic/partition -> last assigned seq
 	prodMu map[string]*sync.Mutex
 	rr     uint64
+	trace  uint64 // trace ID stamped on every member connection
 	closed bool
+}
+
+// SetTraceID stamps a trace ID on every current and future member
+// connection, so all wire requests this routing client issues carry it
+// (on peers that negotiated the v2 header).
+func (cc *ClusterClient) SetTraceID(id uint64) {
+	cc.mu.Lock()
+	cc.trace = id
+	conns := make([]*Client, 0, len(cc.conns))
+	for _, c := range cc.conns {
+		conns = append(conns, c)
+	}
+	cc.mu.Unlock()
+	for _, c := range conns {
+		c.SetTraceID(id)
+	}
 }
 
 var _ Cluster = (*ClusterClient)(nil)
@@ -119,6 +136,9 @@ func (cc *ClusterClient) conn(addr string) (*Client, error) {
 		return nil, err
 	}
 	cc.mu.Lock()
+	if cc.trace != 0 {
+		c.SetTraceID(cc.trace)
+	}
 	if cc.closed {
 		cc.mu.Unlock()
 		_ = c.Close()

@@ -39,6 +39,15 @@ import (
 // must never collide with '{' (0x7B), the first byte of a JSON frame.
 const binVersion byte = 0x01
 
+// binVersion2 extends the request header with an 8-byte trace ID after
+// the correlation ID — the wire leg of cross-process request tracing.
+// A client only sends v2 frames to a peer whose hello answered with
+// version >= 2, and only for requests that actually carry a non-zero
+// trace, so old peers never see a header they cannot parse. Responses
+// stay v1: the client correlates them by ID and already knows the
+// trace it stamped on the request.
+const binVersion2 byte = 0x02
+
 // Binary op codes.
 const (
 	binOpProduce byte = 1
@@ -57,10 +66,11 @@ const (
 )
 
 const (
-	binReqHdrLen       = 10 // version + op + corrID
-	binRespHdrLen      = 11 // version + op + corrID + status
-	binStatusOK   byte = 0
-	binStatusErr  byte = 1
+	binReqHdrLen        = 10 // version + op + corrID
+	binReqHdrLenV2      = 18 // version + op + corrID + traceID
+	binRespHdrLen       = 11 // version + op + corrID + status
+	binStatusOK    byte = 0
+	binStatusErr   byte = 1
 )
 
 // minWireRecord is the smallest encoded record (empty key), used to
@@ -240,9 +250,18 @@ func (c *wireCursor) remaining() int { return len(c.b) - c.off }
 
 // ---- request encoding (client side) ----
 
-func appendBinReqHeader(b []byte, op byte, corr uint64) []byte {
-	b = append(b, binVersion, op)
-	return appendU64(b, corr)
+// appendBinReqHeader emits the smallest header that carries the
+// request's metadata: the v1 form when there is no trace to propagate,
+// the v2 form (with the trace ID after the correlation ID) otherwise.
+// Callers guarantee trace is zero when the peer has not negotiated v2.
+func appendBinReqHeader(b []byte, op byte, corr, trace uint64) []byte {
+	if trace == 0 {
+		b = append(b, binVersion, op)
+		return appendU64(b, corr)
+	}
+	b = append(b, binVersion2, op)
+	b = appendU64(b, corr)
+	return appendU64(b, trace)
 }
 
 func appendRecord(b []byte, r *Record) []byte {
@@ -254,8 +273,8 @@ func appendRecord(b []byte, r *Record) []byte {
 
 // encodeProduceReq encodes a produce request. Only key/value/time are
 // shipped: the server routes and stamps topic, partition and offset.
-func encodeProduceReq(fb *frameBuf, corr uint64, topic string, recs []Record) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpProduce, corr)
+func encodeProduceReq(fb *frameBuf, corr, trace uint64, topic string, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProduce, corr, trace)
 	fb.b = appendU16(fb.b, uint16(len(topic)))
 	fb.b = append(fb.b, topic...)
 	fb.b = appendU32(fb.b, uint32(len(recs)))
@@ -264,8 +283,8 @@ func encodeProduceReq(fb *frameBuf, corr uint64, topic string, recs []Record) {
 	}
 }
 
-func encodeFetchReq(fb *frameBuf, corr uint64, topic string, partition int, offset int64, max int) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpFetch, corr)
+func encodeFetchReq(fb *frameBuf, corr, trace uint64, topic string, partition int, offset int64, max int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpFetch, corr, trace)
 	fb.b = appendU16(fb.b, uint16(len(topic)))
 	fb.b = append(fb.b, topic...)
 	fb.b = appendU32(fb.b, uint32(int32(partition)))
@@ -276,8 +295,8 @@ func encodeFetchReq(fb *frameBuf, corr uint64, topic string, partition int, offs
 	fb.b = appendU32(fb.b, uint32(max))
 }
 
-func encodeHWMReq(fb *frameBuf, corr uint64, topic string, partition int) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpHWM, corr)
+func encodeHWMReq(fb *frameBuf, corr, trace uint64, topic string, partition int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpHWM, corr, trace)
 	fb.b = appendU16(fb.b, uint16(len(topic)))
 	fb.b = append(fb.b, topic...)
 	fb.b = appendU32(fb.b, uint32(int32(partition)))
@@ -285,16 +304,16 @@ func encodeHWMReq(fb *frameBuf, corr uint64, topic string, partition int) {
 
 // encodeJSONReq wraps a marshalled JSON control request in the binary
 // envelope so it shares the pipelined connection and correlation IDs.
-func encodeJSONReq(fb *frameBuf, corr uint64, payload []byte) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpJSON, corr)
+func encodeJSONReq(fb *frameBuf, corr, trace uint64, payload []byte) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpJSON, corr, trace)
 	fb.b = append(fb.b, payload...)
 }
 
 // encodeProducePartReq encodes a partitioned produce: explicit target
 // partition plus the producer id / sequence pair for idempotent retries
 // (pid 0 disables deduplication).
-func encodeProducePartReq(fb *frameBuf, corr uint64, topic string, partition int, pid, seq uint64, recs []Record) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpProducePart, corr)
+func encodeProducePartReq(fb *frameBuf, corr, trace uint64, topic string, partition int, pid, seq uint64, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProducePart, corr, trace)
 	fb.b = appendU16(fb.b, uint16(len(topic)))
 	fb.b = append(fb.b, topic...)
 	fb.b = appendU32(fb.b, uint32(int32(partition)))
@@ -313,8 +332,8 @@ func encodeProducePartReq(fb *frameBuf, corr uint64, topic string, partition int
 // truncation point); metas are the producer-batch journal entries
 // covering the chunk's range, so the follower can adopt dedup state
 // for every producer whose records it receives.
-func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) {
-	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicate, corr)
+func encodeReplicateReq(fb *frameBuf, corr, trace uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicate, corr, trace)
 	fb.b = appendU64(fb.b, uint64(epoch))
 	fb.b = appendU16(fb.b, uint16(len(sender)))
 	fb.b = append(fb.b, sender...)
@@ -341,6 +360,7 @@ func encodeReplicateReq(fb *frameBuf, corr uint64, epoch int64, sender, topic st
 type binRequest struct {
 	op        byte
 	corr      uint64
+	trace     uint64 // request trace ID (0 = untraced / v1 frame)
 	topic     string
 	partition int
 	offset    int64
@@ -361,11 +381,15 @@ type binRequest struct {
 func decodeBinRequest(payload []byte) (binRequest, error) {
 	cur := &wireCursor{b: payload}
 	var req binRequest
-	if cur.u8() != binVersion {
+	ver := cur.u8()
+	if ver != binVersion && ver != binVersion2 {
 		return req, errors.New("broker: bad binary version")
 	}
 	req.op = cur.u8()
 	req.corr = cur.u64()
+	if ver == binVersion2 {
+		req.trace = cur.u64()
+	}
 	switch req.op {
 	case binOpProduce:
 		req.topic = cur.str(int(cur.u16()))
@@ -540,9 +564,10 @@ func decodeRespHeader(fb *frameBuf) (*wireCursor, error) {
 	return cur, nil
 }
 
-// corrIDOf extracts the correlation ID from an encoded binary frame.
+// corrIDOf extracts the correlation ID from an encoded binary frame of
+// either codec version (the ID sits at the same offset in both).
 func corrIDOf(payload []byte) (uint64, bool) {
-	if len(payload) < binReqHdrLen || payload[0] != binVersion {
+	if len(payload) < binReqHdrLen || (payload[0] != binVersion && payload[0] != binVersion2) {
 		return 0, false
 	}
 	return binary.BigEndian.Uint64(payload[2:10]), true

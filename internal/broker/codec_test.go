@@ -16,7 +16,7 @@ func encodeDecodeProduce(t *testing.T, topic string, in []Record) []Record {
 	t.Helper()
 	fb := getFrame()
 	defer putFrame(fb)
-	encodeProduceReq(fb, 42, topic, in)
+	encodeProduceReq(fb, 42, 0, topic, in)
 	req, err := decodeBinRequest(fb.b)
 	if err != nil {
 		t.Fatalf("decode produce: %v", err)
@@ -111,7 +111,7 @@ func FuzzBinaryRecordCodec(f *testing.F) {
 
 		// produce path
 		fb := getFrame()
-		encodeProduceReq(fb, 7, "fuzz", []Record{in})
+		encodeProduceReq(fb, 7, 0, "fuzz", []Record{in})
 		req, err := decodeBinRequest(fb.b)
 		putFrame(fb)
 		if err != nil {
@@ -148,9 +148,9 @@ func FuzzBinaryRecordCodec(f *testing.F) {
 // over-read.
 func FuzzBinaryRequestDecode(f *testing.F) {
 	fb := getFrame()
-	encodeProduceReq(fb, 1, "t", recs("k", 3))
+	encodeProduceReq(fb, 1, 0, "t", recs("k", 3))
 	f.Add(append([]byte(nil), fb.b...))
-	encodeFetchReq(fb, 2, "t", 0, 0, 10)
+	encodeFetchReq(fb, 2, 0, "t", 0, 0, 10)
 	f.Add(append([]byte(nil), fb.b...))
 	putFrame(fb)
 	f.Add([]byte{binVersion, binOpProduce})
@@ -361,5 +361,35 @@ func TestPipelinedClientServerClose(t *testing.T) {
 	}
 	if _, err := cli.Fetch("in", 0, 0, 1); err == nil {
 		t.Error("fetch after server close should fail")
+	}
+}
+
+func TestCodecV2TraceRoundTrip(t *testing.T) {
+	fb := getFrame()
+	defer putFrame(fb)
+	encodeProduceReq(fb, 99, 0xdeadbeefcafe, "traced", recs("k", 2))
+	if fb.b[0] != binVersion2 {
+		t.Fatalf("version byte = %#x, want v2", fb.b[0])
+	}
+	if got, ok := corrIDOf(fb.b); !ok || got != 99 {
+		t.Fatalf("corrIDOf = %d, %v", got, ok)
+	}
+	req, err := decodeBinRequest(fb.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.trace != 0xdeadbeefcafe {
+		t.Fatalf("trace = %#x, want 0xdeadbeefcafe", req.trace)
+	}
+	if req.corr != 99 || req.topic != "traced" || len(req.recs) != 2 {
+		t.Fatalf("bad decode: %+v", req)
+	}
+
+	// trace == 0 must stay on the v1 header so old peers keep decoding.
+	fb2 := getFrame()
+	defer putFrame(fb2)
+	encodeFetchReq(fb2, 7, 0, "t", 0, 0, 10)
+	if fb2.b[0] != binVersion {
+		t.Fatalf("version byte = %#x, want v1 when trace is zero", fb2.b[0])
 	}
 }

@@ -45,14 +45,17 @@ package broker
 // acks < all.
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/metrics"
 )
 
 // PeerStatus is one member's liveness in a node's view: Dead plus the
@@ -182,6 +185,7 @@ type ClusterNode struct {
 	seqs        map[string]map[uint64]prodSeq // topic/partition -> pid -> last batch
 	metas       map[string][]batchMeta        // topic/partition -> recent batch journal
 	remoteHWM   map[string]int64              // topic/partition -> committed heard from the leader
+	followHWM   map[string]map[string]int64   // topic/partition -> follower -> last acked watermark
 	sendWin     map[string]chan struct{}      // follower id -> in-flight replicate slots
 	savers      map[string]*stateSaver
 	commitMus   map[string]*sync.Mutex // topic/partition -> group-commit round lock
@@ -252,6 +256,7 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 		seqs:       make(map[string]map[uint64]prodSeq),
 		metas:      make(map[string][]batchMeta),
 		remoteHWM:  make(map[string]int64),
+		followHWM:  make(map[string]map[string]int64),
 		sendWin:    make(map[string]chan struct{}),
 		savers:     make(map[string]*stateSaver),
 		commitMus:  make(map[string]*sync.Mutex),
@@ -1052,8 +1057,10 @@ func (n *ClusterNode) metasInRange(tp string, from, to int64) []batchMeta {
 // dedup by (pid, seq), append locally, replicate, ack once MinISR
 // (shrunk to the live replica count) replicas hold it. Only the
 // dedup-check + append runs under the partition lock; replication is
-// pipelined across in-flight batches.
-func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
+// pipelined across in-flight batches. trace is the producer request's
+// trace ID, forwarded on every replicate so a follower's wire log shows
+// the same ID the edge minted (0 = untraced).
+func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
 	ldr := n.leaderFor(topic, partition)
 	if ldr == "" {
 		return 0, ErrNoReplica
@@ -1104,7 +1111,7 @@ func (n *ClusterNode) producePart(topic string, partition int, pid, seq uint64, 
 			return 0, err
 		}
 	}
-	if err := n.replicateOut(pl, topic, partition, base, end, recs); err != nil {
+	if err := n.replicateOut(trace, pl, topic, partition, base, end, recs); err != nil {
 		return 0, err
 	}
 	n.saveClusterState(topic, partition)
@@ -1130,7 +1137,7 @@ func (n *ClusterNode) sendSlot(id string) func() {
 // concurrently, so the wait is the slowest single follower, not the
 // sum — and advances the committed watermark once enough replicas
 // acked.
-func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, base, end int64, recs []Record) error {
+func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, partition int, base, end int64, recs []Record) error {
 	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
 	acks, live := 1, 1
 	var firstErr error
@@ -1145,7 +1152,7 @@ func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, ba
 		go func(id string) {
 			defer wg.Done()
 			release := n.sendSlot(id)
-			err := n.pushToFollower(pl, id, topic, partition, base, end, recs)
+			err := n.pushToFollower(trace, pl, id, topic, partition, base, end, recs)
 			release()
 			if err != nil {
 				// Only TRANSPORT failures feed the failure detector. An
@@ -1194,7 +1201,7 @@ func (n *ClusterNode) replicateOut(pl *partLead, topic string, partition int, ba
 // producer whose records it receives, plus the leader's committed
 // watermark, which the follower persists as its restart truncation
 // point.
-func (n *ClusterNode) pushToFollower(pl *partLead, id, topic string, partition int, base, end int64, recs []Record) error {
+func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic string, partition int, base, end int64, recs []Record) error {
 	cli, err := n.peerClient(id)
 	if err != nil {
 		return err
@@ -1205,13 +1212,14 @@ func (n *ClusterNode) pushToFollower(pl *partLead, id, topic string, partition i
 	tp := tpKey(topic, partition)
 	for tries := 0; tries < 8; tries++ {
 		metas := n.metasInRange(tp, base, base+int64(len(recs)))
-		hwm, err := cli.replicate(epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, recs)
+		hwm, err := cli.replicate(trace, epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, recs)
 		if err != nil {
 			if !isRemoteErr(err) {
 				n.dropConn(id, cli) // transport failure: the conn is suspect
 			}
 			return err
 		}
+		n.noteFollowerHWM(tp, id, hwm)
 		if hwm >= end {
 			return nil
 		}
@@ -1227,12 +1235,153 @@ func (n *ClusterNode) pushToFollower(pl *partLead, id, topic string, partition i
 	return fmt.Errorf("broker: replication to %s did not converge", id)
 }
 
+// noteFollowerHWM records the watermark a follower acked on its last
+// replicate — the source of the per-follower replication-lag gauges.
+func (n *ClusterNode) noteFollowerHWM(tp, id string, hwm int64) {
+	n.mu.Lock()
+	m, ok := n.followHWM[tp]
+	if !ok {
+		m = make(map[string]int64)
+		n.followHWM[tp] = m
+	}
+	if hwm > m[id] {
+		m[id] = hwm
+	}
+	n.mu.Unlock()
+}
+
+// ---- observability ----
+
+// Ready reports whether the node can serve traffic: it must have
+// finished (re)joining and every partition it currently leads must have
+// at least MinISR live replicas — the ISR-aware readiness the admin
+// /healthz endpoint exposes so load balancers drain a degraded leader.
+func (n *ClusterNode) Ready() error {
+	if n.isJoining() {
+		return errors.New("joining: not yet synced and announced")
+	}
+	for _, t := range n.b.TopicsSorted() {
+		parts, err := n.b.Partitions(t)
+		if err != nil {
+			continue
+		}
+		for p := 0; p < parts; p++ {
+			if n.leaderFor(t, p) != n.cfg.ID {
+				continue
+			}
+			if live := n.liveReplicas(t, p); live < n.cfg.MinISR {
+				return fmt.Errorf("partition %s: %d/%d replicas live", tpKey(t, p), live, n.cfg.MinISR)
+			}
+		}
+	}
+	return nil
+}
+
+// liveReplicas counts the partition's replicas alive in this node's
+// view (counting this node itself).
+func (n *ClusterNode) liveReplicas(topic string, partition int) int {
+	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := 0
+	for _, id := range reps {
+		if id == n.cfg.ID || !n.view[id].Dead {
+			live++
+		}
+	}
+	return live
+}
+
+// RegisterMetrics publishes the node's membership and per-partition
+// gauges on reg, recomputed at scrape time: peer liveness and
+// incarnations, leadership epoch, joining state, committed watermarks,
+// ISR sizes, leadership flags, and — on partitions this node leads —
+// per-follower replication lag in records.
+func (n *ClusterNode) RegisterMetrics(reg *metrics.Registry) {
+	reg.OnScrape(func() { n.scrapeInto(reg) })
+}
+
+func (n *ClusterNode) scrapeInto(reg *metrics.Registry) {
+	n.mu.Lock()
+	epoch := n.epoch
+	joining := n.joining
+	view := make(map[string]PeerStatus, len(n.view))
+	for id, st := range n.view {
+		view[id] = st
+	}
+	follow := make(map[string]map[string]int64, len(n.followHWM))
+	for tp, m := range n.followHWM {
+		mm := make(map[string]int64, len(m))
+		for id, v := range m {
+			mm[id] = v
+		}
+		follow[tp] = mm
+	}
+	n.mu.Unlock()
+
+	reg.Gauge("broker_cluster_epoch", "cluster leadership epoch in this node's view", nil).Set(float64(epoch))
+	joinG := 0.0
+	if joining {
+		joinG = 1
+	}
+	reg.Gauge("broker_joining", "1 while this node is (re)joining and refusing leadership", nil).Set(joinG)
+	for _, id := range n.members {
+		st := view[id]
+		alive := 1.0
+		if st.Dead {
+			alive = 0
+		}
+		reg.Gauge("broker_peer_alive", "1 when the peer is alive in this node's view", metrics.Labels{"peer": id}).Set(alive)
+		reg.Gauge("broker_peer_incarnation", "peer status version (SWIM incarnation)", metrics.Labels{"peer": id}).Set(float64(st.Ver))
+	}
+
+	// Leadership moves between nodes, so stale lag series from a demoted
+	// leader are cleared and the family rebuilt from live state.
+	reg.RemoveSeries("broker_replication_lag_records", metrics.Labels{})
+	for _, t := range n.b.TopicsSorted() {
+		parts, err := n.b.Partitions(t)
+		if err != nil {
+			continue
+		}
+		for p := 0; p < parts; p++ {
+			lbl := metrics.Labels{"topic": t, "partition": strconv.Itoa(p)}
+			tp := tpKey(t, p)
+			leads := 0.0
+			isLeader := n.leaderFor(t, p) == n.cfg.ID
+			if isLeader {
+				leads = 1
+			}
+			reg.Gauge("broker_partition_leader", "1 when this node leads the partition", lbl).Set(leads)
+			reg.Gauge("broker_partition_isr_size", "live replicas of the partition (counting this node)", lbl).Set(float64(n.liveReplicas(t, p)))
+			n.mu.Lock()
+			committed := n.knownCommittedLocked(tp)
+			n.mu.Unlock()
+			reg.Gauge("broker_partition_committed_offset", "committed (replicated + acked) watermark known here", lbl).Set(float64(committed))
+			if !isLeader {
+				continue
+			}
+			end, err := n.b.HighWatermark(t, p)
+			if err != nil {
+				continue
+			}
+			for id, hwm := range follow[tp] {
+				lag := end - hwm
+				if lag < 0 {
+					lag = 0
+				}
+				fl := metrics.Labels{"topic": t, "partition": strconv.Itoa(p), "follower": id}
+				reg.Gauge("broker_replication_lag_records", "records the follower trails this leader's log end by", fl).Set(float64(lag))
+			}
+		}
+	}
+}
+
 // produceRouted handles a legacy key-routed produce arriving at any
 // cluster node: it partitions locally and forwards each batch to its
 // partition leader, so old producers keep working pointed at any one
 // broker. Without a producer id this path is at-least-once under
 // retries; ClusterClient's partitioned produce is the exactly-once one.
-func (n *ClusterNode) produceRouted(topicName string, recs []Record) (int, error) {
+func (n *ClusterNode) produceRouted(trace uint64, topicName string, recs []Record) (int, error) {
 	t, err := n.b.topic(topicName)
 	if err != nil {
 		return 0, err
@@ -1252,7 +1401,7 @@ func (n *ClusterNode) produceRouted(topicName string, recs []Record) (int, error
 		case ldr == "":
 			return total, ErrNoReplica
 		case ldr == n.cfg.ID:
-			if _, err := n.producePart(topicName, p, 0, 0, batch); err != nil {
+			if _, err := n.producePart(trace, topicName, p, 0, 0, batch); err != nil {
 				return total, err
 			}
 		default:

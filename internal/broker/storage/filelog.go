@@ -14,7 +14,24 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"streamapprox/internal/metrics"
 )
+
+// Instruments carries the storage engine's observability hooks: the
+// fsync-latency histogram and the crash-recovery counters. Every field
+// is optional; nil instruments cost nothing.
+type Instruments struct {
+	// FsyncSeconds observes the latency of each fsync pass over the
+	// dirty segments (the tail of every SyncAlways append).
+	FsyncSeconds *metrics.Histogram
+	// TornTails counts torn segment tails truncated during recovery —
+	// partial frames from an append cut short by a crash.
+	TornTails *metrics.Counter
+	// SegmentsDropped counts whole segment files deleted during
+	// recovery because they sat past a torn tail.
+	SegmentsDropped *metrics.Counter
+}
 
 // FileLog is the durable Log: an append-only sequence of fixed-capacity
 // segment files mirroring MemLog's 4096-record chunks.
@@ -108,6 +125,8 @@ type FileConfig struct {
 	Policy SyncPolicy
 	// SyncEvery is the SyncInterval flush period (default 50ms).
 	SyncEvery time.Duration
+	// Instruments receives durability observations (optional).
+	Instruments Instruments
 }
 
 // indexEvery is the sparse-index stride: one file position kept per
@@ -187,6 +206,9 @@ func (l *FileLog) recover() error {
 			// Unreachable past a torn segment: offsets would be
 			// discontiguous. Drop it.
 			_ = os.Remove(path)
+			if c := l.cfg.Instruments.SegmentsDropped; c != nil {
+				c.Inc()
+			}
 			continue
 		}
 		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
@@ -206,12 +228,18 @@ func (l *FileLog) recover() error {
 				return fmt.Errorf("storage: truncate torn tail: %w", err)
 			}
 			torn = true
+			if c := l.cfg.Instruments.TornTails; c != nil {
+				c.Inc()
+			}
 		}
 		seg.size = validSize
 		if seg.count == 0 && torn {
 			// The torn frame was the segment's only content.
 			_ = f.Close()
 			_ = os.Remove(path)
+			if c := l.cfg.Instruments.SegmentsDropped; c != nil {
+				c.Inc()
+			}
 			continue
 		}
 		if len(l.segs) > 0 {
@@ -482,6 +510,17 @@ func (l *FileLog) HighWatermark() int64 {
 	return l.n
 }
 
+// Stats reports the log's segment count and total bytes on disk — the
+// scrape-time source of the broker's per-partition disk gauges.
+func (l *FileLog) Stats() (segments int, bytes int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, seg := range l.segs {
+		bytes += seg.size
+	}
+	return len(l.segs), bytes
+}
+
 // TruncateTo implements Log: discard every record at offset >= hwm.
 // Whole segments past the point are deleted; the segment containing it
 // is cut at the record boundary. The next append continues at hwm.
@@ -579,6 +618,8 @@ func (l *FileLog) Sync() error {
 }
 
 func (l *FileLog) syncLocked() error {
+	start := time.Now()
+	synced := false
 	for _, seg := range l.segs {
 		if !seg.dirty {
 			continue
@@ -587,8 +628,14 @@ func (l *FileLog) syncLocked() error {
 			return fmt.Errorf("storage: sync: %w", err)
 		}
 		seg.dirty = false
+		synced = true
 	}
 	l.dirty = false
+	if synced {
+		if h := l.cfg.Instruments.FsyncSeconds; h != nil {
+			h.Observe(time.Since(start).Seconds())
+		}
+	}
 	return nil
 }
 

@@ -10,6 +10,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streamapprox/internal/metrics"
+	"streamapprox/internal/obs"
 )
 
 // The wire protocol frames every message as a 4-byte big-endian length
@@ -120,6 +123,14 @@ type ServerOptions struct {
 	// Serve with AttachNode (needed when peer addresses are only known
 	// once every listener is bound).
 	Node *ClusterNode
+	// Metrics, when set, receives per-op request counters and latency
+	// histograms at the wire-dispatch layer (broker_requests_total,
+	// broker_request_seconds). Instruments are resolved once at startup
+	// so the hot path never takes the registry lock.
+	Metrics *metrics.Registry
+	// Log, when set, emits a structured debug line per traced request —
+	// the broker-side leg of following one saproxd pipeline by trace ID.
+	Log *obs.Logger
 }
 
 // Server exposes a Broker over TCP.
@@ -128,12 +139,80 @@ type Server struct {
 	ln     net.Listener
 	opts   ServerOptions
 	node   atomic.Pointer[ClusterNode]
+	instr  *serverInstruments
+	log    *obs.Logger
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// opReplicate names binOpReplicate in metric labels; it has no JSON
+// dialect equivalent.
+const opReplicate = "replicate"
+
+// serverInstruments is the wire-dispatch instrumentation: one request
+// counter and one latency histogram per op, resolved from the registry
+// once at startup. A nil *serverInstruments is valid and free, so the
+// handlers need no guards.
+type serverInstruments struct {
+	reqs map[string]*metrics.Counter
+	lat  map[string]*metrics.Histogram
+}
+
+func newServerInstruments(reg *metrics.Registry) *serverInstruments {
+	si := &serverInstruments{
+		reqs: make(map[string]*metrics.Counter),
+		lat:  make(map[string]*metrics.Histogram),
+	}
+	for _, op := range []string{
+		opCreate, opProduce, opFetch, opHWM, opCommit, opCommitted,
+		opParts, opHello, opMeta, opPing, opProducePart, opCommitRep,
+		opRFetch, opRHWM, opReplicate, "other",
+	} {
+		si.reqs[op] = reg.Counter("broker_requests_total",
+			"requests served, by wire op", metrics.Labels{"op": op})
+		si.lat[op] = reg.Histogram("broker_request_seconds",
+			"request service latency in seconds, by wire op", metrics.Labels{"op": op})
+	}
+	return si
+}
+
+// observe records one served request. Unknown ops (a newer client
+// against this server) land under "other" rather than allocating
+// unbounded series.
+func (si *serverInstruments) observe(op string, start time.Time) {
+	if si == nil {
+		return
+	}
+	c, ok := si.reqs[op]
+	if !ok {
+		op = "other"
+		c = si.reqs[op]
+	}
+	c.Inc()
+	si.lat[op].Observe(time.Since(start).Seconds())
+}
+
+// binOpName maps a binary op code to its metric/log label.
+func binOpName(op byte) string {
+	switch op {
+	case binOpProduce:
+		return opProduce
+	case binOpFetch:
+		return opFetch
+	case binOpHWM:
+		return opHWM
+	case binOpProducePart:
+		return opProducePart
+	case binOpReplicate:
+		return opReplicate
+	case binOpJSON:
+		return "json"
+	}
+	return "other"
 }
 
 // AttachNode attaches (or replaces) the server's cluster node. Ops
@@ -159,8 +238,12 @@ func ServeWithOptions(b *Broker, addr string, opts ServerOptions) (*Server, erro
 		broker: b,
 		ln:     ln,
 		opts:   opts,
+		log:    opts.Log,
 		conns:  make(map[net.Conn]struct{}),
 		done:   make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		s.instr = newServerInstruments(opts.Metrics)
 	}
 	if opts.Node != nil {
 		s.node.Store(opts.Node)
@@ -242,7 +325,7 @@ func (s *Server) handle(conn net.Conn) {
 			return // EOF or broken connection
 		}
 		var err error
-		if !s.opts.JSONOnly && len(fb.b) > 0 && fb.b[0] == binVersion {
+		if !s.opts.JSONOnly && len(fb.b) > 0 && (fb.b[0] == binVersion || fb.b[0] == binVersion2) {
 			err = s.handleBinary(fb.b, bw)
 		} else {
 			err = s.handleJSON(fb.b, bw)
@@ -284,6 +367,7 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	out := getFrame()
 	defer putFrame(out)
 	node := s.clusterNode()
@@ -292,7 +376,7 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 		var n int
 		var err error
 		if node != nil {
-			n, err = node.produceRouted(req.topic, req.recs)
+			n, err = node.produceRouted(req.trace, req.topic, req.recs)
 		} else {
 			n, err = s.broker.Produce(req.topic, req.recs)
 		}
@@ -355,6 +439,17 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 			return err
 		}
 	}
+	// dispatch instruments the wrapped JSON op itself; observing the
+	// envelope too would double-count the request.
+	if req.op != binOpJSON {
+		s.instr.observe(binOpName(req.op), start)
+	}
+	if req.trace != 0 && s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("wire request",
+			"op", binOpName(req.op), "trace", obs.TraceHex(req.trace),
+			"topic", req.topic, "partition", req.partition,
+			"records", len(req.recs), "dur_us", time.Since(start).Microseconds())
+	}
 	return writeRawFrame(bw, out.b)
 }
 
@@ -363,7 +458,7 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 // log otherwise.
 func (s *Server) producePart(node *ClusterNode, req *binRequest) (int, error) {
 	if node != nil {
-		return node.producePart(req.topic, req.partition, req.pid, req.seq, req.recs)
+		return node.producePart(req.trace, req.topic, req.partition, req.pid, req.seq, req.recs)
 	}
 	if _, err := s.broker.producePartition(req.topic, req.partition, req.recs); err != nil {
 		return 0, err
@@ -392,7 +487,16 @@ func (s *Server) soloMeta() *ClusterMeta {
 	return m
 }
 
+// dispatch serves one JSON-dialect request, instrumenting it under its
+// op string (shared with the binary envelope via binOpJSON).
 func (s *Server) dispatch(req *wireRequest) wireResponse {
+	start := time.Now()
+	resp := s.dispatchOp(req)
+	s.instr.observe(req.Op, start)
+	return resp
+}
+
+func (s *Server) dispatchOp(req *wireRequest) wireResponse {
 	node := s.clusterNode()
 	switch req.Op {
 	case opCreate:
@@ -404,7 +508,7 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 		var n int
 		var err error
 		if node != nil {
-			n, err = node.produceRouted(req.Topic, req.Records)
+			n, err = node.produceRouted(0, req.Topic, req.Records)
 		} else {
 			n, err = s.broker.Produce(req.Topic, req.Records)
 		}
@@ -517,7 +621,7 @@ func (s *Server) dispatch(req *wireRequest) wireResponse {
 			// Mimic a pre-codec server so negotiating clients fall back.
 			return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 		}
-		return wireResponse{N: int(binVersion)}
+		return wireResponse{N: int(binVersion2)}
 	default:
 		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-bucketed latency/size histogram. Observe
+// is three atomic operations (bucket increment, sum accumulate, count
+// increment) and never takes a lock, so it is safe on hot paths — the
+// broker's wire dispatch calls it per request. Buckets are spaced
+// geometrically, histSub per power of two, so any quantile estimate
+// carries a bounded RELATIVE error of one bucket width (2^(1/histSub)
+// ≈ 9%) regardless of the observed magnitude — the standard trick for
+// covering microseconds through minutes with a fixed, small bucket
+// array (HdrHistogram, OpenTelemetry exponential histograms).
+//
+// The bucket range is fixed at [2^histMinExp, 2^histMaxExp]: with
+// seconds as the unit that is ~1µs through ~17min. Values below the
+// range (including <= 0) land in the underflow bucket, values above in
+// the overflow bucket; both stay within the exposition's cumulative
+// semantics. NaN and ±Inf observations are dropped entirely so one
+// poisoned sample cannot corrupt the running sum.
+const (
+	histMinExp  = -20 // lowest bucketed magnitude: 2^-20 s ≈ 0.95µs
+	histMaxExp  = 10  // highest bucketed magnitude: 2^10 s = 1024s
+	histSub     = 8   // sub-buckets per octave → ≤ ~9% relative error
+	histBuckets = (histMaxExp-histMinExp)*histSub + 2
+)
+
+// Histogram is one labelled histogram series. The zero value is ready
+// to use; obtain registered instances via Registry.Histogram.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     value
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histBucketBound returns bucket i's inclusive upper bound; the last
+// bucket is +Inf.
+func histBucketBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Pow(2, float64(histMinExp)+float64(i)/histSub)
+}
+
+// histBucketOf maps a value to its bucket index with le semantics: a
+// value equal to a bucket's upper bound counts into that bucket.
+func histBucketOf(v float64) int {
+	if v <= histBucketBound(0) {
+		return 0
+	}
+	pos := (math.Log2(v) - histMinExp) * histSub
+	idx := int(math.Ceil(pos))
+	if idx < 1 {
+		return 1
+	}
+	if idx > histBuckets-1 {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one value. NaN and ±Inf are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.buckets[histBucketOf(v)].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.get() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, cheap to
+// query for quantiles. Counts are cumulative (Prometheus le style):
+// Counts[i] is the number of observations ≤ Bounds[i].
+type HistogramSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Bounds []float64 // inclusive upper bounds; last is +Inf
+	Counts []uint64  // cumulative counts per bound
+}
+
+// Snapshot copies the current bucket state. Concurrent Observes may
+// land between the count read and the bucket walk; the snapshot is
+// internally consistent enough for monitoring (counts are monotone).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Sum:    h.sum.get(),
+		Bounds: make([]float64, histBuckets),
+		Counts: make([]uint64, histBuckets),
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		s.Bounds[i] = histBucketBound(i)
+		s.Counts[i] = cum
+	}
+	s.Count = cum
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by rank-interpolating
+// within the bucket where the target rank falls. The estimate is exact
+// to within one bucket width: relative error ≤ 2^(1/histSub)-1 for
+// values inside the bucketed range. Returns 0 for an empty histogram;
+// ranks falling in the overflow bucket report the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var prevCum uint64
+	for i := range s.Counts {
+		if float64(s.Counts[i]) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			if math.IsInf(upper, 1) {
+				return s.Bounds[len(s.Bounds)-2]
+			}
+			n := s.Counts[i] - prevCum
+			if n == 0 {
+				return upper
+			}
+			frac := (rank - float64(prevCum)) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		prevCum = s.Counts[i]
+	}
+	return s.Bounds[len(s.Bounds)-2]
+}
+
+// Quantile is Snapshot().Quantile(q) — the one-shot helper for status
+// displays and tests.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}

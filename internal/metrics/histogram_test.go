@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The bucket layout guarantees a relative quantile error of one bucket
+// width for values inside [2^histMinExp, 2^histMaxExp].
+const histRelError = 0.10 // 2^(1/8)-1 ≈ 0.0905, rounded up for fp slack
+
+// TestHistogramQuantileErrorBounds is the property test for the
+// log-bucket layout: for random samples across six orders of magnitude,
+// every estimated quantile must be within one bucket width of the true
+// empirical quantile.
+func TestHistogramQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		h := &Histogram{}
+		n := 2000
+		vals := make([]float64, n)
+		for i := range vals {
+			// Log-uniform over ~1µs..100s — the realistic latency range.
+			vals[i] = math.Pow(10, -6+8*rng.Float64())
+			h.Observe(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			idx := int(math.Ceil(q*float64(n))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			truth := vals[idx]
+			got := h.Quantile(q)
+			if got < truth/(1+histRelError) || got > truth*(1+histRelError) {
+				t.Fatalf("trial %d q=%v: estimate %v outside ±%.0f%% of empirical %v",
+					trial, q, got, histRelError*100, truth)
+			}
+		}
+	}
+}
+
+// TestHistogramBucketLESemantics checks a value equal to a bucket's
+// upper bound is counted at that le, so cumulative counts stay correct.
+func TestHistogramBucketLESemantics(t *testing.T) {
+	h := &Histogram{}
+	bound := histBucketBound(17)
+	h.Observe(bound)
+	snap := h.Snapshot()
+	if snap.Counts[17] != 1 {
+		t.Fatalf("value at bound(17) not counted at le=bound(17): counts[16..18]=%v",
+			snap.Counts[16:19])
+	}
+}
+
+// TestHistogramOutOfRange pins the under/overflow behaviour: values
+// outside the bucketed range are still counted, never dropped.
+func TestHistogramOutOfRange(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(1e-12)
+	h.Observe(1e12)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	snap := h.Snapshot()
+	if snap.Counts[0] != 3 {
+		t.Fatalf("underflow bucket = %d, want 3", snap.Counts[0])
+	}
+	if snap.Counts[len(snap.Counts)-1] != 4 {
+		t.Fatalf("+Inf cumulative = %d, want 4", snap.Counts[len(snap.Counts)-1])
+	}
+	// Non-finite observations are dropped entirely.
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if got := h.Count(); got != 4 {
+		t.Fatalf("non-finite observation counted: %d", got)
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("NaN observation poisoned the sum")
+	}
+}
+
+// TestHistogramConcurrentObserveLosesNothing is the -race property
+// test: 16 goroutines observing concurrently must lose no samples —
+// total count, sum of bucket counts, and the value sum all agree.
+func TestHistogramConcurrentObserveLosesNothing(t *testing.T) {
+	h := &Histogram{}
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(0.001 * float64(g+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if got := h.Count(); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	snap := h.Snapshot()
+	if got := snap.Counts[len(snap.Counts)-1]; got != want {
+		t.Fatalf("bucket total = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for g := 1; g <= goroutines; g++ {
+		wantSum += perG * 0.001 * float64(g)
+	}
+	if math.Abs(snap.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+// TestHistogramExposition checks the rendered text: cumulative buckets,
+// mandatory +Inf, _sum/_count, and the le label merged into sorted
+// label position.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "request latency", Labels{"op": "produce"})
+	h.Observe(0.001)
+	h.Observe(0.001)
+	h.Observe(0.1)
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{le="+Inf",op="produce"} 3`,
+		`req_seconds_count{op="produce"} 3`,
+		`req_seconds_sum{op="produce"} 0.102`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative: the 0.1 sample's bucket line must count all three
+	// prior observations below its bound plus itself.
+	sc, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("render not parseable: %v", err)
+	}
+	q50, ok := sc.Quantile("req_seconds", Labels{"op": "produce"}, 0.5)
+	if !ok {
+		t.Fatal("no quantile from scraped buckets")
+	}
+	if q50 < 0.001/(1+histRelError) || q50 > 0.001*(1+histRelError) {
+		t.Fatalf("scraped p50 = %v, want ≈ 0.001", q50)
+	}
+}
+
+// TestHistogramQuantileEmpty pins the degenerate cases.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a parser for the
+// Prometheus text output WriteTo produces, used by `saprox status` to
+// scrape brokerd and saproxd /metrics endpoints and by the e2e smoke
+// test to assert the rendered families stay parseable. It handles the
+// subset the registry emits — HELP/TYPE comments, optional labels with
+// backslash escapes, float values — which is also the common subset any
+// conforming exporter produces.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// Scrape is one parsed exposition payload.
+type Scrape struct {
+	Samples []Sample
+	Types   map[string]string // family name → counter|gauge|histogram|...
+	Help    map[string]string
+}
+
+// ParseText parses a text-exposition payload. Malformed lines abort
+// with an error naming the line number, so a drifting exporter fails
+// loudly instead of being silently skipped.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: make(map[string]string), Help: make(map[string]string)}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for br.Scan() {
+		lineNo++
+		line := strings.TrimSpace(br.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseComment(sc, line)
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: read: %w", err)
+	}
+	return sc, nil
+}
+
+// parseComment records HELP/TYPE metadata; other comments are ignored.
+func parseComment(sc *Scrape, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) >= 4 {
+			sc.Types[fields[2]] = fields[3]
+		}
+	case "HELP":
+		help := ""
+		if len(fields) >= 4 {
+			help = fields[3]
+		}
+		sc.Help[fields[2]] = help
+	}
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		labels, after, err := parseLabels(rest[i:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = after
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parseValue(valStr[0])
+	if err != nil {
+		return s, fmt.Errorf("value %q: %w", valStr[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseValue accepts floats plus the exposition spellings of infinity.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `{k="v",...}` starting at in[0] == '{', returning
+// the labels and the remainder after the closing brace. Label values may
+// contain escaped quotes, backslashes and newlines, and literal '}' and
+// ',' inside quotes.
+func parseLabels(in string) (Labels, string, error) {
+	labels := make(Labels)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated labels in %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", in)
+		}
+		// Scan the quoted value respecting backslash escapes.
+		j := i + 1
+		for j < len(in) {
+			if in[j] == '\\' {
+				j += 2
+				continue
+			}
+			if in[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label value in %q", in)
+		}
+		val, err := unescapeLabelValue(in[i+1 : j])
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		i = j + 1
+	}
+}
+
+// unescapeLabelValue undoes the exposition escapes \\, \" and \n.
+func unescapeLabelValue(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash in label value %q", s)
+		}
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case '\\', '"':
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// matches reports whether the sample's labels contain all of match.
+func (s Sample) matches(match Labels) bool {
+	for k, v := range match {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the first sample of name whose labels contain all of
+// match's pairs.
+func (sc *Scrape) Value(name string, match Labels) (float64, bool) {
+	for _, s := range sc.Samples {
+		if s.Name == name && s.matches(match) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Select returns every sample of name whose labels contain match.
+func (sc *Scrape) Select(name string, match Labels) []Sample {
+	var out []Sample
+	for _, s := range sc.Samples {
+		if s.Name == name && s.matches(match) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile of a scraped histogram family from
+// its cumulative <name>_bucket samples matching match — the scrape-side
+// mirror of HistogramSnapshot.Quantile, used by `saprox status` to turn
+// two counters and a pile of buckets back into a p99.
+func (sc *Scrape) Quantile(name string, match Labels, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for _, s := range sc.Select(name+"_bucket", match) {
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: le, cum: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	prev := 0.0
+	prevBound := 0.0
+	for i, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				return prevBound, true
+			}
+			n := b.cum - prev
+			if n <= 0 {
+				return b.le, true
+			}
+			lower := prevBound
+			if i == 0 {
+				lower = 0
+			}
+			return lower + (b.le-lower)*(rank-prev)/n, true
+		}
+		prev = b.cum
+		prevBound = b.le
+	}
+	return prevBound, true
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseTextRoundTrip feeds the parser the registry's own render —
+// the invariant `saprox status` depends on.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "with \"quotes\" and back\\slash", Labels{"k": `v"1\2`}).Add(3)
+	r.Gauge("b", "a gauge", Labels{"x": "1", "y": "2"}).Set(-1.5)
+	r.Gauge("c", "bare", nil).Set(42)
+	h := r.Histogram("lat_seconds", "latency", Labels{"op": "fetch"})
+	h.Observe(0.25)
+
+	sc, err := ParseText(strings.NewReader(r.Render()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := sc.Value("a_total", Labels{"k": `v"1\2`}); !ok || v != 3 {
+		t.Fatalf("a_total = %v, %v (escaped label value mangled)", v, ok)
+	}
+	if v, ok := sc.Value("b", Labels{"x": "1", "y": "2"}); !ok || v != -1.5 {
+		t.Fatalf("b = %v, %v", v, ok)
+	}
+	if v, ok := sc.Value("c", nil); !ok || v != 42 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	if sc.Types["lat_seconds"] != "histogram" {
+		t.Fatalf("lat_seconds type = %q", sc.Types["lat_seconds"])
+	}
+	if v, ok := sc.Value("lat_seconds_count", Labels{"op": "fetch"}); !ok || v != 1 {
+		t.Fatalf("lat_seconds_count = %v, %v", v, ok)
+	}
+	inf := sc.Select("lat_seconds_bucket", Labels{"le": "+Inf"})
+	if len(inf) != 1 || inf[0].Value != 1 {
+		t.Fatalf("+Inf bucket samples = %+v", inf)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"name_only\n",
+		"m{k=\"unterminated\n",
+		"m 1e999x\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+	// Unknown comments are fine.
+	sc, err := ParseText(strings.NewReader("# EOF\n\nm 1\n"))
+	if err != nil || len(sc.Samples) != 1 {
+		t.Fatalf("comment handling: %v %+v", err, sc)
+	}
+}
+
+func TestParseValueInf(t *testing.T) {
+	v, err := parseValue("+Inf")
+	if err != nil || !math.IsInf(v, 1) {
+		t.Fatalf("+Inf: %v %v", v, err)
+	}
+}

@@ -28,6 +28,11 @@ type value struct {
 }
 
 func (v *value) add(delta float64) {
+	// Reject non-finite deltas: NaN + anything is NaN, so one poisoned
+	// sample would corrupt the series forever through the CAS loop.
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return
+	}
 	for {
 		old := v.bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + delta)
@@ -59,8 +64,15 @@ func (c *Counter) Value() float64 { return c.v.get() }
 // Gauge is a metric series that can go up and down.
 type Gauge struct{ v value }
 
-// Set replaces the gauge value.
-func (g *Gauge) Set(x float64) { g.v.set(x) }
+// Set replaces the gauge value; non-finite values are ignored so a NaN
+// from a degenerate computation (0/0 rates and the like) cannot poison
+// the series.
+func (g *Gauge) Set(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	g.v.set(x)
+}
 
 // Add moves the gauge by delta.
 func (g *Gauge) Add(delta float64) { g.v.add(delta) }
@@ -71,14 +83,14 @@ func (g *Gauge) Value() float64 { return g.v.get() }
 // series is one labelled time series within a family.
 type series struct {
 	labels Labels
-	metric any // *Counter or *Gauge
+	metric any // *Counter, *Gauge or *Histogram
 }
 
 // family is all series sharing one metric name.
 type family struct {
 	name   string
 	help   string
-	typ    string // "counter" or "gauge"
+	typ    string // "counter", "gauge" or "histogram"
 	series map[string]series
 }
 
@@ -87,6 +99,7 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	hooks    []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -104,6 +117,22 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 // Gauge returns the gauge series for (name, labels).
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return r.lookup(name, help, "gauge", labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for (name, labels).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.lookup(name, help, "histogram", labels, func() any { return &Histogram{} }).(*Histogram)
+}
+
+// OnScrape registers fn to run at the start of every WriteTo, before
+// the registry lock is taken — the hook for gauges that are cheaper to
+// compute at scrape time than to maintain continuously (partition
+// watermarks, replication lag, segment sizes). Hooks may freely call
+// Gauge/Counter/Histogram/Remove* on the same registry.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 func (r *Registry) lookup(name, help, typ string, labels Labels, mk func() any) any {
@@ -160,6 +189,35 @@ func (r *Registry) RemoveMatching(match Labels) {
 	}
 }
 
+// RemoveSeries deletes series whose labels contain all of match's pairs
+// within ONE family — the scrape-hook companion to RemoveMatching for
+// state that moves between nodes (a demoted leader clears its
+// per-follower replication-lag series without touching the log gauges
+// that share the topic/partition labels).
+func (r *Registry) RemoveSeries(name string, match Labels) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		return
+	}
+	for key, s := range fam.series {
+		keep := false
+		for k, v := range match {
+			if s.labels[k] != v {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			delete(fam.series, key)
+		}
+	}
+	if len(fam.series) == 0 {
+		delete(r.families, name)
+	}
+}
+
 // renderLabels serializes labels deterministically: {a="1",b="2"}.
 func renderLabels(labels Labels) string {
 	if len(labels) == 0 {
@@ -183,9 +241,19 @@ func renderLabels(labels Labels) string {
 }
 
 // WriteTo renders every family in the text exposition format, sorted by
-// family name and series labels for deterministic scrapes.
+// family name and series labels for deterministic scrapes. Registered
+// scrape hooks run first, before the lock is taken.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
@@ -194,10 +262,9 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, name := range names {
 		fam := r.families[name]
-		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, fam.help, name, fam.typ)
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(fam.help), name, fam.typ)
 		total += int64(n)
 		if err != nil {
-			r.mu.Unlock()
 			return total, err
 		}
 		keys := make([]string, 0, len(fam.series))
@@ -206,23 +273,85 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			var v float64
-			switch s := fam.series[k].metric.(type) {
+			s := fam.series[k]
+			var n int64
+			var err error
+			switch m := s.metric.(type) {
 			case *Counter:
-				v = s.Value()
+				n, err = writeSample(w, name, k, m.Value())
 			case *Gauge:
-				v = s.Value()
+				n, err = writeSample(w, name, k, m.Value())
+			case *Histogram:
+				n, err = writeHistogram(w, name, s.labels, m)
 			}
-			n, err := fmt.Fprintf(w, "%s%s %g\n", name, k, v)
-			total += int64(n)
+			total += n
 			if err != nil {
-				r.mu.Unlock()
 				return total, err
 			}
 		}
 	}
-	r.mu.Unlock()
 	return total, nil
+}
+
+func writeSample(w io.Writer, name, labelKey string, v float64) (int64, error) {
+	n, err := fmt.Fprintf(w, "%s%s %g\n", name, labelKey, v)
+	return int64(n), err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// for every bucket whose count differs from a neighbour (so each
+// populated bucket is flanked by its true lower bound) plus the
+// mandatory +Inf bucket, then _sum and _count. Skipping interior runs
+// of identical cumulative counts keeps the output small (a latency
+// series occupies a handful of its ~240 buckets) without changing the
+// cumulative le semantics or widening scrape-side interpolation.
+func writeHistogram(w io.Writer, name string, labels Labels, h *Histogram) (int64, error) {
+	snap := h.Snapshot()
+	var total int64
+	var prev uint64
+	for i, cum := range snap.Counts {
+		last := i == len(snap.Counts)-1
+		boundary := !last && snap.Counts[i+1] != cum
+		if cum == prev && !boundary && !last {
+			continue
+		}
+		le := "+Inf"
+		if !last {
+			le = fmt.Sprintf("%g", snap.Bounds[i])
+		}
+		n, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabelsWith(labels, "le", le), cum)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		prev = cum
+	}
+	n, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, renderLabels(labels), snap.Sum)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), snap.Count)
+	total += int64(n)
+	return total, err
+}
+
+// renderLabelsWith renders labels plus one extra pair (the histogram le
+// label) in the same deterministic sorted form.
+func renderLabelsWith(labels Labels, key, val string) string {
+	merged := make(Labels, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged[key] = val
+	return renderLabels(merged)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format
+// so multi-line help text cannot break the line-oriented output.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // Render returns WriteTo's output as a string.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -82,6 +83,64 @@ func TestRegistryRemoveMatching(t *testing.T) {
 		t.Error("series not recreatable after removal")
 	}
 	r.RemoveMatching(nil) // no-op
+}
+
+// TestNonFiniteDeltasRejected is the regression test for the CAS-loop
+// poisoning bug: one NaN or Inf delta used to corrupt the series
+// forever (NaN + anything is NaN).
+func TestNonFiniteDeltasRejected(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	c.Add(2)
+	c.Add(math.NaN())
+	c.Add(math.Inf(1))
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter poisoned by non-finite delta: %v", got)
+	}
+	g := r.Gauge("g", "", nil)
+	g.Set(5)
+	g.Add(math.NaN())
+	g.Add(math.Inf(-1))
+	g.Set(math.NaN())
+	g.Set(math.Inf(1))
+	g.Add(1)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge poisoned by non-finite value: %v", got)
+	}
+}
+
+// TestOnScrapeHooksRun checks scrape hooks fire before rendering and
+// may touch the registry themselves.
+func TestOnScrapeHooksRun(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnScrape(func() {
+		calls++
+		r.Gauge("computed", "set at scrape time", nil).Set(float64(calls))
+	})
+	if out := r.Render(); !strings.Contains(out, "computed 1") {
+		t.Fatalf("hook gauge missing:\n%s", out)
+	}
+	if out := r.Render(); !strings.Contains(out, "computed 2") {
+		t.Fatalf("hook did not rerun:\n%s", out)
+	}
+}
+
+func TestRemoveSeriesSingleFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("lag", "", Labels{"topic": "t", "follower": "b"}).Set(1)
+	r.Gauge("lag", "", Labels{"topic": "t", "follower": "c"}).Set(2)
+	r.Gauge("end", "", Labels{"topic": "t"}).Set(9)
+	r.RemoveSeries("lag", Labels{"follower": "b"})
+	out := r.Render()
+	if strings.Contains(out, `follower="b"`) {
+		t.Errorf("removed series survived:\n%s", out)
+	}
+	if !strings.Contains(out, `follower="c"`) || !strings.Contains(out, "end{") {
+		t.Errorf("RemoveSeries touched other series:\n%s", out)
+	}
+	r.RemoveSeries("absent", Labels{"a": "b"}) // no-op
 }
 
 func TestRegistryTypeMismatchPanics(t *testing.T) {

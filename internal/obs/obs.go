@@ -1,0 +1,183 @@
+// Package obs is the structured logging half of the observability
+// plane: a small leveled key=value logger shared by brokerd, saproxd
+// and the bench tools, plus trace-ID helpers for following one request
+// edge → ingest plane → partition leader → follower across process
+// boundaries. It replaces the scattered log.Printf calls so every
+// operational line is machine-parseable (level=, msg=, trace=) and a
+// whole pipeline is grep-able by one trace ID.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown level %q", s)
+}
+
+// Logger writes timestamped key=value lines. Loggers derived with With
+// share one mutex and writer, so lines from every component interleave
+// whole. A nil *Logger is valid and silent, so optional wiring needs no
+// guards.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	bound string // pre-rendered " k=v" pairs from With
+	now   func() time.Time
+}
+
+// New returns a logger writing lines at or above level to w.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// With returns a child logger with kv pairs bound to every line. The
+// pairs render after the message, before per-call pairs.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	child := *l
+	var b strings.Builder
+	b.WriteString(l.bound)
+	appendPairs(&b, kv)
+	child.bound = b.String()
+	return &child
+}
+
+// Enabled reports whether lines at level would be written — the guard
+// for callers that must not even assemble debug arguments on hot paths.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug, Info, Warn and Error emit one line at that level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+// Logf adapts the Printf-style Logf plumbing already threaded through
+// NodeConfig and server.Config: the formatted string becomes an Info
+// line's msg.
+func (l *Logger) Logf(format string, args ...any) {
+	l.log(LevelInfo, fmt.Sprintf(format, args...), nil)
+}
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	b.WriteString(l.bound)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendPairs renders " k=v" for each pair; a trailing odd value is
+// rendered under the "!BADKEY" key rather than dropped.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if i+1 < len(kv) {
+			fmt.Fprintf(b, "%v", kv[i])
+			b.WriteByte('=')
+			writeValue(b, kv[i+1])
+		} else {
+			b.WriteString("!BADKEY=")
+			writeValue(b, kv[i])
+		}
+	}
+}
+
+// writeValue renders one value, quoting strings that would break the
+// space-separated k=v grammar.
+func writeValue(b *strings.Builder, v any) {
+	s, ok := v.(string)
+	if !ok {
+		if err, isErr := v.(error); isErr {
+			s = err.Error()
+			ok = true
+		}
+	}
+	if !ok {
+		s = fmt.Sprintf("%v", v)
+	}
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", s)
+		return
+	}
+	b.WriteString(s)
+}
+
+// traceRand is seeded once per process; trace IDs need uniqueness, not
+// cryptographic strength, and must not disturb callers' rand usage.
+var traceMu sync.Mutex
+var traceRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+
+// NewTraceID returns a non-zero 64-bit request/trace ID. Zero is
+// reserved as "no trace" on the wire.
+func NewTraceID() uint64 {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	for {
+		if id := traceRand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// TraceHex renders a trace ID the way every log line spells it, so one
+// grep matches producer, leader and follower.
+func TraceHex(id uint64) string { return fmt.Sprintf("%016x", id) }

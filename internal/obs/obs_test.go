@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 60e6, time.UTC) }
+	return l
+}
+
+func TestLineFormat(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	l := fixed(&Logger{mu: &mu, w: &b, level: LevelDebug})
+	l.Info("registered query", "query", "q-0", "fraction", 0.05, "note", "two words")
+	got := b.String()
+	want := `ts=2026-01-02T03:04:05.060Z level=info msg="registered query" query=q-0 fraction=0.05 note="two words"` + "\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := b.String()
+	if strings.Contains(out, "level=debug") || strings.Contains(out, "level=info") {
+		t.Fatalf("gated levels leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("passing levels missing:\n%s", out)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with gating")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo).With("comp", "brokerd", "node", "a")
+	l2 := l.With("trace", TraceHex(0xabc))
+	l2.Info("hello")
+	out := b.String()
+	for _, want := range []string{"comp=brokerd", "node=a", "trace=0000000000000abc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+	// The parent logger must not have inherited the child's fields.
+	b.Reset()
+	l.Info("again")
+	if strings.Contains(b.String(), "trace=") {
+		t.Fatalf("With mutated parent: %q", b.String())
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	l.Info("nothing")
+	l.With("a", "b").Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger enabled")
+	}
+}
+
+func TestOddPairsAndErrors(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo)
+	l.Info("m", "err", errors.New("boom boom"), "dangling")
+	out := b.String()
+	if !strings.Contains(out, `err="boom boom"`) || !strings.Contains(out, "!BADKEY=dangling") {
+		t.Fatalf("pair rendering: %q", out)
+	}
+}
+
+func TestLogfAdapter(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo)
+	l.Logf("node %s: %d partitions", "a", 4)
+	if !strings.Contains(b.String(), `msg="node a: 4 partitions"`) {
+		t.Fatalf("Logf: %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"WARN": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("no error for unknown level")
+	}
+}
+
+func TestNewTraceIDNonZeroAndConcurrent(t *testing.T) {
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := NewTraceID()
+				if id == 0 {
+					t.Error("zero trace ID")
+					return
+				}
+				mu.Lock()
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) < 1500 {
+		t.Fatalf("too many collisions: %d unique of 1600", len(seen))
+	}
+}
+
+func TestConcurrentLinesInterleaveWhole(t *testing.T) {
+	var b safeBuilder
+	l := New(&b, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("torn line: %q", line)
+		}
+	}
+}
+
+type safeBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

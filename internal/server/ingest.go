@@ -8,7 +8,13 @@ import (
 
 	"streamapprox/internal/broker"
 	"streamapprox/internal/metrics"
+	"streamapprox/internal/obs"
 )
+
+// traceSetter is implemented by broker connections that can stamp a
+// wire-level trace ID on their requests (*broker.Client and
+// *broker.ClusterClient; the in-process broker has no wire and no-ops).
+type traceSetter interface{ SetTraceID(uint64) }
 
 // The shared ingest plane: exactly one prefetching consumer per
 // (topic, partition) regardless of how many queries are registered.
@@ -157,6 +163,14 @@ func newIngest(cluster broker.Cluster, dial func() (broker.Cluster, error),
 			}
 			pc = c
 			closer, _ = c.(io.Closer)
+			// Each partition pipeline owns this connection, so a trace ID
+			// stamped here follows every fetch the pipeline issues and can
+			// be grepped out of broker-side logs.
+			if ts, ok := pc.(traceSetter); ok {
+				tid := obs.NewTraceID()
+				ts.SetTraceID(tid)
+				logf("ingest pipeline %s/%d: trace=%s", topic, p, obs.TraceHex(tid))
+			}
 		}
 		l := metrics.Labels{"partition": strconv.Itoa(p)}
 		for k, v := range extra {

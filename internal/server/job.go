@@ -49,8 +49,11 @@ type job struct {
 
 	windowsMerged *metrics.Counter
 	mergeLatency  *metrics.Gauge
+	mergeHist     *metrics.Histogram
 	partsDropped  *metrics.Counter
 	lagGauge      *metrics.Gauge
+	obsErrGauge   *metrics.Gauge
+	targetGauge   *metrics.Gauge
 }
 
 // maxKept bounds the per-query result ring.
@@ -106,7 +109,19 @@ func newJob(id string, spec Spec, srv *Server, restore *checkpointFile) (*job, e
 		lagGauge: srv.reg.Gauge("saproxd_query_lag_records",
 			"records between the query's delivery watermarks and the partition high watermarks",
 			metrics.Labels{"query": id}),
+		mergeHist: srv.reg.Histogram("saproxd_window_merge_seconds",
+			"wall-clock latency from first shard part to merged emission",
+			metrics.Labels{"query": id}),
+		obsErrGauge: srv.reg.Gauge("saproxd_query_observed_rel_error",
+			"EWMA of merged windows' relative error bound", metrics.Labels{"query": id}),
+		targetGauge: srv.reg.Gauge("saproxd_query_target_rel_error",
+			"relative-error target the query was registered with", metrics.Labels{"query": id}),
 	}
+	target := spec.TargetError
+	if target <= 0 {
+		target = defaultSchedTarget
+	}
+	j.targetGauge.Set(target)
 	if srv.cfg.PerQueryIngest {
 		plane, err := newIngest(srv.cfg.Cluster, srv.cfg.DialShard, srv.cfg.Topic,
 			j.group()+"-ingest", srv.parts, srv.cfg.PollBackoff,
@@ -263,6 +278,7 @@ func (j *job) emitLocked(fw firedWindow) {
 	}
 	j.windowsMerged.Inc()
 	j.mergeLatency.Set(fw.latency.Seconds())
+	j.mergeHist.Observe(fw.latency.Seconds())
 	if v := math.Abs(fw.result.Value); v > 0 {
 		re := fw.result.Error / v
 		if j.relSeen {
@@ -271,6 +287,7 @@ func (j *job) emitLocked(fw firedWindow) {
 			j.relErr = re
 			j.relSeen = true
 		}
+		j.obsErrGauge.Set(j.relErr)
 	}
 	for _, ch := range j.subs {
 		select {

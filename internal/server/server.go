@@ -34,6 +34,7 @@ import (
 
 	"streamapprox/internal/broker"
 	"streamapprox/internal/metrics"
+	"streamapprox/internal/obs"
 )
 
 // Config configures a Server.
@@ -257,6 +258,15 @@ func (s *Server) Register(spec Spec) (string, error) {
 	s.nextID++
 	s.mu.Unlock()
 
+	// Stamp the control-plane connection with this registration's
+	// request ID, so the offset lookups newJob issues carry it onto the
+	// broker's wire logs. Concurrent registrations may overwrite each
+	// other's stamp; the misattribution is benign and short-lived.
+	rid := obs.NewTraceID()
+	if ts, ok := s.cfg.Cluster.(traceSetter); ok {
+		ts.SetTraceID(rid)
+	}
+
 	j, err := newJob(id, spec, s, nil)
 	if err != nil {
 		return "", err
@@ -271,8 +281,8 @@ func (s *Server) Register(spec Spec) (string, error) {
 	s.activeGauge.Set(float64(len(s.queries)))
 	s.mu.Unlock()
 	j.start()
-	s.cfg.Logf("registered query %s: %s over %v/%v, fraction %v",
-		id, spec.Kind, spec.Window, spec.Slide, spec.Fraction)
+	s.cfg.Logf("registered query %s: %s over %v/%v, fraction %v, trace=%s",
+		id, spec.Kind, spec.Window, spec.Slide, spec.Fraction, obs.TraceHex(rid))
 	return id, nil
 }
 
