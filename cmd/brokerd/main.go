@@ -9,6 +9,8 @@
 //	        [-segment-records N]
 //	        [-node-id id -peers id=host:port,id=host:port,...]
 //	        [-replicas N] [-min-isr N] [-heartbeat d] [-fail-after N]
+//	        [-dial-timeout d] [-probe-timeout d] [-rpc-timeout d]
+//	        [-idle-timeout d] [-write-timeout d]
 //	        [-http host:port] [-log-level debug|info|warn|error]
 //
 // With -http an admin listener serves /metrics (Prometheus text),
@@ -103,6 +105,11 @@ func run() error {
 	minISR := flag.Int("min-isr", 0, "replicas that must ack a produce, counting the leader (0: = -replicas)")
 	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "peer heartbeat interval (cluster mode)")
 	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a peer is declared dead")
+	dialTimeout := flag.Duration("dial-timeout", broker.DefaultDialTimeout, "TCP connect bound for node-to-node dials")
+	probeTimeout := flag.Duration("probe-timeout", 0, "deadline for one heartbeat probe RPC (0: 4x -heartbeat, min 1s)")
+	rpcTimeout := flag.Duration("rpc-timeout", 10*time.Second, "deadline for replication and other peer RPCs")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close client connections idle this long (0: never)")
+	writeTimeout := flag.Duration("write-timeout", broker.DefaultWriteTimeout, "deadline for writing a response burst to a client")
 	httpAddr := flag.String("http", "", "admin listen address for /metrics, /healthz and pprof (empty: disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
@@ -158,6 +165,9 @@ func run() error {
 			MinISR:         *minISR,
 			HeartbeatEvery: *heartbeat,
 			FailAfter:      *failAfter,
+			DialTimeout:    *dialTimeout,
+			ProbeTimeout:   *probeTimeout,
+			RPCTimeout:     *rpcTimeout,
 			Logf:           logger.With("node", *nodeID).Logf,
 		})
 		if err != nil {
@@ -181,10 +191,12 @@ func run() error {
 	}
 
 	srv, err := broker.ServeWithOptions(b, *addr, broker.ServerOptions{
-		JSONOnly: *jsonOnly,
-		Node:     node,
-		Metrics:  b.Metrics(),
-		Log:      logger,
+		JSONOnly:     *jsonOnly,
+		Node:         node,
+		Metrics:      b.Metrics(),
+		Log:          logger,
+		IdleTimeout:  *idleTimeout,
+		WriteTimeout: *writeTimeout,
 	})
 	if err != nil {
 		return err

@@ -44,6 +44,8 @@ func run(args []string) error {
 		return runBenchServer(args[1:])
 	case "bench-cluster":
 		return runBenchCluster(args[1:])
+	case "bench-e2e":
+		return runBenchE2E(args[1:])
 	case "status":
 		return runStatus(args[1:])
 	case "help", "-h", "--help":
@@ -71,6 +73,14 @@ func usage() {
                                                brokers through the routing
                                                client, plus failover recovery
                                                time, and record the result
+  saprox bench-e2e [flags]                     chaos benchmark: replay a workload
+                                               through a proxy-fronted 3-broker
+                                               cluster and a live query while
+                                               injecting leader kill/blackhole,
+                                               follower stall and slow disk;
+                                               record throughput, p99, recovery
+                                               time and observed error per
+                                               scenario
   saprox status -brokers a1,a2 [-saproxd a]    scrape live /metrics endpoints and
                                                render leaders, ISR, replication
                                                lag, wire latency quantiles, and
@@ -97,6 +107,14 @@ bench-cluster flags:
   -batch N         records per produce request (default 1000)
   -partitions N    topic partitions (default 4)
   -out FILE        result file (default BENCH_cluster.json; "-" for stdout only)
+
+bench-e2e flags:
+  -events N        events per scenario (default 40000)
+  -batch N         events per produce request (default 500)
+  -partitions N    topic partitions (default 4)
+  -scenario NAME   run one scenario only: baseline, leader-kill,
+                   leader-blackhole, follower-stall, slow-disk (default: all)
+  -out FILE        result file (default BENCH_e2e.json; "-" for stdout only)
 
 status flags:
   -brokers a1,a2   broker ADMIN addresses (the brokerd -http listeners)

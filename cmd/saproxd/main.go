@@ -10,6 +10,11 @@
 //	        [-topic name]
 //	        [-group name] [-checkpoint-dir dir] [-checkpoint-every d]
 //	        [-budget items/s] [-schedule-every d] [-per-query-ingest]
+//	        [-connect-wait d]
+//
+// The initial broker connection is retried with capped backoff (forever
+// by default; bound it with -connect-wait), so saproxd can be started
+// before its cluster in an ordering-free bring-up.
 //
 // With -brokers the daemon consumes a replicated broker CLUSTER through
 // the routing client: fetches go to each partition's current leader,
@@ -79,6 +84,7 @@ func run() error {
 	globalBudget := flag.Float64("budget", 0, "global sample budget in items/s across all queries (0 disables the scheduler)")
 	scheduleEvery := flag.Duration("schedule-every", 2*time.Second, "budget scheduler control interval")
 	perQueryIngest := flag.Bool("per-query-ingest", false, "one private consumer set per query instead of the shared ingest plane (baseline mode)")
+	connectWait := flag.Duration("connect-wait", 0, "keep retrying the initial broker connection for this long before giving up (0: forever)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 
@@ -88,6 +94,11 @@ func run() error {
 	}
 	logger := obs.New(os.Stdout, level).With("daemon", "saproxd")
 
+	// Catch shutdown signals before the connect loop, so an operator can
+	// interrupt a daemon still waiting for its cluster to come up.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	// One routing (or plain) client for control + catch-up work, plus a
 	// DialShard factory handing each ingest partition loop its own
 	// connection so partition fetches run in parallel.
@@ -96,19 +107,21 @@ func run() error {
 		closeCli  func()
 		dialShard func() (broker.Cluster, error)
 	)
-	if *brokersFlag != "" {
-		addrs := strings.Split(*brokersFlag, ",")
-		for i := range addrs {
-			addrs[i] = strings.TrimSpace(addrs[i])
+	dialOnce := func() error {
+		if *brokersFlag != "" {
+			addrs := strings.Split(*brokersFlag, ",")
+			for i := range addrs {
+				addrs[i] = strings.TrimSpace(addrs[i])
+			}
+			cc, err := broker.DialCluster(addrs)
+			if err != nil {
+				return err
+			}
+			cli = cc
+			closeCli = func() { _ = cc.Close() }
+			dialShard = func() (broker.Cluster, error) { return broker.DialCluster(addrs) }
+			return nil
 		}
-		cc, err := broker.DialCluster(addrs)
-		if err != nil {
-			return err
-		}
-		cli = cc
-		closeCli = func() { _ = cc.Close() }
-		dialShard = func() (broker.Cluster, error) { return broker.DialCluster(addrs) }
-	} else {
 		c, err := broker.Dial(*brokerAddr)
 		if err != nil {
 			return err
@@ -116,6 +129,35 @@ func run() error {
 		cli = c
 		closeCli = func() { _ = c.Close() }
 		dialShard = func() (broker.Cluster, error) { return broker.Dial(*brokerAddr) }
+		return nil
+	}
+	// Retry the initial connection with capped backoff instead of
+	// exiting: in a compose-style bring-up the cluster may simply not be
+	// listening yet, and start order should not matter.
+	start := time.Now()
+	for backoff := 250 * time.Millisecond; ; {
+		err := dialOnce()
+		if err == nil {
+			break
+		}
+		if *connectWait > 0 && time.Since(start) >= *connectWait {
+			return fmt.Errorf("broker not reachable after %v: %w", *connectWait, err)
+		}
+		logger.Warn("broker not reachable; retrying", "err", err, "backoff", backoff)
+		t := time.NewTimer(backoff)
+		select {
+		case s := <-sig:
+			t.Stop()
+			logger.Info("shutting down before broker came up", "signal", s)
+			return nil
+		case <-t.C:
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+			if backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
 	}
 	defer closeCli()
 
@@ -167,8 +209,6 @@ func run() error {
 		logger.Info("budget scheduler enabled", "items_per_s", *globalBudget, "reapportion_every", *scheduleEvery)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err

@@ -76,6 +76,9 @@ type StorageConfig struct {
 	// SegmentRecords is the record capacity of one segment file
 	// (default 4096).
 	SegmentRecords int
+	// FS is the backing filesystem for the partition logs (default the
+	// real one). The chaos harness injects disk faults through it.
+	FS storage.FS
 }
 
 // Broker is an in-process message broker.
@@ -285,6 +288,7 @@ func (b *Broker) newLog(topicName string, p int) (storage.Log, error) {
 		SegmentRecords: b.scfg.SegmentRecords,
 		Policy:         b.scfg.Policy,
 		SyncEvery:      b.scfg.SyncEvery,
+		FS:             b.scfg.FS,
 		Instruments: storage.Instruments{
 			FsyncSeconds: b.reg.Histogram("broker_fsync_seconds",
 				"fsync latency of partition-log flushes in seconds", nil),

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,11 @@ type Client struct {
 	// the pipeline without widening every method signature.
 	trace atomic.Uint64
 
+	// reqTimeout is the connection's default per-request deadline in
+	// nanoseconds (0 = none); cluster-internal ops that need a tighter
+	// bound (heartbeat probes) pass an explicit override.
+	reqTimeout atomic.Int64
+
 	// mu serializes whole round-trips in lockstep mode, and just the
 	// write+flush of a frame in pipelined mode.
 	mu sync.Mutex
@@ -49,10 +55,59 @@ type Client struct {
 	closed  bool
 }
 
-// Dial connects to a broker server, negotiating the fastest protocol
-// the server supports.
+// ClientOptions tunes a client connection's dialing and deadline
+// behaviour. The zero value means the defaults below.
+type ClientOptions struct {
+	// DialTimeout bounds TCP connect: a blackholed host (SYNs dropped,
+	// no RST) must not stall the caller for the kernel's multi-minute
+	// connect timeout. Default DefaultDialTimeout; negative disables.
+	DialTimeout time.Duration
+	// RequestTimeout bounds every RPC round-trip on the connection —
+	// frame write, server turnaround and response read. A stalled or
+	// blackholed peer turns into an error instead of a wedged
+	// goroutine. Default DefaultRequestTimeout; negative disables.
+	RequestTimeout time.Duration
+}
+
+const (
+	// DefaultDialTimeout is the TCP connect bound when ClientOptions
+	// leaves DialTimeout zero.
+	DefaultDialTimeout = 3 * time.Second
+	// DefaultRequestTimeout is the per-RPC bound when ClientOptions
+	// leaves RequestTimeout zero: generous enough for the largest batch
+	// over a congested link, small enough that nothing wedges forever.
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+func (o ClientOptions) dialTimeout() time.Duration {
+	switch {
+	case o.DialTimeout < 0:
+		return 0
+	case o.DialTimeout == 0:
+		return DefaultDialTimeout
+	}
+	return o.DialTimeout
+}
+
+func (o ClientOptions) requestTimeout() time.Duration {
+	switch {
+	case o.RequestTimeout < 0:
+		return 0
+	case o.RequestTimeout == 0:
+		return DefaultRequestTimeout
+	}
+	return o.RequestTimeout
+}
+
+// Dial connects to a broker server with default options, negotiating
+// the fastest protocol the server supports.
 func Dial(addr string) (*Client, error) {
-	c, err := dial(addr)
+	return DialWithOptions(addr, ClientOptions{})
+}
+
+// DialWithOptions is Dial with explicit timeouts.
+func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
+	c, err := dial(addr, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -76,23 +131,20 @@ func Dial(addr string) (*Client, error) {
 // to a binary-capable server. It exists for talking to very old peers
 // explicitly and for benchmarking the binary codec against its JSON
 // baseline in the same run.
-func DialJSON(addr string) (*Client, error) { return dial(addr) }
+func DialJSON(addr string) (*Client, error) { return dial(addr, ClientOptions{}) }
 
-// dialTimeout bounds TCP connect to a broker: a blackholed host (SYNs
-// dropped, no RST) must not stall routing-client metadata refreshes or
-// cluster heartbeats for the kernel's multi-minute connect timeout.
-const dialTimeout = 3 * time.Second
-
-func dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+func dial(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("broker dial: %w", err)
 	}
-	return &Client{
+	c := &Client{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 64<<10),
 		bw:   bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+	}
+	c.reqTimeout.Store(int64(opts.requestTimeout()))
+	return c, nil
 }
 
 // isUnknownOp reports whether err is a server rejecting an op it does
@@ -104,6 +156,27 @@ func isUnknownOp(err error) bool { return strings.Contains(err.Error(), "unknown
 // v2 header the stamp is kept locally but never put on the wire, so
 // old servers keep decoding every frame.
 func (c *Client) SetTraceID(id uint64) { c.trace.Store(id) }
+
+// SetRequestTimeout replaces the connection's per-request deadline for
+// every subsequent RPC (d <= 0 disables it) — the per-op override for
+// callers that own the connection, mirroring SetTraceID.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.reqTimeout.Store(int64(d))
+}
+
+// timeout returns the connection's current per-request deadline.
+func (c *Client) timeout() time.Duration { return time.Duration(c.reqTimeout.Load()) }
+
+// errTimeout builds the deadline error for one timed-out request. It
+// wraps os.ErrDeadlineExceeded so callers can distinguish "peer
+// stalled" (a transport failure feeding failure detection) from an
+// answered rejection; it is NOT a remoteError.
+func errTimeout(what string, d time.Duration) error {
+	return fmt.Errorf("broker: %s timed out after %v: %w", what, d, os.ErrDeadlineExceeded)
+}
 
 // traceFor returns the trace ID to encode into the next frame: the
 // connection's stamp when the peer speaks v2, zero otherwise.
@@ -135,20 +208,40 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip performs one lockstep JSON request/response. It is the only
-// I/O path in JSON mode, and carries the hello during dial.
+// roundTrip performs one lockstep JSON request/response under the
+// connection's default deadline. It is the only I/O path in JSON mode,
+// and carries the hello during dial.
 func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
+	return c.roundTripT(c.timeout(), req)
+}
+
+// roundTripT is roundTrip with an explicit deadline covering the whole
+// round-trip. A deadline error poisons the lockstep stream (a partial
+// frame may sit half-read), so the connection is closed: fail fast
+// beats decoding garbage.
+func (c *Client) roundTripT(timeout time.Duration, req *wireRequest) (*wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, req); err != nil {
+	if timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	fail := func(err error) (*wireResponse, error) {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			_ = c.conn.Close()
+			return nil, errTimeout("request", timeout)
+		}
 		return nil, err
 	}
+	if err := writeFrame(c.bw, req); err != nil {
+		return fail(err)
+	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	var resp wireResponse
 	if err := readFrame(c.br, &resp); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if resp.Err != "" {
 		return nil, &remoteError{msg: resp.Err}
@@ -156,10 +249,20 @@ func (c *Client) roundTrip(req *wireRequest) (*wireResponse, error) {
 	return &resp, nil
 }
 
-// callBinary sends one binary request and waits for its matched
-// response. encode must fill fb with a complete frame carrying corr.
+// callBinary sends one binary request under the connection's default
+// deadline. encode must fill fb with a complete frame carrying corr.
 // The returned frame is owned by the caller, who must putFrame it.
 func (c *Client) callBinary(encode func(fb *frameBuf, corr uint64)) (*frameBuf, error) {
+	return c.callBinaryT(c.timeout(), encode)
+}
+
+// callBinaryT is callBinary with an explicit deadline. The deadline
+// covers the frame write AND the wait for the matched response. A
+// write failure aborts the whole connection — a half-written frame
+// corrupts the pipelined stream for every other in-flight request. A
+// response timeout only abandons this request's waiter: the stream is
+// intact, a late response is dropped as a stray by correlation ID.
+func (c *Client) callBinaryT(timeout time.Duration, encode func(fb *frameBuf, corr uint64)) (*frameBuf, error) {
 	ch := make(chan *frameBuf, 1)
 	c.pendMu.Lock()
 	if c.closed || c.readErr != nil {
@@ -178,30 +281,52 @@ func (c *Client) callBinary(encode func(fb *frameBuf, corr uint64)) (*frameBuf, 
 	fb := getFrame()
 	encode(fb, corr)
 	c.mu.Lock()
+	if timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
 	err := writeRawFrame(c.bw, fb.b)
 	if err == nil {
 		err = c.bw.Flush()
 	}
+	if timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
 	c.mu.Unlock()
 	putFrame(fb)
 	if err != nil {
-		c.pendMu.Lock()
-		delete(c.pending, corr)
-		c.pendMu.Unlock()
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			err = errTimeout("request write", timeout)
+		}
+		_ = c.conn.Close()
+		c.failPending(err)
 		return nil, err
 	}
 
-	resp, ok := <-ch
-	if !ok {
-		c.pendMu.Lock()
-		err := c.readErr
-		c.pendMu.Unlock()
-		if err == nil {
-			err = errClientClosed
-		}
-		return nil, err
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		expired = timer.C
+		defer timer.Stop()
 	}
-	return resp, nil
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.pendMu.Lock()
+			err := c.readErr
+			c.pendMu.Unlock()
+			if err == nil {
+				err = errClientClosed
+			}
+			return nil, err
+		}
+		return resp, nil
+	case <-expired:
+		c.pendMu.Lock()
+		delete(c.pending, corr)
+		c.pendMu.Unlock()
+		return nil, errTimeout("request", timeout)
+	}
 }
 
 // readLoop is the pipelined reader: it owns c.br, matches each response
@@ -250,14 +375,21 @@ func (c *Client) failPending(err error) {
 // pipelined connection (so control ops never block behind the mutex-free
 // data path, and one codec version byte governs the whole dialect).
 func (c *Client) controlRoundTrip(req *wireRequest) (*wireResponse, error) {
+	return c.controlRoundTripT(c.timeout(), req)
+}
+
+// controlRoundTripT is controlRoundTrip with an explicit deadline —
+// the per-op override used by heartbeat probes, which need a bound far
+// tighter than the connection default.
+func (c *Client) controlRoundTripT(timeout time.Duration, req *wireRequest) (*wireResponse, error) {
 	if !c.binary {
-		return c.roundTrip(req)
+		return c.roundTripT(timeout, req)
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+	fb, err := c.callBinaryT(timeout, func(fb *frameBuf, corr uint64) {
 		encodeJSONReq(fb, corr, c.traceFor(), payload)
 	})
 	if err != nil {
@@ -414,9 +546,12 @@ func (c *Client) Meta() (*ClusterMeta, error) {
 	return resp.Meta, nil
 }
 
-// ping exchanges failure-detector views with a cluster peer.
-func (c *Client) ping(node string, epoch int64, view map[string]PeerStatus) (int64, map[string]PeerStatus, error) {
-	resp, err := c.controlRoundTrip(&wireRequest{Op: opPing, Node: node, Epoch: epoch, View: view})
+// ping exchanges failure-detector views with a cluster peer. The
+// explicit timeout overrides the connection default: a probe that
+// cannot answer within a few heartbeats IS the failure signal, so
+// waiting the full RPC deadline would only slow detection.
+func (c *Client) ping(timeout time.Duration, node string, epoch int64, view map[string]PeerStatus) (int64, map[string]PeerStatus, error) {
+	resp, err := c.controlRoundTripT(timeout, &wireRequest{Op: opPing, Node: node, Epoch: epoch, View: view})
 	if err != nil {
 		return 0, nil, err
 	}

@@ -100,6 +100,16 @@ func (m *ClusterMeta) LeaderOf(topic string, partition int) string {
 	return t.Partitions[partition].Leader
 }
 
+// ReplicasOf returns a partition's replica set in rendezvous (promotion)
+// order, nil when the topic or partition is unknown.
+func (m *ClusterMeta) ReplicasOf(topic string, partition int) []string {
+	t, ok := m.Topics[topic]
+	if !ok || partition < 0 || partition >= len(t.Partitions) {
+		return nil
+	}
+	return t.Partitions[partition].Replicas
+}
+
 // AddrOf returns a member's address ("" if unknown).
 func (m *ClusterMeta) AddrOf(nodeID string) string {
 	for _, n := range m.Nodes {

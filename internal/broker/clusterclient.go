@@ -18,12 +18,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	mrand "math/rand/v2"
 	"strings"
 	"sync"
 	"time"
 )
 
-// ClusterClientOptions tunes routing retries.
+// ClusterClientOptions tunes routing retries and per-member deadlines.
 type ClusterClientOptions struct {
 	// Retries is the number of retry rounds per partition op after the
 	// first attempt (default 8). Each round refreshes the metadata
@@ -31,8 +32,18 @@ type ClusterClientOptions struct {
 	// time.
 	Retries int
 	// Backoff is the initial pause between rounds, doubled each round
-	// up to 2s (default 25ms).
+	// up to 2s with ±50% jitter (default 25ms). Jitter keeps a fleet of
+	// clients retrying into a recovering cluster from arriving in
+	// lockstep waves.
 	Backoff time.Duration
+	// DialTimeout bounds TCP connect per member (default
+	// DefaultDialTimeout; negative disables).
+	DialTimeout time.Duration
+	// RequestTimeout bounds every RPC issued to a member (default
+	// DefaultRequestTimeout; negative disables). A blackholed leader
+	// turns into a timed-out round that the retry loop reroutes after
+	// failover, instead of a produce wedged forever.
+	RequestTimeout time.Duration
 }
 
 // ClusterClient routes broker ops across cluster members. It is safe
@@ -41,6 +52,13 @@ type ClusterClient struct {
 	opts  ClusterClientOptions
 	seeds []string
 	pid   uint64
+
+	// done closes on Close, waking any retry backoff mid-sleep so a
+	// closing client never sits out a full backoff round.
+	done chan struct{}
+
+	rng   *mrand.Rand // backoff jitter
+	rngMu sync.Mutex
 
 	mu     sync.Mutex
 	meta   *ClusterMeta
@@ -95,6 +113,8 @@ func DialClusterWithOptions(addrs []string, opts ClusterClientOptions) (*Cluster
 		opts:   opts,
 		seeds:  append([]string(nil), addrs...),
 		pid:    binary.BigEndian.Uint64(b[:]) | 1, // never 0 (0 = dedup off)
+		done:   make(chan struct{}),
+		rng:    mrand.New(mrand.NewPCG(mrand.Uint64(), mrand.Uint64())),
 		conns:  make(map[string]*Client),
 		seqs:   make(map[string]uint64),
 		prodMu: make(map[string]*sync.Mutex),
@@ -106,10 +126,14 @@ func DialClusterWithOptions(addrs []string, opts ClusterClientOptions) (*Cluster
 	return cc, nil
 }
 
-// Close closes all member connections.
+// Close closes all member connections and interrupts any retry loop
+// sleeping out a backoff round.
 func (cc *ClusterClient) Close() error {
 	cc.mu.Lock()
-	cc.closed = true
+	if !cc.closed {
+		cc.closed = true
+		close(cc.done)
+	}
 	conns := cc.conns
 	cc.conns = make(map[string]*Client)
 	cc.mu.Unlock()
@@ -131,7 +155,10 @@ func (cc *ClusterClient) conn(addr string) (*Client, error) {
 		return c, nil
 	}
 	cc.mu.Unlock()
-	c, err := Dial(addr)
+	c, err := DialWithOptions(addr, ClientOptions{
+		DialTimeout:    cc.opts.DialTimeout,
+		RequestTimeout: cc.opts.RequestTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +284,35 @@ func (cc *ClusterClient) metaView() (*ClusterMeta, error) {
 // none yet).
 func (cc *ClusterClient) Meta() (*ClusterMeta, error) { return cc.metaView() }
 
+// Refresh forces a metadata refresh, polling every reachable member —
+// the reroute lever for callers that detect a stall out of band, like
+// the ingest plane's partition watchdog.
+func (cc *ClusterClient) Refresh() error { return cc.refreshMeta() }
+
+// jitter spreads d uniformly over [d/2, 3d/2).
+func (cc *ClusterClient) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	cc.rngMu.Lock()
+	j := time.Duration(cc.rng.Int64N(int64(d)))
+	cc.rngMu.Unlock()
+	return d/2 + j
+}
+
+// sleep pauses for d, returning false immediately if the client is
+// closed (or closes mid-sleep).
+func (cc *ClusterClient) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cc.done:
+		return false
+	}
+}
+
 // leaderConn resolves the leader of a partition and returns a
 // connection to it. A non-empty hint (from a NotLeader redirect)
 // overrides the cached view's leader.
@@ -320,7 +376,9 @@ func (cc *ClusterClient) withLeaderRetry(topic string, partition int, op func(cl
 	followedHint := false
 	for attempt := 0; attempt <= cc.opts.Retries; attempt++ {
 		if attempt > 0 && hint == "" {
-			time.Sleep(backoff)
+			if !cc.sleep(cc.jitter(backoff)) {
+				return errClientClosed
+			}
 			if backoff < 2*time.Second {
 				backoff *= 2
 			}

@@ -1,0 +1,135 @@
+package broker
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"streamapprox/internal/faults"
+)
+
+// proxiedServer starts a broker server with a chaos proxy in front and
+// returns the proxy (dial p.Addr() to go through it).
+func proxiedServer(t *testing.T) *faults.Proxy {
+	t.Helper()
+	b := New()
+	srv, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	p, err := faults.NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// expectDeadline asserts err is the client timeout (wrapping
+// os.ErrDeadlineExceeded) and that it surfaced within bound.
+func expectDeadline(t *testing.T, err error, took, bound time.Duration) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("RPC through blackhole succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want deadline error, got: %v", err)
+	}
+	if took > bound {
+		t.Fatalf("timeout took %v, want <= %v", took, bound)
+	}
+}
+
+// TestClientTimeoutPipelined blackholes a binary-codec connection and
+// asserts the RPC fails with the deadline error within its budget
+// instead of blocking forever.
+func TestClientTimeoutPipelined(t *testing.T) {
+	p := proxiedServer(t)
+	cli, err := DialWithOptions(p.Addr(), ClientOptions{RequestTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if !cli.binary {
+		t.Fatal("expected binary codec")
+	}
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Set(faults.Both, faults.Faults{Blackhole: true})
+	start := time.Now()
+	_, err = cli.HighWatermark("t", 0)
+	expectDeadline(t, err, time.Since(start), 2*time.Second)
+
+	// The timeout poisons the pipelined connection (a half-delivered
+	// frame cannot be resynchronized): later calls fail fast, they do
+	// not hang for another timeout.
+	start = time.Now()
+	if _, err := cli.HighWatermark("t", 0); err == nil {
+		t.Fatal("call on timed-out connection succeeded")
+	} else if took := time.Since(start); took > time.Second {
+		t.Fatalf("call on dead connection took %v", took)
+	}
+}
+
+// TestClientTimeoutLockstep covers the JSON lockstep protocol, where
+// the deadline is a raw connection deadline.
+func TestClientTimeoutLockstep(t *testing.T) {
+	p := proxiedServer(t)
+	cli, err := DialJSON(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetRequestTimeout(250 * time.Millisecond)
+	if err := cli.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Set(faults.Both, faults.Faults{Blackhole: true})
+	start := time.Now()
+	_, err = cli.HighWatermark("t", 0)
+	expectDeadline(t, err, time.Since(start), 2*time.Second)
+}
+
+// TestPingProbeTimeout exercises the per-op override: a heartbeat probe
+// carries its own (short) deadline regardless of the connection
+// default, so failure detection keeps its cadence even when the
+// default RPC budget is generous.
+func TestPingProbeTimeout(t *testing.T) {
+	p := proxiedServer(t)
+	cli, err := DialWithOptions(p.Addr(), ClientOptions{RequestTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	p.Set(faults.Both, faults.Faults{Blackhole: true})
+	start := time.Now()
+	_, _, err = cli.ping(200*time.Millisecond, "n1", 1, nil)
+	expectDeadline(t, err, time.Since(start), 2*time.Second)
+}
+
+// TestClientTimeoutIsTransportError pins the classification contract:
+// a timeout must NOT look like an answered rejection (remoteError),
+// because cluster failure accounting counts only transport errors —
+// that is what ejects a stalled follower from the ISR.
+func TestClientTimeoutIsTransportError(t *testing.T) {
+	p := proxiedServer(t)
+	cli, err := DialWithOptions(p.Addr(), ClientOptions{RequestTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	p.Set(faults.Both, faults.Faults{Blackhole: true})
+	_, err = cli.HighWatermark("t", 0)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if isRemoteErr(err) {
+		t.Fatalf("timeout classified as remote (answered) error: %v", err)
+	}
+}

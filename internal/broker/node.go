@@ -94,6 +94,21 @@ type NodeConfig struct {
 	// ReplWindow bounds the replicate batches in flight per follower
 	// (default 32): the send window of pipelined replication.
 	ReplWindow int
+	// DialTimeout bounds TCP connect to a peer (default
+	// DefaultDialTimeout). A blackholed peer must not wedge dialers.
+	DialTimeout time.Duration
+	// ProbeTimeout bounds one heartbeat ping RPC (default
+	// 4×HeartbeatEvery, floor 1s). A probe that cannot answer within a
+	// few heartbeats IS the failure signal; waiting longer only slows
+	// detection of stalled-but-connected peers.
+	ProbeTimeout time.Duration
+	// RPCTimeout bounds every other peer RPC — replication pushes,
+	// rejoin catch-up fetches, meta pulls (default 10s). A replication
+	// push into a stalled follower times out, counts as a probe
+	// failure, and after FailAfter failures the follower is declared
+	// dead and drops out of the ISR — instead of wedging the leader's
+	// send window forever.
+	RPCTimeout time.Duration
 	// Logf, when set, receives membership and replication log lines.
 	Logf func(format string, args ...any)
 }
@@ -190,6 +205,7 @@ type ClusterNode struct {
 	savers      map[string]*stateSaver
 	commitMus   map[string]*sync.Mutex // topic/partition -> group-commit round lock
 	probing     map[string]bool        // dead peers with a slow probe in flight
+	pendAlive   map[string]PeerStatus  // gossiped resurrections awaiting probe proof
 
 	syncing map[string]bool // topic/partition mid-takeover: no leadership yet
 
@@ -234,6 +250,18 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 	if cfg.ReplWindow < 1 {
 		cfg.ReplWindow = 32
 	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 4 * cfg.HeartbeatEvery
+		if cfg.ProbeTimeout < time.Second {
+			cfg.ProbeTimeout = time.Second
+		}
+	}
+	if cfg.RPCTimeout == 0 {
+		cfg.RPCTimeout = 10 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -261,6 +289,7 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 		savers:     make(map[string]*stateSaver),
 		commitMus:  make(map[string]*sync.Mutex),
 		probing:    make(map[string]bool),
+		pendAlive:  make(map[string]PeerStatus),
 		syncing:    make(map[string]bool),
 		rejoinWake: make(chan struct{}, 1),
 		done:       make(chan struct{}),
@@ -413,7 +442,7 @@ func (n *ClusterNode) probe(id string) {
 		return
 	}
 	epoch, view := n.viewCopy()
-	repoch, rview, err := cli.ping(n.cfg.ID, epoch, view)
+	repoch, rview, err := cli.ping(n.cfg.ProbeTimeout, n.cfg.ID, epoch, view)
 	if err != nil {
 		// Ping IS the liveness probe, so any failure counts — but only a
 		// transport failure taints the connection.
@@ -423,8 +452,31 @@ func (n *ClusterNode) probe(id string) {
 		n.markFailure(id, err)
 		return
 	}
+	n.adoptPendingAlive(id)
 	n.markAlive(id)
 	n.mergeView(repoch, rview)
+}
+
+// adoptPendingAlive completes a gossiped resurrection once this node
+// has proof it can actually reach the peer (a probe just succeeded).
+func (n *ClusterNode) adoptPendingAlive(id string) {
+	n.mu.Lock()
+	st, ok := n.pendAlive[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pendAlive, id)
+	if !n.view[id].Dead || st.Ver <= n.view[id].Ver {
+		n.mu.Unlock()
+		return
+	}
+	n.view[id] = st
+	n.miss[id] = 0
+	n.epoch++
+	epoch := n.epoch
+	n.mu.Unlock()
+	n.cfg.Logf("cluster %s: %s rejoined (ver %d, probe-verified, epoch %d)", n.cfg.ID, id, st.Ver, epoch)
 }
 
 // viewCopy returns the current epoch and a copy of the status view,
@@ -457,13 +509,16 @@ func (n *ClusterNode) viewSnapshot() (int64, []string) {
 }
 
 // mergeView folds a peer's view into ours: per-member entries with a
-// higher status version win; epochs take the max. A node never adopts
-// "dead" for ITSELF — instead, learning that the cluster deposed it
+// higher status version win; epochs take the max. One exception: a
+// dead→alive transition is never adopted on hearsay — it parks in
+// pendAlive until our own probe of that peer succeeds. A node never
+// adopts "dead" for ITSELF — instead, learning that the cluster deposed it
 // demotes it back to joining, so it resyncs its log and re-announces
 // with a version above the accusation.
 func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 	n.mu.Lock()
 	demoted := false
+	var verify []string
 	for id, st := range remote {
 		if id == n.cfg.ID {
 			if st.Dead && st.Ver > n.selfDeadVer {
@@ -477,6 +532,19 @@ func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 		}
 		cur := n.view[id]
 		if st.Ver > cur.Ver {
+			if cur.Dead && !st.Dead {
+				// Gossiped resurrection: do NOT adopt it on hearsay. Under
+				// an asymmetric partition the unreachable node can still
+				// talk OUT, so its rejoin announcements keep arriving while
+				// every probe of it times out — adopting here would flap
+				// leadership back onto a node nobody can reach. Stash the
+				// offer and verify with our own probe (adoptPendingAlive).
+				if p := n.pendAlive[id]; st.Ver > p.Ver {
+					n.pendAlive[id] = st
+					verify = append(verify, id)
+				}
+				continue
+			}
 			n.view[id] = st
 			if st.Dead != cur.Dead {
 				n.epoch++
@@ -486,9 +554,6 @@ func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 						_ = c.Close()
 						delete(n.conns, id)
 					}
-				} else {
-					n.miss[id] = 0
-					n.cfg.Logf("cluster %s: %s rejoined (ver %d)", n.cfg.ID, id, st.Ver)
 				}
 			}
 		}
@@ -497,6 +562,9 @@ func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 		n.epoch = epoch
 	}
 	n.mu.Unlock()
+	for _, id := range verify {
+		n.probeDeadAsync(id)
+	}
 	if demoted {
 		n.cfg.Logf("cluster %s: deposed by the cluster; demoting to rejoin", n.cfg.ID)
 		select {
@@ -507,11 +575,18 @@ func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 }
 
 // handlePing serves the "ping" control op: merge the sender's view,
-// answer with ours. A ping also proves the sender is reachable.
+// answer with ours. An inbound ping proves the sender has booted and
+// can reach US — it does NOT prove we can reach the sender, so it must
+// not reset the probe-failure counter: under an asymmetric partition
+// (the peer's inbound traffic blackholed, its outbound fine) its pings
+// keep arriving while our probes of it all time out, and resetting the
+// counter here would mask the partition forever. Liveness is earned
+// only by answering OUR probes; resurrection of a dead peer flows
+// through mergeView's version bumps.
 func (n *ClusterNode) handlePing(sender string, epoch int64, view map[string]PeerStatus) (int64, map[string]PeerStatus) {
 	n.mergeView(epoch, view)
 	if sender != "" {
-		n.markAlive(sender)
+		n.markSeen(sender)
 	}
 	return n.viewCopy()
 }
@@ -563,6 +638,15 @@ func (n *ClusterNode) markAlive(id string) {
 	}
 }
 
+// markSeen records that a peer has demonstrably booted (it contacted
+// us), ending its StartupGrace — without vouching for our ability to
+// reach it (see handlePing).
+func (n *ClusterNode) markSeen(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seen[id] = true
+}
+
 // peerClient returns (dialing if needed) the connection to a peer.
 func (n *ClusterNode) peerClient(id string) (*Client, error) {
 	n.mu.Lock()
@@ -575,7 +659,12 @@ func (n *ClusterNode) peerClient(id string) (*Client, error) {
 	if !ok {
 		return nil, fmt.Errorf("broker: unknown peer %q", id)
 	}
-	c, err := Dial(addr)
+	// Peer RPCs (replication pushes, rejoin fetches, meta) run under
+	// RPCTimeout as the connection default; probes override per-op.
+	c, err := DialWithOptions(addr, ClientOptions{
+		DialTimeout:    n.cfg.DialTimeout,
+		RequestTimeout: n.cfg.RPCTimeout,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -656,7 +745,7 @@ func (n *ClusterNode) syncAndJoin() {
 			continue
 		}
 		epoch, view := n.viewCopy()
-		if repoch, rview, err := cli.ping(n.cfg.ID, epoch, view); err == nil {
+		if repoch, rview, err := cli.ping(n.cfg.ProbeTimeout, n.cfg.ID, epoch, view); err == nil {
 			n.mergeView(repoch, rview)
 		} else {
 			if !isRemoteErr(err) {

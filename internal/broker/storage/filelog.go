@@ -127,6 +127,9 @@ type FileConfig struct {
 	SyncEvery time.Duration
 	// Instruments receives durability observations (optional).
 	Instruments Instruments
+	// FS is the backing filesystem (default OSFS). Tests and the chaos
+	// harness swap in a fault-injecting one.
+	FS FS
 }
 
 // indexEvery is the sparse-index stride: one file position kept per
@@ -148,7 +151,7 @@ type segment struct {
 	base  int64 // offset of the first record
 	count int   // records held
 	size  int64 // file size in bytes
-	f     *os.File
+	f     File
 	index []int64 // file position of records base, base+64, base+128, ...
 	dirty bool    // has writes (or a truncation) not yet fsynced
 }
@@ -163,7 +166,10 @@ func OpenFileLog(dir string, cfg FileConfig) (*FileLog, error) {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = 50 * time.Millisecond
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = OSFS
+	}
+	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	l := &FileLog{dir: dir, cfg: cfg, done: make(chan struct{})}
@@ -182,7 +188,7 @@ func OpenFileLog(dir string, cfg FileConfig) (*FileLog, error) {
 // frame, building the sparse indexes, and truncating at the first torn
 // or corrupt frame (dropping any segments past it).
 func (l *FileLog) recover() error {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.cfg.FS.ReadDir(l.dir)
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
@@ -205,13 +211,13 @@ func (l *FileLog) recover() error {
 		if torn {
 			// Unreachable past a torn segment: offsets would be
 			// discontiguous. Drop it.
-			_ = os.Remove(path)
+			_ = l.cfg.FS.Remove(path)
 			if c := l.cfg.Instruments.SegmentsDropped; c != nil {
 				c.Inc()
 			}
 			continue
 		}
-		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		f, err := l.cfg.FS.OpenFile(path, os.O_RDWR, 0o644)
 		if err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
@@ -236,7 +242,7 @@ func (l *FileLog) recover() error {
 		if seg.count == 0 && torn {
 			// The torn frame was the segment's only content.
 			_ = f.Close()
-			_ = os.Remove(path)
+			_ = l.cfg.FS.Remove(path)
 			if c := l.cfg.Instruments.SegmentsDropped; c != nil {
 				c.Inc()
 			}
@@ -258,7 +264,7 @@ func (l *FileLog) recover() error {
 // scanSegment walks a segment file frame by frame, filling count and
 // the sparse index, and returns the size of the valid prefix. A short
 // or corrupt frame ends the scan without error — the caller truncates.
-func scanSegment(f *os.File, seg *segment) (int64, error) {
+func scanSegment(f File, seg *segment) (int64, error) {
 	r := bufio.NewReaderSize(f, 64<<10)
 	scratch := make([]byte, 0, 4096)
 	pos := int64(0)
@@ -409,7 +415,7 @@ func (l *FileLog) tailSegment() *segment {
 }
 
 func (l *FileLog) newSegment(base int64) (*segment, error) {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(base)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.cfg.FS.OpenFile(filepath.Join(l.dir, segName(base)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
@@ -555,7 +561,7 @@ func (l *FileLog) truncateToLocked(hwm int64) error {
 		case seg.base >= hwm:
 			name := seg.f.Name()
 			_ = seg.f.Close()
-			if err := os.Remove(name); err != nil {
+			if err := l.cfg.FS.Remove(name); err != nil {
 				return fmt.Errorf("storage: truncate: %w", err)
 			}
 		default:

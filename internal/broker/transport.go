@@ -131,6 +131,29 @@ type ServerOptions struct {
 	// Log, when set, emits a structured debug line per traced request —
 	// the broker-side leg of following one saproxd pipeline by trace ID.
 	Log *obs.Logger
+	// IdleTimeout closes a connection that has not delivered a complete
+	// request for this long. Zero disables it — long-lived consumer and
+	// peer connections idle legitimately between polls and pushes.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds the writes of each response burst (default
+	// DefaultWriteTimeout; negative disables). A blackholed client that
+	// stops draining cannot pin a handler goroutine (and its buffers)
+	// forever once its TCP window fills.
+	WriteTimeout time.Duration
+}
+
+// DefaultWriteTimeout is the response-write bound when ServerOptions
+// leaves WriteTimeout zero.
+const DefaultWriteTimeout = 30 * time.Second
+
+func (o ServerOptions) writeTimeout() time.Duration {
+	switch {
+	case o.WriteTimeout < 0:
+		return 0
+	case o.WriteTimeout == 0:
+		return DefaultWriteTimeout
+	}
+	return o.WriteTimeout
 }
 
 // Server exposes a Broker over TCP.
@@ -320,9 +343,20 @@ func (s *Server) handle(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	fb := getFrame()
 	defer putFrame(fb)
+	wt := s.opts.writeTimeout()
 	for {
+		if s.opts.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		if err := readFrameInto(br, fb); err != nil {
-			return // EOF or broken connection
+			return // EOF, idle timeout or broken connection
+		}
+		// One write deadline covers everything the request's handling
+		// writes (including bufio spills mid-handling): a client that
+		// stops draining shows up as a write error, not a wedged
+		// handler.
+		if wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
 		}
 		var err error
 		if !s.opts.JSONOnly && len(fb.b) > 0 && (fb.b[0] == binVersion || fb.b[0] == binVersion2) {

@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	mrand "math/rand/v2"
+	"testing"
+	"time"
+
+	"streamapprox/internal/broker/storage"
+)
+
+// TestDiskFaultsAckedExactlyOnce is the disk-fault property test: drive
+// a FileLog through randomized torn writes, ENOSPC and slow fsyncs, and
+// assert the durability contract — every ACKED batch survives exactly
+// once at its returned offset. Unacked records may or may not exist (a
+// failed fsync does not roll back), but they must never displace or
+// duplicate acked ones.
+func TestDiskFaultsAckedExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	disk := NewDisk(nil)
+	log, err := storage.OpenFileLog(dir, storage.FileConfig{
+		Topic:          "chaos",
+		SegmentRecords: 16, // small segments so faults land on rolls too
+		Policy:         storage.SyncAlways,
+		FS:             disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := mrand.New(mrand.NewPCG(7, 42))
+	type acked struct {
+		base int64
+		recs []storage.Record
+	}
+	var ackedBatches []acked
+	var failures int
+
+	for round := 0; round < 200; round++ {
+		// Roll a fault for this round. Roughly half the rounds are clean
+		// so the log keeps making progress.
+		var f DiskFaults
+		switch rng.IntN(6) {
+		case 0: // ENOSPC before any byte lands
+			f = DiskFaults{FailWrites: true}
+		case 1: // torn write: a prefix of the frame bytes persists
+			f = DiskFaults{FailWrites: true, TornBytes: 1 + rng.IntN(24)}
+		case 2: // fsync failure: records written but must not be acked
+			f = DiskFaults{SyncErr: errors.New("injected fsync failure")}
+		case 3: // slow fsync: still acked, just late
+			f = DiskFaults{SlowSync: time.Millisecond}
+		}
+		disk.Set(f)
+
+		n := 1 + rng.IntN(8)
+		recs := make([]storage.Record, n)
+		for i := range recs {
+			recs[i] = storage.Record{
+				Key:   fmt.Sprintf("r%d-%d", round, i),
+				Value: float64(round*100 + i),
+			}
+		}
+		base, err := log.Append(recs)
+		if err != nil {
+			failures++
+			continue
+		}
+		cp := make([]storage.Record, n)
+		copy(cp, recs)
+		ackedBatches = append(ackedBatches, acked{base: base, recs: cp})
+	}
+	disk.Set(DiskFaults{})
+	if failures == 0 || len(ackedBatches) == 0 {
+		t.Fatalf("degenerate run: %d failures, %d acked batches", failures, len(ackedBatches))
+	}
+
+	// One clean append after the storm must still work.
+	tail := []storage.Record{{Key: "tail", Value: 1}}
+	tailBase, err := log.Append(tail)
+	if err != nil {
+		t.Fatalf("append after clearing faults: %v", err)
+	}
+	ackedBatches = append(ackedBatches, acked{base: tailBase, recs: tail})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through the REAL filesystem: recovery must find a clean log
+	// (rollbacks removed torn bytes; nothing to truncate twice).
+	re, err := storage.OpenFileLog(dir, storage.FileConfig{Topic: "chaos", SegmentRecords: 16})
+	if err != nil {
+		t.Fatalf("reopen after faults: %v", err)
+	}
+	defer re.Close()
+
+	last := ackedBatches[len(ackedBatches)-1]
+	if hwm := re.HighWatermark(); hwm < last.base+int64(len(last.recs)) {
+		t.Fatalf("recovered hwm %d < last acked end %d", hwm, last.base+int64(len(last.recs)))
+	}
+	// Offsets are positions, so "exactly once at its offset" is checked
+	// by reading each batch back at its acked base.
+	for _, b := range ackedBatches {
+		got, err := re.Read(b.base, len(b.recs))
+		if err != nil {
+			t.Fatalf("read acked batch at %d: %v", b.base, err)
+		}
+		if len(got) != len(b.recs) {
+			t.Fatalf("batch at %d: got %d records, acked %d", b.base, len(got), len(b.recs))
+		}
+		for i, r := range got {
+			want := b.recs[i]
+			if r.Offset != b.base+int64(i) || r.Key != want.Key || r.Value != want.Value {
+				t.Fatalf("record %d of batch at %d: got {off=%d key=%q val=%v}, want {off=%d key=%q val=%v}",
+					i, b.base, r.Offset, r.Key, r.Value, b.base+int64(i), want.Key, want.Value)
+			}
+		}
+	}
+	t.Logf("survived %d injected failures; %d acked batches verified after reopen", failures, len(ackedBatches))
+}
+
+// TestDiskFaultsTornTailRecovered simulates a crash INSIDE a torn
+// write: the partial frame stays on disk (no rollback runs) and the
+// next open must truncate it, keeping every previously acked record.
+func TestDiskFaultsTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	disk := NewDisk(nil)
+	log, err := storage.OpenFileLog(dir, storage.FileConfig{
+		Topic: "chaos", SegmentRecords: 16, Policy: storage.SyncAlways, FS: disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ackedRecs []storage.Record
+	for i := 0; i < 10; i++ {
+		r := storage.Record{Key: fmt.Sprintf("ok%d", i), Value: float64(i)}
+		if _, err := log.Append([]storage.Record{r}); err != nil {
+			t.Fatal(err)
+		}
+		ackedRecs = append(ackedRecs, r)
+	}
+	// Torn write, then a "crash": the log is abandoned (not closed, no
+	// rollback beyond Append's own, files left as-is). Append's rollback
+	// itself is made to fail-open by breaking Truncate? — no: rollback
+	// uses Truncate which passes through, so Append cleans up. To leave
+	// a REAL torn tail we write garbage straight into the tail file.
+	disk.Set(DiskFaults{FailWrites: true, TornBytes: 7})
+	_, err = log.Append([]storage.Record{{Key: "torn", Value: 99}})
+	if err == nil {
+		t.Fatal("append through FailWrites succeeded")
+	}
+	disk.Set(DiskFaults{})
+	_ = log.Close()
+
+	// Emulate the crash remnant recovery must handle: a half-written
+	// frame at the tail of the last segment.
+	f, err := storage.OSFS.OpenFile(dir+"/00000000000000000000.seg", 2 /*O_RDWR*/, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat()
+	if _, err := f.WriteAt([]byte{0, 0, 0, 42, 1, 2, 3}, st.Size()); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	re, err := storage.OpenFileLog(dir, storage.FileConfig{Topic: "chaos", SegmentRecords: 16})
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	defer re.Close()
+	if hwm := re.HighWatermark(); hwm != int64(len(ackedRecs)) {
+		t.Fatalf("recovered hwm %d, want %d", hwm, len(ackedRecs))
+	}
+	got, err := re.Read(0, len(ackedRecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Key != ackedRecs[i].Key || r.Value != ackedRecs[i].Value {
+			t.Fatalf("record %d: got %q=%v", i, r.Key, r.Value)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package faults is the chaos plane: a fault-injecting TCP proxy that
+// sits between any two tiers (client↔broker, broker↔broker) and a
+// fault-injecting filesystem layered under the storage engine. Both
+// exist to make network and disk misbehaviour — the faults that hang
+// un-deadlined code forever — reproducible in tests and benchmarks.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Direction selects which flow of a proxied connection a fault applies
+// to, so partitions can be asymmetric (A can talk to B while B's
+// replies vanish).
+type Direction int
+
+const (
+	// Upstream is client→server bytes (toward the proxied address).
+	Upstream Direction = iota
+	// Downstream is server→client bytes.
+	Downstream
+	// Both applies a fault to both directions.
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Upstream:
+		return "upstream"
+	case Downstream:
+		return "downstream"
+	default:
+		return "both"
+	}
+}
+
+// Faults is one direction's active fault set. The zero value forwards
+// bytes untouched.
+type Faults struct {
+	// Latency delays each forwarded chunk; Jitter adds a uniform random
+	// extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// BytesPerSec caps throughput (0 = unlimited).
+	BytesPerSec int
+	// Blackhole stops forwarding while HOLDING the connection open: no
+	// FIN, no RST — the peer's writes back up in kernel buffers and its
+	// reads see silence, exactly the half-open stall a mid-path failure
+	// produces. Clearing the fault resumes forwarding.
+	Blackhole bool
+}
+
+// Proxy is a chaos TCP proxy: it accepts on its own listener, dials the
+// upstream address per connection, and pumps bytes both ways through
+// the per-direction fault set. Faults apply to live connections, not
+// just new ones.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mu      sync.Mutex
+	dirs    [2]dirFaults
+	refuse  bool
+	conns   map[net.Conn]struct{}
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	stopped []*time.Timer
+}
+
+// dirFaults is one direction's fault set plus a wake channel closed on
+// every change, so a pump parked in a blackhole notices the heal.
+type dirFaults struct {
+	f    Faults
+	wake chan struct{}
+}
+
+// NewProxy listens on listenAddr (use "127.0.0.1:0" for an ephemeral
+// port) and forwards every connection to upstream.
+func NewProxy(listenAddr, upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+	}
+	p.dirs[Upstream].wake = make(chan struct{})
+	p.dirs[Downstream].wake = make(chan struct{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients and peers
+// should dial instead of the upstream.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Set replaces one direction's fault set (Both replaces both). It
+// takes effect immediately, including for connections already pumping.
+func (p *Proxy) Set(dir Direction, f Faults) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, d := range []Direction{Upstream, Downstream} {
+		if dir != Both && dir != d {
+			continue
+		}
+		p.dirs[d].f = f
+		close(p.dirs[d].wake)
+		p.dirs[d].wake = make(chan struct{})
+	}
+}
+
+// Heal clears every fault (both directions) and stops refusing new
+// connections. Severed connections stay severed — the client redials.
+func (p *Proxy) Heal() {
+	p.Set(Both, Faults{})
+	p.mu.Lock()
+	p.refuse = false
+	p.mu.Unlock()
+}
+
+// Refuse makes the proxy close new connections immediately on accept
+// (connection-refused-like fault, distinct from the silent blackhole).
+func (p *Proxy) Refuse(on bool) {
+	p.mu.Lock()
+	p.refuse = on
+	p.mu.Unlock()
+}
+
+// CutConns severs every live proxied connection (drop fault). New
+// connections are still accepted unless Refuse is set.
+func (p *Proxy) CutConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Step is one entry of a fault schedule.
+type Step struct {
+	// After is the delay from Schedule's call at which the step fires.
+	After time.Duration
+	// Dir and F are applied as by Set.
+	Dir Direction
+	F   Faults
+	// Cut additionally severs live connections when the step fires.
+	Cut bool
+}
+
+// Schedule arms a timed fault sequence. Steps fire relative to now;
+// Close cancels pending steps.
+func (p *Proxy) Schedule(steps ...Step) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	for _, s := range steps {
+		step := s
+		t := time.AfterFunc(step.After, func() {
+			p.Set(step.Dir, step.F)
+			if step.Cut {
+				p.CutConns()
+			}
+		})
+		p.stopped = append(p.stopped, t)
+	}
+}
+
+// Close stops the proxy: listener closed, live connections severed,
+// pending schedule steps cancelled.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	for _, t := range p.stopped {
+		t.Stop()
+	}
+	err := p.ln.Close()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		p.mu.Lock()
+		refuse, closed := p.refuse, p.closed
+		if !refuse && !closed {
+			p.conns[c] = struct{}{}
+		}
+		p.mu.Unlock()
+		if refuse || closed {
+			_ = c.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(c)
+	}
+}
+
+// serve dials the upstream and runs the two pumps for one connection.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		p.forget(client)
+		_ = client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = up.Close()
+		p.forget(client)
+		_ = client.Close()
+		return
+	}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump(up, client, Upstream) }()
+	go func() { defer wg.Done(); p.pump(client, up, Downstream) }()
+	wg.Wait()
+	p.forget(client)
+	p.forget(up)
+	_ = client.Close()
+	_ = up.Close()
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// faults returns the current fault set for a direction plus the wake
+// channel that closes on the next change.
+func (p *Proxy) faults(dir Direction) (Faults, <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dirs[dir].f, p.dirs[dir].wake
+}
+
+// pump copies src→dst applying one direction's faults chunk by chunk.
+// While blackholed it neither reads src nor writes dst — the sender's
+// bytes pile up against TCP flow control, the stall a real half-open
+// connection produces.
+func (p *Proxy) pump(dst, src net.Conn, dir Direction) {
+	buf := make([]byte, 32<<10)
+	for {
+		f, wake := p.faults(dir)
+		if f.Blackhole {
+			select {
+			case <-wake:
+				continue
+			case <-p.done:
+				return
+			}
+		}
+		// Bound the read so a fault set mid-silence is noticed without
+		// waking on a channel (the next loop iteration re-reads faults).
+		_ = src.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, err := src.Read(buf)
+		if n > 0 {
+			// Re-fetch: a fault set while this pump was parked in Read must
+			// apply to the chunk in hand, not the next one. A blackhole set
+			// meanwhile parks here holding the chunk — it is delivered (not
+			// dropped) once the fault clears, like bytes queued mid-path.
+			for f, wake = p.faults(dir); f.Blackhole; f, wake = p.faults(dir) {
+				select {
+				case <-wake:
+				case <-p.done:
+					return
+				}
+			}
+			d := p.delay(f)
+			if f.BytesPerSec > 0 {
+				// Pace before delivery so the cap holds even for a transfer
+				// that fits in one chunk.
+				d += time.Duration(float64(n) / float64(f.BytesPerSec) * float64(time.Second))
+			}
+			if d > 0 && !p.sleep(d) {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}
+
+// delay computes latency plus a random jitter sample.
+func (p *Proxy) delay(f Faults) time.Duration {
+	d := f.Latency
+	if f.Jitter > 0 {
+		p.rngMu.Lock()
+		d += time.Duration(p.rng.Int64N(int64(f.Jitter)))
+		p.rngMu.Unlock()
+	}
+	return d
+}
+
+// sleep pauses for d, returning false if the proxy closed meanwhile.
+func (p *Proxy) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}

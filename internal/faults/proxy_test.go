@@ -1,0 +1,301 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server, returning its address and a stop
+// function.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// echoOnce writes msg and reads it back through the echo upstream.
+func echoOnce(t *testing.T, c net.Conn, msg string, timeout time.Duration) error {
+	t.Helper()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf, []byte(msg)) {
+		t.Fatalf("echo mismatch: %q", buf)
+	}
+	return nil
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	for i := 0; i < 10; i++ {
+		if err := echoOnce(t, c, "hello world", 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Set(Upstream, Faults{Latency: 100 * time.Millisecond})
+	start := time.Now()
+	if err := echoOnce(t, c, "slow", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("expected >=100ms injected latency, echo took %v", d)
+	}
+}
+
+// TestProxyBlackholeHoldsConnOpen is the core chaos primitive: bytes
+// stall but the connection stays open (no error, no EOF), then flow
+// resumes when healed — including bytes sent INTO the blackhole.
+func TestProxyBlackholeHoldsConnOpen(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, "before", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Set(Both, Faults{Blackhole: true})
+	// The write itself succeeds (kernel buffers it); the read must time
+	// out rather than error or EOF.
+	err = echoOnce(t, c, "stalled", 300*time.Millisecond)
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("expected read timeout through blackhole, got %v", err)
+	}
+	p.Heal()
+	// The stalled bytes were buffered, not dropped: after healing the
+	// echo of "stalled" arrives.
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, len("stalled"))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(buf) != "stalled" {
+		t.Fatalf("got %q after heal", buf)
+	}
+}
+
+// TestProxyAsymmetricPartition blackholes only the downstream leg:
+// requests still reach the upstream, replies vanish.
+func TestProxyAsymmetricPartition(t *testing.T) {
+	upstream := startEcho(t)
+	p, err := NewProxy("127.0.0.1:0", upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Set(Downstream, Faults{Blackhole: true})
+	// Upstream leg still flows; the reply never comes back.
+	if _, err := c.Write([]byte("oneway")); err != nil {
+		t.Fatalf("write through asymmetric partition: %v", err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	one := make([]byte, 1)
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("read succeeded through blackholed downstream")
+	}
+	p.Heal()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, len("oneway"))
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "oneway" {
+		t.Fatalf("after heal: %q err=%v", buf, err)
+	}
+}
+
+func TestProxyRateCap(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 4 KiB through a 16 KiB/s cap should take ~250ms one way.
+	p.Set(Upstream, Faults{BytesPerSec: 16 << 10})
+	msg := bytes.Repeat([]byte("x"), 4<<10)
+	start := time.Now()
+	_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, len(msg))); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("rate cap not applied: 4KiB at 16KiB/s took %v", d)
+	}
+}
+
+func TestProxyCutAndRefuse(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.CutConns()
+	// The severed connection errors on use (possibly after the buffered
+	// read drains).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := echoOnce(t, c, "dead", 200*time.Millisecond); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection survived CutConns")
+		}
+	}
+	p.Refuse(true)
+	c2, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err == nil {
+		// Accepted then immediately closed: the first use fails.
+		defer c2.Close()
+		if err := echoOnce(t, c2, "nope", 500*time.Millisecond); err == nil {
+			t.Fatal("echo succeeded while refusing connections")
+		}
+	}
+	p.Heal()
+	c3 := dialProxy(t, p)
+	if err := echoOnce(t, c3, "back", 2*time.Second); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestProxySchedule(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	p.Schedule(
+		Step{After: 50 * time.Millisecond, Dir: Both, F: Faults{Blackhole: true}},
+		Step{After: 350 * time.Millisecond, Dir: Both, F: Faults{}},
+	)
+	if err := echoOnce(t, c, "pre", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // inside the blackhole window
+	if err := echoOnce(t, c, "mid", 150*time.Millisecond); err == nil {
+		t.Fatal("echo succeeded inside scheduled blackhole")
+	}
+	time.Sleep(300 * time.Millisecond) // past the heal step
+	// Drain whatever the blackhole buffered, then prove flow resumed.
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, len("mid"))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("drain after scheduled heal: %v", err)
+	}
+	if err := echoOnce(t, c, "post", 2*time.Second); err != nil {
+		t.Fatalf("echo after scheduled heal: %v", err)
+	}
+}
+
+// TestProxyConcurrentConns exercises fault switches under many live
+// connections (run with -race).
+func TestProxyConcurrentConns(t *testing.T) {
+	p, err := NewProxy("127.0.0.1:0", startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = echoOnce(t, c, "concurrent", 100*time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		switch i % 4 {
+		case 0:
+			p.Set(Upstream, Faults{Latency: time.Millisecond})
+		case 1:
+			p.Set(Both, Faults{Blackhole: true})
+		case 2:
+			p.Set(Downstream, Faults{BytesPerSec: 1 << 20})
+		default:
+			p.Heal()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -47,11 +47,37 @@ type traceSetter interface{ SetTraceID(uint64) }
 const fetchMax = 4096
 
 // idleAdvanceAfter is the number of consecutive empty polls after which
-// an idle partition pushes its attached sinks to the peers' watermark.
-// High enough that a partition that has merely caught up with a live
-// producer does not race ahead and drop the producer's next records as
-// late.
+// an idle partition considers pushing its attached sinks to the peers'
+// watermark. High enough that a partition that has merely caught up
+// with a live producer does not race ahead and drop the producer's next
+// records as late.
 const idleAdvanceAfter = 10
+
+// idleAdvanceFloor is the minimum WALL-CLOCK time a partition must stay
+// empty before idle punctuation fires. Poll counts alone are a bad
+// idleness signal under tight backoffs: a broker riding out a slow
+// fsync or a failover replay looks identical to a truly quiet partition
+// for tens of milliseconds, and punctuating then advances the shard to
+// its peers' watermark — so the stalled records, when they finally
+// commit, land in windows that have already fired and are dropped as
+// late. The floor makes "idle" mean "idle longer than any transient
+// stall the chaos plane injects", trading punctuation latency on truly
+// sparse partitions (bounded, and invisible next to window slides) for
+// accuracy under faults.
+const idleAdvanceFloor = 250 * time.Millisecond
+
+// watchdogAfter is the number of consecutive failed polls after which a
+// partition loop declares its consumer stalled and reroutes: refresh
+// the routing client's metadata, rebuild the consumer at the plane's
+// delivered offset. Polls already fail fast (the broker client's
+// per-request deadlines), so this bounds how long a partition pipeline
+// keeps retrying a path the cluster has failed away from.
+const watchdogAfter = 5
+
+// metaRefresher is implemented by routing clients that can be told to
+// re-poll cluster metadata (*broker.ClusterClient); the in-process
+// broker and single-connection clients have nothing to refresh.
+type metaRefresher interface{ Refresh() error }
 
 // The per-query, per-partition delivery target is *shard: consume
 // applies one batch of event-time sorted records ending at offset next
@@ -410,7 +436,8 @@ func (pi *partIngest) loop(start int64) {
 	pi.cons = cons
 	pi.mu.Unlock()
 
-	idle := 0
+	idle, fails := 0, 0
+	var idleSince time.Time
 	for {
 		select {
 		case <-pi.done:
@@ -434,14 +461,31 @@ func (pi *partIngest) loop(start int64) {
 				return
 			default:
 			}
+			fails++
+			if fails >= watchdogAfter {
+				fails = 0
+				if nc := pi.reroute(cons); nc != nil {
+					cons = nc
+				}
+			}
 			if !sleepOrDone(pi.done, pi.ing.backoff) {
 				return
 			}
 			continue
 		}
+		fails = 0
 		if len(recs) == 0 {
+			if idle == 0 {
+				idleSince = time.Now()
+			}
 			idle++
-			if idle >= idleAdvanceAfter {
+			// Punctuate only a CONFIRMED-idle partition: enough empty
+			// polls, enough wall-clock silence, and the broker agrees
+			// there is nothing committed left to read. The drain check
+			// costs one RPC, so it runs every idleAdvanceAfter polls,
+			// not every poll.
+			if idle%idleAdvanceAfter == 0 &&
+				time.Since(idleSince) >= idleAdvanceFloor && pi.drained() {
 				pi.idleAdvance()
 			}
 			if !sleepOrDone(pi.done, pi.ing.backoff) {
@@ -455,6 +499,45 @@ func (pi *partIngest) loop(start int64) {
 		hwm, herr := pi.cluster.HighWatermark(pi.ing.topic, pi.idx)
 		pi.deliver(recs, hwm, herr == nil)
 	}
+}
+
+// reroute is the partition watchdog's action: force a cluster-metadata
+// refresh (so the routing layer learns about a failover the stalled
+// path masked), then rebuild the consumer at the plane's delivered
+// offset. Returns the replacement consumer, or nil when the rebuild
+// failed or the partition is stopping (the old, now-closed consumer
+// stays in place; its fast-failing polls bring the loop back here).
+func (pi *partIngest) reroute(old *broker.Consumer) *broker.Consumer {
+	if r, ok := pi.cluster.(metaRefresher); ok {
+		if err := r.Refresh(); err != nil {
+			pi.ing.logf("ingest partition %d: watchdog refresh: %v", pi.idx, err)
+		}
+	}
+	pi.mu.Lock()
+	at := pi.next
+	stopped := pi.stopped
+	pi.mu.Unlock()
+	if stopped {
+		return nil
+	}
+	_ = old.Close()
+	cons, err := broker.NewPartitionConsumer(pi.cluster, pi.ing.group, pi.ing.topic, pi.idx)
+	if err != nil {
+		pi.ing.logf("ingest partition %d: watchdog rebuild: %v", pi.idx, err)
+		return nil
+	}
+	cons.Seek(pi.idx, at)
+	cons.StartPrefetch()
+	pi.mu.Lock()
+	if pi.stopped {
+		pi.mu.Unlock()
+		_ = cons.Close()
+		return nil
+	}
+	pi.cons = cons
+	pi.mu.Unlock()
+	pi.ing.logf("ingest partition %d: watchdog rerouted consumer at offset %d", pi.idx, at)
+	return cons
 }
 
 // deliver fans one batch out to every attached query's delivery queue
@@ -495,6 +578,22 @@ func (pi *partIngest) deliver(recs []broker.Record, hwm int64, haveHWM bool) {
 	if haveHWM {
 		pi.lagGauge.Set(float64(hwm - next))
 	}
+}
+
+// drained reports whether the plane has delivered every record the
+// broker will currently serve: the committed high watermark has not
+// moved past the delivered offset. Best effort — an unreachable broker
+// (failover in progress) reads as NOT drained, which is exactly when
+// punctuating would be wrong.
+func (pi *partIngest) drained() bool {
+	hwm, err := pi.cluster.HighWatermark(pi.ing.topic, pi.idx)
+	if err != nil {
+		return false
+	}
+	pi.mu.Lock()
+	next := pi.next
+	pi.mu.Unlock()
+	return next >= hwm
 }
 
 // idleAdvance enqueues an idle punctuation for every attached query,
