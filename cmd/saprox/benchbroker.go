@@ -51,6 +51,8 @@ func runBenchBroker(args []string) error {
 	batch := fs.Int("batch", 1000, "records per produce request")
 	fetchers := fs.Int("fetchers", 4, "concurrent fetchers on the shared connection")
 	out := fs.String("out", "BENCH_broker.json", `result file ("-" for stdout only)`)
+	baseline := fs.String("baseline", "", "compare binary produce/fetch items/s against this recorded result file and fail on regression")
+	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional drop vs -baseline before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,14 +94,52 @@ func runBenchBroker(args []string) error {
 	fmt.Printf("  fetch    json %12.0f items/s   binary %12.0f items/s   %5.1fx\n",
 		res.JSON.FetchItemsPerSec, res.Binary.FetchItemsPerSec, res.SpeedupFetch)
 	if *out == "-" {
-		_, err = os.Stdout.Write(blob)
-		return err
+		if _, err = os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  recorded in %s\n", *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		return err
+	if *baseline != "" {
+		return checkBenchRegression(*baseline, *maxRegress, res)
 	}
-	fmt.Printf("  recorded in %s\n", *out)
 	return nil
+}
+
+// checkBenchRegression compares the binary codec's measured throughput
+// against a recorded baseline file and errors when either produce or
+// fetch items/s fell more than maxRegress below it — the CI smoke gate
+// that keeps hot-path regressions from landing silently. Gains are
+// never an error; rerecord the baseline to ratchet them in.
+func checkBenchRegression(path string, maxRegress float64, res benchBrokerResult) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-broker baseline: %w", err)
+	}
+	var base benchBrokerResult
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench-broker baseline %s: %w", path, err)
+	}
+	check := func(what string, got, want float64) error {
+		if want <= 0 {
+			return nil
+		}
+		drop := 1 - got/want
+		fmt.Printf("  vs %s: binary %s %12.0f items/s (baseline %12.0f, %+.1f%%)\n",
+			path, what, got, want, -drop*100)
+		if drop > maxRegress {
+			return fmt.Errorf("bench-broker: binary %s regressed %.1f%% vs %s (limit %.0f%%)",
+				what, drop*100, path, maxRegress*100)
+		}
+		return nil
+	}
+	if err := check("produce", res.Binary.ProduceItemsPerSec, base.Binary.ProduceItemsPerSec); err != nil {
+		return err
+	}
+	return check("fetch", res.Binary.FetchItemsPerSec, base.Binary.FetchItemsPerSec)
 }
 
 // benchOneCodec measures produce then fetch throughput for one codec

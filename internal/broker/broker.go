@@ -280,7 +280,7 @@ func (b *Broker) Close() {
 // newLog builds the storage for one partition per the broker's config.
 func (b *Broker) newLog(topicName string, p int) (storage.Log, error) {
 	if b.scfg.Dir == "" {
-		return storage.NewMemLog(), nil
+		return storage.NewMemLogFor(topicName, p), nil
 	}
 	return storage.OpenFileLog(b.PartitionDir(topicName, p), storage.FileConfig{
 		Topic:          topicName,
@@ -389,12 +389,36 @@ func (t *topic) partitionFor(key string) int {
 	return int(h.Sum32()) % len(t.partitions)
 }
 
+// partitionForBytes is partitionFor for a byte-slice key — the routing
+// used when splitting a raw frame chunk, where the key is a view into
+// the frame and must not be copied into a string just to hash it.
+func (t *topic) partitionForBytes(key []byte) int {
+	if len(key) == 0 {
+		t.rrMu.Lock()
+		defer t.rrMu.Unlock()
+		p := int(t.rr % uint64(len(t.partitions)))
+		t.rr++
+		return p
+	}
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int(h.Sum32()) % len(t.partitions)
+}
+
 // append stamps topic/partition onto a caller-owned batch and appends
 // it under the partition's append mutex, returning the base offset.
 func (p *partition) append(batch []Record) (int64, error) {
 	p.appendMu.Lock()
 	defer p.appendMu.Unlock()
 	return p.log.Append(batch)
+}
+
+// appendFrames appends a pre-validated frame chunk under the
+// partition's append mutex, returning the base offset.
+func (p *partition) appendFrames(frames []byte, count int) (int64, error) {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	return p.log.AppendFrames(frames, count)
 }
 
 // Produce appends records to a topic, routing each by its key. It returns
@@ -436,6 +460,47 @@ func (b *Broker) Produce(topicName string, recs []Record) (int, error) {
 	return len(recs), nil
 }
 
+// ProduceFrames appends a pre-validated frame chunk to a topic, routing
+// each frame by the key read in place — the zero-copy form of Produce:
+// no record is ever materialized, the single-partition fast path is one
+// memcpy (or one WriteAt), and the multi-partition path splits frames
+// at their structural boundaries. Returns the number of records
+// appended.
+func (b *Broker) ProduceFrames(topicName string, frames []byte, count int) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if len(t.partitions) == 1 {
+		if _, err := t.partitions[0].appendFrames(frames, count); err != nil {
+			return 0, err
+		}
+		return count, nil
+	}
+	byPart := make([][]byte, len(t.partitions))
+	counts := make([]int, len(t.partitions))
+	it := storage.IterFrames(frames)
+	for it.Next() {
+		p := t.partitionForBytes(storage.FrameKey(it.Payload()))
+		byPart[p] = append(byPart[p], it.Frame()...)
+		counts[p]++
+	}
+	if err := it.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for p, chunk := range byPart {
+		if counts[p] == 0 {
+			continue
+		}
+		if _, err := t.partitions[p].appendFrames(chunk, counts[p]); err != nil {
+			return total, err
+		}
+		total += counts[p]
+	}
+	return total, nil
+}
+
 // producePartition appends records to one explicit partition, bypassing
 // key routing — the data path of a routing client that partitions on its
 // side and sends each batch straight to the partition leader. It returns
@@ -455,6 +520,19 @@ func (b *Broker) producePartition(topicName string, partition int, recs []Record
 		batch[i] = r
 	}
 	return t.partitions[partition].append(batch)
+}
+
+// producePartitionFrames is producePartition for a pre-validated frame
+// chunk: the bytes land in the log verbatim.
+func (b *Broker) producePartitionFrames(topicName string, partition int, frames []byte, count int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, ErrBadPartition
+	}
+	return t.partitions[partition].appendFrames(frames, count)
 }
 
 // replicateAppend applies a leader's replicated batch at an exact base
@@ -495,6 +573,39 @@ func (b *Broker) replicateAppend(topicName string, partition int, base int64, re
 	return p.log.HighWatermark(), nil
 }
 
+// replicateAppendFrames is replicateAppend for a pre-validated frame
+// chunk: same idempotence and gap safety, with the duplicate prefix
+// trimmed at frame boundaries instead of slicing records, and the
+// remainder appended verbatim.
+func (b *Broker) replicateAppendFrames(topicName string, partition int, base int64, frames []byte, count int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, ErrBadPartition
+	}
+	p := t.partitions[partition]
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	hwm := p.log.HighWatermark()
+	if base > hwm {
+		return hwm, nil // gap: leader must resend from our watermark
+	}
+	if skip := hwm - base; skip >= int64(count) {
+		return hwm, nil // fully duplicate batch
+	} else if skip > 0 {
+		if frames, err = storage.SkipFrames(frames, int(skip)); err != nil {
+			return hwm, err
+		}
+		count -= int(skip)
+	}
+	if _, err := p.log.AppendFrames(frames, count); err != nil {
+		return hwm, err
+	}
+	return p.log.HighWatermark(), nil
+}
+
 // truncatePartition discards every record at offset >= hwm — the rejoin
 // path's divergence cut, applied before a recovered replica re-enters
 // the cluster.
@@ -525,6 +636,24 @@ func (b *Broker) Fetch(topicName string, partition int, offset int64, max int) (
 		max = 1024
 	}
 	return t.partitions[partition].log.Read(offset, max)
+}
+
+// FetchFrames reads up to max records from one partition as a raw frame
+// chunk appended onto buf, returning the extended buffer and the record
+// count — the zero-copy form of Fetch, used to assemble fetch responses
+// directly into the server's pooled write buffer.
+func (b *Broker) FetchFrames(topicName string, partition int, offset int64, max int, buf []byte) ([]byte, int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return buf, 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return buf, 0, ErrBadPartition
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	return t.partitions[partition].log.ReadFrames(offset, max, buf)
 }
 
 // HighWatermark returns the next offset to be written in a partition.

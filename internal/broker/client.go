@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streamapprox/internal/broker/storage"
 )
 
 // Client is a TCP client for a broker Server. Methods mirror Broker's.
@@ -30,6 +32,7 @@ type Client struct {
 
 	binary bool // negotiated at dial; immutable afterwards
 	v2     bool // peer accepts trace-carrying v2 request headers
+	frames bool // peer accepts the raw-frame (zero-copy) ops
 
 	// trace is the ID stamped on every subsequent binary request (0 =
 	// untraced). Connection-scoped on purpose: the ingest plane owns a
@@ -116,6 +119,7 @@ func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
 	case err == nil && resp.N >= int(binVersion):
 		c.binary = true
 		c.v2 = resp.N >= int(binVersion2)
+		c.frames = resp.N >= helloFrames
 		c.pending = make(map[uint64]chan *frameBuf)
 		go c.readLoop()
 	case err != nil && isUnknownOp(err):
@@ -428,8 +432,15 @@ func (c *Client) Produce(topicName string, recs []Record) (int, error) {
 	if err := checkTopic(topicName); err != nil {
 		return 0, err
 	}
+	// Against a frames-capable server the batch is encoded as CRC
+	// frames right here — the only encode the records will ever get:
+	// the broker appends, replicates and serves these exact bytes.
+	enc := encodeProduceReq
+	if c.frames {
+		enc = encodeProduceFramesReq
+	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeProduceReq(fb, corr, c.traceFor(), topicName, recs)
+		enc(fb, corr, c.traceFor(), topicName, recs)
 	})
 	if err != nil {
 		return 0, err
@@ -459,6 +470,22 @@ func (c *Client) Fetch(topicName string, partition int, offset int64, max int) (
 	}
 	if err := checkTopic(topicName); err != nil {
 		return nil, err
+	}
+	if c.frames {
+		// Frame fetch: the server ships raw storage bytes; the records
+		// are decoded (and their CRCs verified) exactly once, here.
+		fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+			encodeFetchFramesReq(fb, corr, c.traceFor(), topicName, partition, offset, max)
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer putFrame(fb)
+		cur, err := decodeRespHeader(fb)
+		if err != nil {
+			return nil, err
+		}
+		return decodeFetchFramesResp(cur, topicName, partition)
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
 		encodeFetchReq(fb, corr, c.traceFor(), topicName, partition, offset, max)
@@ -570,9 +597,64 @@ func (c *Client) replicaFetch(sender, topic string, partition int, offset int64,
 	return resp.Records, nil
 }
 
+// replicaFetchFrames is replicaFetch on the binary raw-frame dialect:
+// the catch-up chunk arrives as validated CRC frames appended onto buf,
+// ready for replicateAppendFrames verbatim — a rejoining replica pulls
+// committed history at memcpy speed instead of through two JSON codecs.
+// The caller must check supportsFrames first.
+func (c *Client) replicaFetchFrames(sender, topic string, partition int, offset int64, max int, buf []byte) ([]byte, int, error) {
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeRFetchReq(fb, corr, c.traceFor(), sender, topic, partition, offset, max)
+	})
+	if err != nil {
+		return buf, 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return buf, 0, err
+	}
+	_ = cur.u64() // base echoes the requested offset
+	count := int(cur.u32())
+	if cur.err != nil {
+		return buf, 0, cur.err
+	}
+	frames := cur.rest()
+	n, err := storage.ValidateFrames(frames)
+	if err != nil {
+		return buf, 0, err
+	}
+	if n != count {
+		return buf, 0, errTruncatedFrame
+	}
+	return append(buf, frames...), count, nil
+}
+
+// supportsFrames reports whether the peer negotiated the raw-frame ops.
+func (c *Client) supportsFrames() bool { return c.frames }
+
 // replicaHWM reads a member's known committed watermark for a
-// partition, leadership-independent.
+// partition, leadership-independent. Frames-capable peers answer the
+// compact binary op; older peers the JSON control dialect.
 func (c *Client) replicaHWM(sender, topic string, partition int) (int64, error) {
+	if c.frames {
+		fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+			encodeRHWMReq(fb, corr, c.traceFor(), sender, topic, partition)
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer putFrame(fb)
+		cur, err := decodeRespHeader(fb)
+		if err != nil {
+			return 0, err
+		}
+		hwm := int64(cur.u64())
+		if cur.err != nil {
+			return 0, cur.err
+		}
+		return hwm, nil
+	}
 	resp, err := c.controlRoundTrip(&wireRequest{
 		Op: opRHWM, Node: sender, Topic: topic, Partition: partition,
 	})
@@ -610,8 +692,12 @@ func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint
 	if err := checkTopic(topicName); err != nil {
 		return 0, err
 	}
+	enc := encodeProducePartReq
+	if c.frames {
+		enc = encodeProducePartFramesReq
+	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeProducePartReq(fb, corr, c.traceFor(), topicName, partition, pid, seq, recs)
+		enc(fb, corr, c.traceFor(), topicName, partition, pid, seq, recs)
 	})
 	if err != nil {
 		return 0, err
@@ -628,12 +714,44 @@ func (c *Client) ProducePartition(topicName string, partition int, pid, seq uint
 	return n, nil
 }
 
-// replicate streams one leader-appended chunk to a follower, returning
-// the follower's resulting high watermark. Cluster peers always speak
-// the binary codec. The explicit trace parameter forwards the producer
-// request's trace across the leader→follower hop (the connection stamp
-// would attribute every chunk to whichever request dialed first).
-func (c *Client) replicate(trace uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
+// producePartitionFrames forwards an already-validated frame chunk to a
+// partition leader — the node→node hop of a routed produce, shipping
+// the producer's bytes verbatim. Falls back to the record encoding
+// against a peer that has not negotiated the frame ops.
+func (c *Client) producePartitionFrames(topicName string, partition int, pid, seq uint64, frames []byte, count int) (int, error) {
+	if !c.frames {
+		return c.ProducePartition(topicName, partition, pid, seq, framesToRecords(frames, count, topicName, partition, 0))
+	}
+	if err := checkTopic(topicName); err != nil {
+		return 0, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeProducePartFwdReq(fb, corr, c.traceFor(), topicName, partition, pid, seq, frames, count)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	n := int(cur.u32())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	return n, nil
+}
+
+// replicate streams one leader-appended chunk to a follower as the
+// verbatim frame bytes the leader holds, returning the follower's
+// resulting high watermark. Cluster peers always speak the binary
+// codec; against a peer that has not negotiated the frame ops the chunk
+// is decoded once and sent in the record encoding. The explicit trace
+// parameter forwards the producer request's trace across the
+// leader→follower hop (the connection stamp would attribute every chunk
+// to whichever request dialed first).
+func (c *Client) replicate(trace uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, frames []byte, count int) (int64, error) {
 	if !c.binary {
 		return 0, errors.New("broker: replicate requires the binary codec")
 	}
@@ -641,7 +759,12 @@ func (c *Client) replicate(trace uint64, epoch int64, sender, topic string, part
 		trace = 0
 	}
 	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
-		encodeReplicateReq(fb, corr, trace, epoch, sender, topic, partition, base, committed, metas, recs)
+		if c.frames {
+			encodeReplicateFramesReq(fb, corr, trace, epoch, sender, topic, partition, base, committed, metas, frames, count)
+		} else {
+			recs := framesToRecords(frames, count, topic, partition, base)
+			encodeReplicateReq(fb, corr, trace, epoch, sender, topic, partition, base, committed, metas, recs)
+		}
 	})
 	if err != nil {
 		return 0, err

@@ -456,9 +456,17 @@ func (cc *ClusterClient) Produce(topicName string, recs []Record) (int, error) {
 		return 0, err
 	}
 	byPart := make([][]Record, parts)
-	for _, r := range recs {
-		p := cc.partitionForKey(r.Key, parts)
-		byPart[p] = append(byPart[p], r)
+	if parts == 1 {
+		byPart[0] = recs
+	} else {
+		per := len(recs)/parts + len(recs)/(parts*4) + 1 // headroom over an even spread
+		for _, r := range recs {
+			p := cc.partitionForKey(r.Key, parts)
+			if byPart[p] == nil {
+				byPart[p] = make([]Record, 0, per)
+			}
+			byPart[p] = append(byPart[p], r)
+		}
 	}
 	var (
 		wg       sync.WaitGroup

@@ -33,6 +33,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"streamapprox/internal/broker/storage"
 )
 
 // binVersion is the codec version byte opening every binary frame. It
@@ -63,7 +65,28 @@ const (
 	// streamed at an explicit base offset, answered with the follower's
 	// resulting high watermark (short answers drive backfill).
 	binOpReplicate byte = 6
+
+	// Raw-frame ("F") ops: the record batch travels as a chunk of CRC
+	// frames in the storage engine's segment layout (storage/frames.go)
+	// instead of the bare record encoding above. The chunk is validated
+	// once — structure + CRC — where it enters the process, then
+	// appended to the log, forwarded leader→follower, and served back to
+	// consumers verbatim; no hop re-encodes a record. Clients use them
+	// against peers whose hello answered version >= helloFrames and fall
+	// back to the record ops otherwise.
+	binOpProduceF     byte = 7  // produce, key-routed frame chunk
+	binOpProducePartF byte = 8  // partitioned produce with pid/seq dedup
+	binOpReplicateF   byte = 9  // leader→follower verbatim chunk
+	binOpFetchF       byte = 10 // fetch answered as a frame chunk
+	binOpRFetchF      byte = 11 // replica catch-up fetch, frame chunk
+	binOpRHWMB        byte = 12 // replica high watermark (binary form)
 )
+
+// helloFrames is the feature level advertised by the hello op: 1 =
+// binary codec, 2 = trace-carrying v2 request headers, 3 = raw-frame
+// ops. The request/response header versions stay binVersion/binVersion2
+// — frames change the BODY encoding, not the header.
+const helloFrames = 3
 
 const (
 	binReqHdrLen        = 10 // version + op + corrID
@@ -76,6 +99,10 @@ const (
 // minWireRecord is the smallest encoded record (empty key), used to
 // sanity-check record counts before allocating.
 const minWireRecord = 4 + 8 + 8
+
+// minWireFrame is the smallest CRC frame (empty key): the 8-byte
+// length+CRC header plus the minimal payload.
+const minWireFrame = 8 + minWireRecord
 
 // zeroTimeNanos marks the zero time.Time on the wire.
 const zeroTimeNanos = math.MinInt64
@@ -355,6 +382,123 @@ func encodeReplicateReq(fb *frameBuf, corr, trace uint64, epoch int64, sender, t
 	}
 }
 
+// ---- raw-frame request encoding (client side) ----
+
+// appendFrameChunk emits a count-prefixed raw frame chunk verbatim —
+// the forwarding form, used when the sender already holds validated
+// frames (leader→follower replication, node→leader routing).
+func appendFrameChunk(b []byte, frames []byte, count int) []byte {
+	b = appendU32(b, uint32(count))
+	return append(b, frames...)
+}
+
+// appendRecFrameChunk encodes a record batch as a count-prefixed frame
+// chunk — the producing client's entry into the zero-copy path: the
+// frames (CRCs included) are computed HERE, once, and every subsequent
+// hop ships these exact bytes.
+func appendRecFrameChunk(b []byte, recs []Record) []byte {
+	b = appendU32(b, uint32(len(recs)))
+	for i := range recs {
+		b = storage.AppendFrame(b, &recs[i])
+	}
+	return b
+}
+
+// encodeProduceFramesReq is encodeProduceReq in the raw-frame dialect.
+func encodeProduceFramesReq(fb *frameBuf, corr, trace uint64, topic string, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProduceF, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendRecFrameChunk(fb.b, recs)
+}
+
+// encodeProducePartFramesReq is encodeProducePartReq in the raw-frame
+// dialect.
+func encodeProducePartFramesReq(fb *frameBuf, corr, trace uint64, topic string, partition int, pid, seq uint64, recs []Record) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProducePartF, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, pid)
+	fb.b = appendU64(fb.b, seq)
+	fb.b = appendRecFrameChunk(fb.b, recs)
+}
+
+// encodeProducePartFwdReq forwards an already-validated frame chunk to
+// a partition leader (the routed-produce hop between nodes).
+func encodeProducePartFwdReq(fb *frameBuf, corr, trace uint64, topic string, partition int, pid, seq uint64, frames []byte, count int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpProducePartF, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, pid)
+	fb.b = appendU64(fb.b, seq)
+	fb.b = appendFrameChunk(fb.b, frames, count)
+}
+
+// encodeReplicateFramesReq is encodeReplicateReq with the chunk shipped
+// as the verbatim frames the leader appended — the tentpole hop: what
+// the producer encoded is what the follower's disk receives.
+func encodeReplicateFramesReq(fb *frameBuf, corr, trace uint64, epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, frames []byte, count int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicateF, corr, trace)
+	fb.b = appendU64(fb.b, uint64(epoch))
+	fb.b = appendU16(fb.b, uint16(len(sender)))
+	fb.b = append(fb.b, sender...)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, uint64(base))
+	fb.b = appendU64(fb.b, uint64(committed))
+	fb.b = appendU32(fb.b, uint32(len(metas)))
+	for _, bm := range metas {
+		fb.b = appendU64(fb.b, bm.pid)
+		fb.b = appendU64(fb.b, bm.seq)
+		fb.b = appendU64(fb.b, uint64(bm.base))
+		fb.b = appendU64(fb.b, uint64(bm.end))
+	}
+	fb.b = appendFrameChunk(fb.b, frames, count)
+}
+
+// encodeFetchFramesReq asks for a fetch answered as a raw frame chunk.
+func encodeFetchFramesReq(fb *frameBuf, corr, trace uint64, topic string, partition int, offset int64, max int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpFetchF, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, uint64(offset))
+	if max < 0 {
+		max = 0
+	}
+	fb.b = appendU32(fb.b, uint32(max))
+}
+
+// encodeRFetchReq is the binary form of the "rfetch" replica catch-up
+// op: like a fetch but carrying the requesting replica's id (clamping
+// is by replica rules, not consumer rules) and answered as frames.
+func encodeRFetchReq(fb *frameBuf, corr, trace uint64, sender, topic string, partition int, offset int64, max int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpRFetchF, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(sender)))
+	fb.b = append(fb.b, sender...)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+	fb.b = appendU64(fb.b, uint64(offset))
+	if max < 0 {
+		max = 0
+	}
+	fb.b = appendU32(fb.b, uint32(max))
+}
+
+// encodeRHWMReq is the binary form of the "rhwm" replica watermark op.
+func encodeRHWMReq(fb *frameBuf, corr, trace uint64, sender, topic string, partition int) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpRHWMB, corr, trace)
+	fb.b = appendU16(fb.b, uint16(len(sender)))
+	fb.b = append(fb.b, sender...)
+	fb.b = appendU16(fb.b, uint16(len(topic)))
+	fb.b = append(fb.b, topic...)
+	fb.b = appendU32(fb.b, uint32(int32(partition)))
+}
+
 // ---- request decoding (server side) ----
 
 type binRequest struct {
@@ -367,6 +511,14 @@ type binRequest struct {
 	max       int
 	recs      []Record
 	jsonBody  []byte
+
+	// Raw-frame ops: the validated chunk (a view into the request
+	// buffer, valid until the next read on the connection) and its
+	// frame count. Whatever reaches a handler here has passed
+	// ValidateFrames — structure and CRC — so it is safe to append and
+	// forward verbatim.
+	frames []byte
+	count  int
 
 	// Cluster fields (producePart / replicate).
 	pid       uint64
@@ -433,10 +585,120 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 		req.recs = decodeRecordBatch(cur)
 	case binOpJSON:
 		req.jsonBody = cur.rest()
+	case binOpProduceF:
+		req.topic = cur.str(int(cur.u16()))
+		req.count, req.frames = decodeFrameChunk(cur)
+	case binOpProducePartF:
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.pid = cur.u64()
+		req.seq = cur.u64()
+		req.count, req.frames = decodeFrameChunk(cur)
+	case binOpReplicateF:
+		req.epoch = int64(cur.u64())
+		req.sender = cur.str(int(cur.u16()))
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.base = int64(cur.u64())
+		req.committed = int64(cur.u64())
+		nmetas := int(cur.u32())
+		if cur.err == nil && nmetas*32 > cur.remaining() {
+			return req, errTruncatedFrame
+		}
+		if cur.err == nil && nmetas > 0 {
+			req.metas = make([]batchMeta, nmetas)
+			for i := range req.metas {
+				req.metas[i] = batchMeta{
+					pid:  cur.u64(),
+					seq:  cur.u64(),
+					base: int64(cur.u64()),
+					end:  int64(cur.u64()),
+				}
+			}
+		}
+		req.count, req.frames = decodeFrameChunk(cur)
+	case binOpFetchF:
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.offset = int64(cur.u64())
+		req.max = int(cur.u32())
+	case binOpRFetchF:
+		req.sender = cur.str(int(cur.u16()))
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
+		req.offset = int64(cur.u64())
+		req.max = int(cur.u32())
+	case binOpRHWMB:
+		req.sender = cur.str(int(cur.u16()))
+		req.topic = cur.str(int(cur.u16()))
+		req.partition = int(int32(cur.u32()))
 	default:
 		return req, fmt.Errorf("broker: unknown binary op %d", req.op)
 	}
 	return req, cur.err
+}
+
+// decodeFrameChunk decodes a count-prefixed raw frame chunk, fully
+// validating it — structure and CRC of every frame, count matching the
+// prefix. This is the zero-copy path's single validation gate: a
+// corrupted or truncated chunk is rejected HERE, before any append or
+// forward, and everything downstream trusts the bytes structurally.
+func decodeFrameChunk(cur *wireCursor) (int, []byte) {
+	declared := int(cur.u32())
+	if cur.err != nil {
+		return 0, nil
+	}
+	if declared*minWireFrame > cur.remaining() {
+		cur.err = errTruncatedFrame
+		return 0, nil
+	}
+	frames := cur.rest()
+	cur.off = len(cur.b)
+	n, err := storage.ValidateFrames(frames)
+	if err != nil {
+		cur.err = err
+		return 0, nil
+	}
+	if n != declared {
+		cur.err = errTruncatedFrame
+		return 0, nil
+	}
+	return n, frames
+}
+
+// framesToRecords decodes a validated frame chunk of count records —
+// the consumer end of a frames fetch, and the compatibility bridge used
+// when a peer has not negotiated the frame ops and must be sent the
+// record encoding instead. Repeated keys are interned so a hot key
+// costs one allocation per chunk.
+func framesToRecords(frames []byte, count int, topic string, partition int, base int64) []Record {
+	recs := make([]Record, 0, count)
+	var intern map[string]string
+	it := storage.IterFrames(frames)
+	for i := 0; it.Next(); i++ {
+		kb, bits, nanos := storage.FrameFields(it.Payload())
+		key := ""
+		if len(kb) > 0 {
+			if intern == nil {
+				intern = make(map[string]string, 8)
+			}
+			s, ok := intern[string(kb)]
+			if !ok {
+				s = string(kb)
+				intern[s] = s
+			}
+			key = s
+		}
+		recs = append(recs, Record{
+			Topic:     topic,
+			Partition: partition,
+			Offset:    base + int64(i),
+			Key:       key,
+			Value:     math.Float64frombits(bits),
+			Time:      nanosToTime(nanos),
+		})
+	}
+	return recs
 }
 
 // decodeRecordBatch decodes a count-prefixed record batch, leaving the
@@ -523,6 +785,39 @@ func encodeHWMResp(fb *frameBuf, corr uint64, hwm int64) {
 	fb.b = appendU64(fb.b, uint64(hwm))
 }
 
+// encodeCountResp answers any produce-family op with the record count.
+func encodeCountResp(fb *frameBuf, op byte, corr uint64, n int) {
+	fb.b = appendBinRespHeader(fb.b[:0], op, corr, binStatusOK)
+	fb.b = appendU32(fb.b, uint32(n))
+}
+
+// encodeWatermarkResp answers any watermark-carrying op (replicateF,
+// rhwm) with an int64 watermark.
+func encodeWatermarkResp(fb *frameBuf, op byte, corr uint64, hwm int64) {
+	fb.b = appendBinRespHeader(fb.b[:0], op, corr, binStatusOK)
+	fb.b = appendU64(fb.b, uint64(hwm))
+}
+
+// beginFetchFramesResp opens a raw-frame fetch response — header, base
+// offset, count placeholder — and returns the index where the count is
+// patched once the frames are appended. The log's ReadFrames then
+// appends the chunk DIRECTLY onto fb.b: the response is assembled in
+// the server's pooled write buffer with no intermediate record slice or
+// scratch buffer at all.
+func beginFetchFramesResp(fb *frameBuf, op byte, corr uint64, base int64) int {
+	fb.b = appendBinRespHeader(fb.b[:0], op, corr, binStatusOK)
+	fb.b = appendU64(fb.b, uint64(base))
+	at := len(fb.b)
+	fb.b = appendU32(fb.b, 0)
+	return at
+}
+
+// patchFrameCount fills the count placeholder left by
+// beginFetchFramesResp.
+func patchFrameCount(fb *frameBuf, at, count int) {
+	binary.BigEndian.PutUint32(fb.b[at:], uint32(count))
+}
+
 func encodeJSONResp(fb *frameBuf, corr uint64, resp *wireResponse) error {
 	payload, err := json.Marshal(resp)
 	if err != nil {
@@ -594,4 +889,30 @@ func decodeFetchResp(cur *wireCursor, topic string, partition int) ([]Record, er
 		recs[i].Offset = base + int64(i)
 	}
 	return recs, cur.err
+}
+
+// decodeFetchFramesResp decodes a raw-frame fetch response into
+// records, re-verifying every frame's CRC — the consumer end of the
+// end-to-end integrity story: the CRC computed by the producing client
+// is checked against the bytes that came off the leader's storage, so
+// corruption at ANY hop (or on disk) surfaces as an error here rather
+// than as silently wrong values.
+func decodeFetchFramesResp(cur *wireCursor, topic string, partition int) ([]Record, error) {
+	base := int64(cur.u64())
+	count := int(cur.u32())
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	frames := cur.rest()
+	n, err := storage.ValidateFrames(frames)
+	if err != nil {
+		return nil, err
+	}
+	if n != count {
+		return nil, errTruncatedFrame
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return framesToRecords(frames, count, topic, partition, base), nil
 }

@@ -109,6 +109,15 @@ type NodeConfig struct {
 	// dead and drops out of the ISR — instead of wedging the leader's
 	// send window forever.
 	RPCTimeout time.Duration
+	// StateFlushEvery is the write-behind interval for the hot-path
+	// state.json rewrites (committed watermark + producer dedup table),
+	// default 25ms: produce and replicated-append mark the partition
+	// dirty and a background loop coalesces the rewrites. Control-plane
+	// transitions (rejoin truncation, takeover) still write
+	// synchronously, and under SyncEvery "always" every state write is
+	// synchronous — the acked-means-durable guarantee needs the
+	// watermark on disk before the ack.
+	StateFlushEvery time.Duration
 	// Logf, when set, receives membership and replication log lines.
 	Logf func(format string, args ...any)
 }
@@ -203,9 +212,16 @@ type ClusterNode struct {
 	followHWM   map[string]map[string]int64   // topic/partition -> follower -> last acked watermark
 	sendWin     map[string]chan struct{}      // follower id -> in-flight replicate slots
 	savers      map[string]*stateSaver
-	commitMus   map[string]*sync.Mutex // topic/partition -> group-commit round lock
-	probing     map[string]bool        // dead peers with a slow probe in flight
-	pendAlive   map[string]PeerStatus  // gossiped resurrections awaiting probe proof
+
+	stateMu    sync.Mutex
+	stateDirty map[string]tpRef // partitions awaiting a write-behind state flush
+
+	placeMu sync.RWMutex
+	place   map[string][]string // topic/partition -> cached rendezvous replica set
+
+	commitMus map[string]*sync.Mutex // topic/partition -> group-commit round lock
+	probing   map[string]bool        // dead peers with a slow probe in flight
+	pendAlive map[string]PeerStatus  // gossiped resurrections awaiting probe proof
 
 	syncing map[string]bool // topic/partition mid-takeover: no leadership yet
 
@@ -262,6 +278,9 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = 10 * time.Second
 	}
+	if cfg.StateFlushEvery <= 0 {
+		cfg.StateFlushEvery = 25 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -287,6 +306,8 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 		followHWM:  make(map[string]map[string]int64),
 		sendWin:    make(map[string]chan struct{}),
 		savers:     make(map[string]*stateSaver),
+		stateDirty: make(map[string]tpRef),
+		place:      make(map[string][]string),
 		commitMus:  make(map[string]*sync.Mutex),
 		probing:    make(map[string]bool),
 		pendAlive:  make(map[string]PeerStatus),
@@ -357,9 +378,10 @@ func (n *ClusterNode) ID() string { return n.cfg.ID }
 // Start launches the join handshake and the heartbeat loop. Safe to
 // call once, after the node's server is accepting connections.
 func (n *ClusterNode) Start() {
-	n.wg.Add(2)
+	n.wg.Add(3)
 	go n.joinLoop()
 	go n.heartbeatLoop()
+	go n.stateFlushLoop()
 }
 
 // Close stops heartbeating and closes peer connections.
@@ -377,7 +399,26 @@ func (n *ClusterNode) Close() {
 }
 
 func tpKey(topic string, partition int) string {
-	return fmt.Sprintf("%s/%d", topic, partition)
+	return topic + "/" + strconv.Itoa(partition)
+}
+
+// replicas returns the partition's static replica set, cached: with
+// static membership, rendezvous placement never changes for the life of
+// the node, and recomputing the hash ranking on every produce/replicate
+// is measurable on the hot path. Callers must not mutate the result.
+func (n *ClusterNode) replicas(topic string, partition int) []string {
+	tp := tpKey(topic, partition)
+	n.placeMu.RLock()
+	reps, ok := n.place[tp]
+	n.placeMu.RUnlock()
+	if ok {
+		return reps
+	}
+	reps = replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	n.placeMu.Lock()
+	n.place[tp] = reps
+	n.placeMu.Unlock()
+	return reps
 }
 
 // ---- membership view ----
@@ -907,27 +948,44 @@ func (n *ClusterNode) truncateDivergence(t string, p int, ldr string, committed 
 
 // pullCommitted drains the committed records this replica is missing
 // from a peer via replica-fetch, applying them through the idempotent
-// replicated-append path.
+// replicated-append path. Against a frames-dialect peer the rounds run
+// over the binary rfetch op: raw frame chunks, one buffer reused across
+// rounds, appended verbatim. The JSON control-dialect fetch remains as
+// the fallback for catch-up from an old peer.
 func (n *ClusterNode) pullCommitted(ldr, t string, p int) error {
 	cli, err := n.peerClient(ldr)
 	if err != nil {
 		return err
 	}
 	tp := tpKey(t, p)
+	var buf []byte
 	for {
 		local, err := n.b.HighWatermark(t, p)
 		if err != nil {
 			return err
 		}
-		recs, err := cli.replicaFetch(n.cfg.ID, t, p, local, 4096)
-		if err != nil {
-			return err
+		var frames []byte
+		var count int
+		if cli.supportsFrames() {
+			// replicaFetch always serves from the requested offset, so the
+			// chunk's base is `local` — frames carry no offsets of their own.
+			frames, count, err = cli.replicaFetchFrames(n.cfg.ID, t, p, local, 4096, buf[:0])
+			if err != nil {
+				return err
+			}
+		} else {
+			recs, err := cli.replicaFetch(n.cfg.ID, t, p, local, 4096)
+			if err != nil {
+				return err
+			}
+			frames, count = storage.AppendRecordFrames(buf[:0], recs), len(recs)
 		}
-		if len(recs) == 0 {
+		buf = frames[:0]
+		if count == 0 {
 			n.saveClusterState(t, p)
 			return nil
 		}
-		hwm, err := n.b.replicateAppend(t, p, recs[0].Offset, recs)
+		hwm, err := n.b.replicateAppendFrames(t, p, local, frames, count)
 		if err != nil {
 			return err
 		}
@@ -983,7 +1041,7 @@ func (n *ClusterNode) finishTakeovers(takeovers []takeover) {
 // While this node is joining, or mid-takeover of the partition, it
 // never claims leadership.
 func (n *ClusterNode) leaderFor(topic string, partition int) string {
-	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	reps := n.replicas(topic, partition)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, id := range reps {
@@ -1024,7 +1082,7 @@ func (n *ClusterNode) meta() *ClusterMeta {
 		}
 		ti := TopicInfo{Partitions: make([]PartitionInfo, parts)}
 		for p := 0; p < parts; p++ {
-			reps := replicasFor(t, p, n.members, n.cfg.Replicas)
+			reps := n.replicas(t, p)
 			leader := ""
 			for _, id := range reps {
 				if id == n.cfg.ID && (joining || syncing[tpKey(t, p)]) {
@@ -1142,14 +1200,24 @@ func (n *ClusterNode) metasInRange(tp string, from, to int64) []batchMeta {
 	return out
 }
 
-// producePart is the leader-side handling of a partitioned produce:
-// dedup by (pid, seq), append locally, replicate, ack once MinISR
-// (shrunk to the live replica count) replicas hold it. Only the
+// producePart is the record-typed produce-partition entry point; it
+// encodes the batch into wire/disk frames once and delegates to the
+// frame-blind primary path below.
+func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
+	return n.producePartFrames(trace, topic, partition, pid, seq, storage.AppendRecordFrames(nil, recs), len(recs))
+}
+
+// producePartFrames is the leader-side handling of a partitioned
+// produce, operating on a validated frame chunk: dedup by (pid, seq),
+// append the bytes verbatim, replicate the same bytes, ack once MinISR
+// (shrunk to the live replica count) replicas hold them. The chunk is
+// never re-encoded — the CRCs computed where the bytes entered the
+// process travel to disk and to every follower untouched. Only the
 // dedup-check + append runs under the partition lock; replication is
 // pipelined across in-flight batches. trace is the producer request's
 // trace ID, forwarded on every replicate so a follower's wire log shows
 // the same ID the edge minted (0 = untraced).
-func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid, seq uint64, recs []Record) (int, error) {
+func (n *ClusterNode) producePartFrames(trace uint64, topic string, partition int, pid, seq uint64, frames []byte, count int) (int, error) {
 	ldr := n.leaderFor(topic, partition)
 	if ldr == "" {
 		return 0, ErrNoReplica
@@ -1164,7 +1232,6 @@ func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid
 	n.markLeading(pl, topic, partition)
 	tp := tpKey(topic, partition)
 
-	count := len(recs)
 	var base, end int64
 	redrive := false
 	pl.mu.Lock()
@@ -1186,7 +1253,7 @@ func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid
 		}
 	}
 	if !redrive {
-		base, err = n.b.producePartition(topic, partition, recs)
+		base, err = n.b.producePartitionFrames(topic, partition, frames, count)
 		if err != nil {
 			pl.mu.Unlock()
 			return 0, err
@@ -1196,14 +1263,20 @@ func (n *ClusterNode) producePart(trace uint64, topic string, partition int, pid
 	}
 	pl.mu.Unlock()
 	if redrive {
-		if recs, err = n.b.Fetch(topic, partition, base, int(end-base)); err != nil {
+		// The retried batch is already in the log; re-read its exact
+		// frames and drive replication again.
+		var fn int
+		if frames, fn, err = n.b.FetchFrames(topic, partition, base, int(end-base), nil); err != nil {
 			return 0, err
 		}
+		if int64(fn) < end-base {
+			return 0, fmt.Errorf("broker: redrive short read at %d", base)
+		}
 	}
-	if err := n.replicateOut(trace, pl, topic, partition, base, end, recs); err != nil {
+	if err := n.replicateOut(trace, pl, topic, partition, base, end, frames); err != nil {
 		return 0, err
 	}
-	n.saveClusterState(topic, partition)
+	n.noteStateDirty(topic, partition)
 	return count, nil
 }
 
@@ -1222,51 +1295,74 @@ func (n *ClusterNode) sendSlot(id string) func() {
 	return func() { <-win }
 }
 
-// replicateOut pushes [base, end) to every live follower replica —
-// concurrently, so the wait is the slowest single follower, not the
-// sum — and advances the committed watermark once enough replicas
-// acked.
-func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, partition int, base, end int64, recs []Record) error {
-	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+// replicateOut pushes the frame chunk covering [base, end) to every
+// live follower replica — concurrently, so the wait is the slowest
+// single follower, not the sum — and advances the committed watermark
+// once enough replicas acked. The chunk ships byte-for-byte as it was
+// appended locally; followers re-verify its CRCs at their wire decode.
+func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, partition int, base, end int64, frames []byte) error {
+	reps := n.replicas(topic, partition)
 	acks, live := 1, 1
 	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	// push replicates to one follower and returns nil on ack. The
+	// failure-detector bookkeeping happens here; the caller tallies.
+	push := func(id string) error {
+		release := n.sendSlot(id)
+		err := n.pushToFollower(trace, pl, id, topic, partition, base, end, frames)
+		release()
+		if err != nil {
+			// Only TRANSPORT failures feed the failure detector. An
+			// answered rejection (fencing, unknown topic, ...) proves
+			// the peer is alive — a deposed leader must not "detect"
+			// the healthy majority as dead off its own fenced pushes.
+			if isRemoteErr(err) {
+				n.markAlive(id)
+			} else {
+				n.markFailure(id, err)
+			}
+			return err
+		}
+		n.markAlive(id)
+		return nil
+	}
+	targets := make([]string, 0, len(reps))
 	for _, id := range reps {
 		if id == n.cfg.ID || n.isDead(id) {
 			continue
 		}
 		live++
-		wg.Add(1)
-		go func(id string) {
-			defer wg.Done()
-			release := n.sendSlot(id)
-			err := n.pushToFollower(trace, pl, id, topic, partition, base, end, recs)
-			release()
-			if err != nil {
-				// Only TRANSPORT failures feed the failure detector. An
-				// answered rejection (fencing, unknown topic, ...) proves
-				// the peer is alive — a deposed leader must not "detect"
-				// the healthy majority as dead off its own fenced pushes.
-				if isRemoteErr(err) {
-					n.markAlive(id)
-				} else {
-					n.markFailure(id, err)
-				}
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			n.markAlive(id)
-			mu.Lock()
-			acks++
-			mu.Unlock()
-		}(id)
+		targets = append(targets, id)
 	}
-	wg.Wait()
+	if len(targets) == 1 {
+		// RF2 fast path: one follower means no fan-out to overlap, so
+		// push inline and skip the goroutine spawn plus two scheduler
+		// handoffs that a spawn-and-wait would cost on every batch.
+		if err := push(targets[0]); err != nil {
+			firstErr = err
+		} else {
+			acks++
+		}
+	} else if len(targets) > 1 {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, id := range targets {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				err := push(id)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				acks++
+			}(id)
+		}
+		wg.Wait()
+	}
 	need := n.cfg.MinISR
 	if live < need {
 		need = live
@@ -1283,14 +1379,16 @@ func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, par
 	return nil
 }
 
-// pushToFollower replicates [base, end) to one follower, backfilling
-// from the follower's own watermark when it is behind (restart, missed
-// round, or interleaved batches). Each chunk ships the journal entries
+// pushToFollower replicates the frame chunk covering [base, end) to
+// one follower, backfilling from the follower's own watermark when it
+// is behind (restart, missed round, or interleaved batches) — the
+// backfill bytes are read straight out of the local segment chunks,
+// never decoded into records. Each chunk ships the journal entries
 // covering its range, so the follower's dedup table tracks every
 // producer whose records it receives, plus the leader's committed
 // watermark, which the follower persists as its restart truncation
 // point.
-func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic string, partition int, base, end int64, recs []Record) error {
+func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic string, partition int, base, end int64, frames []byte) error {
 	cli, err := n.peerClient(id)
 	if err != nil {
 		return err
@@ -1299,9 +1397,10 @@ func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic strin
 	epoch := n.epoch
 	n.mu.Unlock()
 	tp := tpKey(topic, partition)
+	count := int(end - base)
 	for tries := 0; tries < 8; tries++ {
-		metas := n.metasInRange(tp, base, base+int64(len(recs)))
-		hwm, err := cli.replicate(trace, epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, recs)
+		metas := n.metasInRange(tp, base, end)
+		hwm, err := cli.replicate(trace, epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, frames, count)
 		if err != nil {
 			if !isRemoteErr(err) {
 				n.dropConn(id, cli) // transport failure: the conn is suspect
@@ -1312,14 +1411,14 @@ func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic strin
 		if hwm >= end {
 			return nil
 		}
-		fill, err := n.b.Fetch(topic, partition, hwm, int(end-hwm))
+		fill, fn, err := n.b.FetchFrames(topic, partition, hwm, int(end-hwm), nil)
 		if err != nil {
 			return err
 		}
-		if int64(len(fill)) < end-hwm {
+		if int64(fn) < end-hwm {
 			return fmt.Errorf("broker: backfill short read at %d", hwm)
 		}
-		base, recs = hwm, fill
+		base, frames, count = hwm, fill, fn
 	}
 	return fmt.Errorf("broker: replication to %s did not converge", id)
 }
@@ -1369,7 +1468,7 @@ func (n *ClusterNode) Ready() error {
 // liveReplicas counts the partition's replicas alive in this node's
 // view (counting this node itself).
 func (n *ClusterNode) liveReplicas(topic string, partition int) int {
-	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	reps := n.replicas(topic, partition)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	live := 0
@@ -1510,6 +1609,63 @@ func (n *ClusterNode) produceRouted(trace uint64, topicName string, recs []Recor
 	return total, nil
 }
 
+// produceRoutedFrames is the frames-dialect routed produce: frames are
+// split at their structural boundaries by the key read in place, and
+// each partition's chunk travels to its leader verbatim — locally as a
+// frame append, remotely over the frame-blind produce-partition op.
+func (n *ClusterNode) produceRoutedFrames(trace uint64, topicName string, frames []byte, count int) (int, error) {
+	t, err := n.b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if len(t.partitions) == 1 {
+		return n.routeChunk(trace, topicName, 0, frames, count)
+	}
+	byPart := make([][]byte, len(t.partitions))
+	counts := make([]int, len(t.partitions))
+	it := storage.IterFrames(frames)
+	for it.Next() {
+		p := t.partitionForBytes(storage.FrameKey(it.Payload()))
+		byPart[p] = append(byPart[p], it.Frame()...)
+		counts[p]++
+	}
+	if err := it.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for p := range byPart {
+		if counts[p] == 0 {
+			continue
+		}
+		if _, err := n.routeChunk(trace, topicName, p, byPart[p], counts[p]); err != nil {
+			return total, err
+		}
+		total += counts[p]
+	}
+	return total, nil
+}
+
+// routeChunk delivers one partition's frame chunk to its leader.
+func (n *ClusterNode) routeChunk(trace uint64, topic string, p int, frames []byte, count int) (int, error) {
+	ldr := n.leaderFor(topic, p)
+	switch {
+	case ldr == "":
+		return 0, ErrNoReplica
+	case ldr == n.cfg.ID:
+		return n.producePartFrames(trace, topic, p, 0, 0, frames, count)
+	default:
+		cli, err := n.peerClient(ldr)
+		if err != nil {
+			return 0, err
+		}
+		nn, err := cli.producePartitionFrames(topic, p, 0, 0, frames, count)
+		if err != nil && !isRemoteErr(err) {
+			n.dropConn(ldr, cli)
+		}
+		return nn, err
+	}
+}
+
 // fetch serves a consumer read: leaders only, and only up to the
 // committed watermark, so no consumer can observe records a failover
 // might lose.
@@ -1532,6 +1688,30 @@ func (n *ClusterNode) fetch(topic string, partition int, offset int64, max int) 
 		max = int(committed - offset)
 	}
 	return n.b.Fetch(topic, partition, offset, max)
+}
+
+// fetchFrames is fetch for a frames-dialect consumer: the committed
+// clamp is identical, but the payload is appended onto buf straight
+// from the log's segment chunks — no record is materialized.
+func (n *ClusterNode) fetchFrames(topic string, partition int, offset int64, max int, buf []byte) ([]byte, int, error) {
+	pl, err := n.leaderState(topic, partition)
+	if err != nil {
+		return buf, 0, err
+	}
+	committed := pl.committed.Load()
+	if offset >= committed {
+		if offset < 0 {
+			return buf, 0, ErrOffsetOutOfRange
+		}
+		return buf, 0, nil
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	if int64(max) > committed-offset {
+		max = int(committed - offset)
+	}
+	return n.b.FetchFrames(topic, partition, offset, max, buf)
 }
 
 // hwm serves the consumer-visible high watermark: the committed offset.
@@ -1626,6 +1806,35 @@ func (n *ClusterNode) replicaFetch(sender, topic string, partition int, offset i
 	return n.b.Fetch(topic, partition, offset, max)
 }
 
+// replicaFetchFrames is replicaFetch over the binary rfetch framing:
+// catch-up bytes ship verbatim from the serving replica's segments,
+// CRC-checked by the puller at its wire decode before they are
+// re-appended.
+func (n *ClusterNode) replicaFetchFrames(sender, topic string, partition int, offset int64, max int, buf []byte) ([]byte, int, error) {
+	if _, ok := n.cfg.Peers[sender]; !ok {
+		return buf, 0, fmt.Errorf("broker: replica fetch from non-member %q", sender)
+	}
+	if parts, err := n.b.Partitions(topic); err != nil {
+		return buf, 0, err
+	} else if partition < 0 || partition >= parts {
+		return buf, 0, ErrBadPartition
+	}
+	committed := n.replicaCommitted(topic, partition)
+	if offset >= committed {
+		if offset < 0 {
+			return buf, 0, ErrOffsetOutOfRange
+		}
+		return buf, 0, nil
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	if int64(max) > committed-offset {
+		max = int(committed - offset)
+	}
+	return n.b.FetchFrames(topic, partition, offset, max, buf)
+}
+
 // replicaHWM answers a member's query for this node's committed
 // watermark of a partition, leadership-independent.
 func (n *ClusterNode) replicaHWM(sender, topic string, partition int) (int64, error) {
@@ -1640,8 +1849,17 @@ func (n *ClusterNode) replicaHWM(sender, topic string, partition int) (int64, er
 	return n.replicaCommitted(topic, partition), nil
 }
 
-// applyReplicate is the follower-side handling of a replicated chunk.
+// applyReplicate is the record-typed replicate entry point (old-dialect
+// leaders); it encodes the batch into frames once and delegates.
 func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, recs []Record) (int64, error) {
+	return n.applyReplicateFrames(epoch, sender, topic, partition, base, committed, metas, storage.AppendRecordFrames(nil, recs), len(recs))
+}
+
+// applyReplicateFrames is the follower-side handling of a replicated
+// frame chunk: after the epoch/membership fencing, the bytes — already
+// CRC-verified at the wire decode — land in the log verbatim through
+// the idempotent frame append.
+func (n *ClusterNode) applyReplicateFrames(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, frames []byte, count int) (int64, error) {
 	n.mu.Lock()
 	if n.joining {
 		n.mu.Unlock()
@@ -1656,7 +1874,7 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 		n.epoch = epoch
 	}
 	n.mu.Unlock()
-	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	reps := n.replicas(topic, partition)
 	isReplica := false
 	for _, id := range reps {
 		if id == sender {
@@ -1676,7 +1894,7 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 		pl.leading.Store(false)
 	}
 	n.mu.Unlock()
-	hwm, err := n.b.replicateAppend(topic, partition, base, recs)
+	hwm, err := n.b.replicateAppendFrames(topic, partition, base, frames, count)
 	if err != nil {
 		return 0, err
 	}
@@ -1701,8 +1919,8 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 		n.remoteHWM[tp] = committed
 	}
 	n.mu.Unlock()
-	if advanced || len(recs) > 0 {
-		n.saveClusterState(topic, partition)
+	if advanced || count > 0 {
+		n.noteStateDirty(topic, partition)
 	}
 	return hwm, nil
 }
@@ -1729,7 +1947,7 @@ func (n *ClusterNode) commitGroup(group, topic string, partition int, offset int
 	if err := n.b.Commit(group, topic, partition, offset); err != nil {
 		return err
 	}
-	reps := replicasFor(topic, partition, n.members, n.cfg.Replicas)
+	reps := n.replicas(topic, partition)
 	n.mu.Lock()
 	epoch := n.epoch
 	n.mu.Unlock()
@@ -1823,6 +2041,68 @@ func (n *ClusterNode) applyGroupCommit(epoch int64, sender, group, topic string,
 }
 
 // ---- persisted cluster state ----
+
+// tpRef names one partition in the dirty-state set.
+type tpRef struct {
+	topic     string
+	partition int
+}
+
+// noteStateDirty schedules a partition's cluster state for the next
+// write-behind flush: the hot data path (produce acks, replicated
+// appends) marks instead of rewriting state.json per batch, so a burst
+// of watermark advances coalesces into one write per StateFlushEvery.
+// Under SyncEvery "always" the write happens inline — there the acked
+// batch must be recoverable, which requires the committed watermark on
+// disk before the ack returns. Control-plane transitions (rejoin
+// truncation, takeover completion) keep calling saveClusterState
+// directly: they are rare and their persisted state gates correctness
+// of the next restart.
+func (n *ClusterNode) noteStateDirty(topic string, partition int) {
+	if n.b.Dir() == "" {
+		return
+	}
+	if n.b.syncAlways() {
+		n.saveClusterState(topic, partition)
+		return
+	}
+	n.stateMu.Lock()
+	n.stateDirty[tpKey(topic, partition)] = tpRef{topic: topic, partition: partition}
+	n.stateMu.Unlock()
+}
+
+// flushDirtyState writes every partition state marked since the last
+// flush.
+func (n *ClusterNode) flushDirtyState() {
+	n.stateMu.Lock()
+	if len(n.stateDirty) == 0 {
+		n.stateMu.Unlock()
+		return
+	}
+	dirty := n.stateDirty
+	n.stateDirty = make(map[string]tpRef)
+	n.stateMu.Unlock()
+	for _, ref := range dirty {
+		n.saveClusterState(ref.topic, ref.partition)
+	}
+}
+
+// stateFlushLoop drains the dirty set every StateFlushEvery, and once
+// more on shutdown so a clean Close loses no watermark advance.
+func (n *ClusterNode) stateFlushLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StateFlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			n.flushDirtyState()
+			return
+		case <-t.C:
+			n.flushDirtyState()
+		}
+	}
+}
 
 func (n *ClusterNode) saver(tp string) *stateSaver {
 	n.mu.Lock()

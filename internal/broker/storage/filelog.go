@@ -407,6 +407,70 @@ func (l *FileLog) Append(recs []Record) (int64, error) {
 	return base, nil
 }
 
+// AppendFrames implements Log: write the pre-validated frame chunk
+// verbatim, segment by segment — the frame layout IS the segment
+// layout, so replication lands follower appends with zero re-encoding,
+// just header walks for the sparse index and one WriteAt per segment.
+func (l *FileLog) AppendFrames(frames []byte, count int) (int64, error) {
+	if err := checkFrameCount(frames, count); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrLogClosed
+	}
+	base := l.n
+	for rest, remaining := frames, count; remaining > 0; {
+		seg := l.tailSegment()
+		if seg == nil || seg.count >= l.cfg.SegmentRecords {
+			var err error
+			if seg, err = l.newSegment(l.n); err != nil {
+				return 0, err
+			}
+		}
+		take := l.cfg.SegmentRecords - seg.count
+		if take > remaining {
+			take = remaining
+		}
+		pos := seg.size
+		nbytes := 0
+		for i := 0; i < take; i++ {
+			if seg.count%indexEvery == 0 {
+				seg.index = append(seg.index, pos+int64(nbytes))
+			}
+			nbytes += frameHdrLen + int(binary.BigEndian.Uint32(rest[nbytes:]))
+			seg.count++
+		}
+		if _, err := seg.f.WriteAt(rest[:nbytes], pos); err != nil {
+			// Same rollback contract as Append: cut back to the
+			// pre-append watermark so a retry cannot duplicate the
+			// chunk's first records.
+			seg.count -= take
+			for len(seg.index) > 0 && seg.index[len(seg.index)-1] >= pos {
+				seg.index = seg.index[:len(seg.index)-1]
+			}
+			werr := fmt.Errorf("storage: append: %w", err)
+			if rbErr := l.truncateToLocked(base); rbErr != nil {
+				return 0, fmt.Errorf("%w (rollback also failed: %v)", werr, rbErr)
+			}
+			return 0, werr
+		}
+		seg.size = pos + int64(nbytes)
+		seg.dirty = true
+		l.n += int64(take)
+		rest = rest[nbytes:]
+		remaining -= take
+	}
+	l.dirty = true
+	if l.cfg.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return base, nil
+}
+
 func (l *FileLog) tailSegment() *segment {
 	if len(l.segs) == 0 {
 		return nil
@@ -507,6 +571,92 @@ func (s *segment) read(offset, end int64) ([]Record, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// ReadFrames implements Log: append the requested records' frames onto
+// buf exactly as stored — header, CRC, payload — without decoding. The
+// CRC is NOT re-verified here; it rides along for the consumer (or the
+// rejoining follower) to verify at its own decode boundary, so disk
+// corruption is caught end to end rather than trusted after one hop.
+func (l *FileLog) ReadFrames(offset int64, max int, buf []byte) ([]byte, int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return buf, 0, ErrLogClosed
+	}
+	if offset < 0 || offset > l.n {
+		return buf, 0, ErrOffsetOutOfRange
+	}
+	if max < 0 {
+		max = 0
+	}
+	end := offset + int64(max)
+	if end > l.n {
+		end = l.n
+	}
+	if offset == end {
+		return buf, 0, nil
+	}
+	if len(l.segs) == 0 || offset < l.segs[0].base {
+		return buf, 0, ErrOffsetOutOfRange // truncated-away prefix
+	}
+	count := 0
+	si := sort.Search(len(l.segs), func(i int) bool { return l.segs[i].base > offset }) - 1
+	for at := offset; at < end; si++ {
+		seg := l.segs[si]
+		var n int
+		var err error
+		buf, n, err = seg.readFrames(at, end, buf)
+		if err != nil {
+			return buf, count, err
+		}
+		count += n
+		at = seg.base + int64(seg.count)
+	}
+	return buf, count, nil
+}
+
+// readFrames appends the frames of [offset, end) that live in this
+// segment onto buf, returning the extended buffer and the frame count.
+func (s *segment) readFrames(offset, end int64, buf []byte) ([]byte, int, error) {
+	stop := s.base + int64(s.count)
+	if end < stop {
+		stop = end
+	}
+	rel := offset - s.base
+	ie := rel / indexEvery
+	if ie >= int64(len(s.index)) {
+		return buf, 0, fmt.Errorf("storage: sparse index short for offset %d", offset)
+	}
+	pos := s.index[ie]
+	skip := rel % indexEvery
+	br := bufio.NewReaderSize(io.NewSectionReader(s.f, pos, s.size-pos), 32<<10)
+	count := 0
+	var hdr [frameHdrLen]byte
+	for at := offset - skip; at < stop; at++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return buf, count, fmt.Errorf("storage: read frame at %d: %w", at, err)
+		}
+		plen := int(binary.BigEndian.Uint32(hdr[:4]))
+		if plen > maxFramePayload {
+			return buf, count, fmt.Errorf("storage: corrupt frame length at %d", at)
+		}
+		if at < offset {
+			// Skipping from the sparse-index anchor.
+			if _, err := br.Discard(plen); err != nil {
+				return buf, count, fmt.Errorf("storage: read frame at %d: %w", at, err)
+			}
+			continue
+		}
+		buf = append(buf, hdr[:]...)
+		fill := len(buf)
+		buf = growBytes(buf, plen)
+		if _, err := io.ReadFull(br, buf[fill:]); err != nil {
+			return buf[:fill-frameHdrLen], count, fmt.Errorf("storage: read frame at %d: %w", at, err)
+		}
+		count++
+	}
+	return buf, count, nil
 }
 
 // HighWatermark implements Log.

@@ -10,10 +10,16 @@
 // appended records — a record's offset IS its position, so reads never
 // scan — and supports truncation from the tail, which the cluster layer
 // uses to discard a rejoining replica's divergent uncommitted records.
+//
+// Both implementations store records as CRC frames in the segment
+// layout (see FileLog and frames.go), so the raw-frame surface —
+// AppendFrames / ReadFrames — is a straight memcpy against storage: the
+// zero-copy produce/replicate/fetch paths ship those bytes verbatim.
 package storage
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"time"
 )
@@ -42,9 +48,20 @@ var (
 // TruncateTo discards every record at offset >= hwm (a no-op when the
 // log is already shorter); the next append continues at hwm. Sync
 // forces buffered appends to stable storage (a no-op for MemLog).
+//
+// The raw-frame surface is the zero-copy fast path. AppendFrames
+// appends a chunk of count CRC-framed records verbatim; the caller
+// vouches for the CRCs (ValidateFrames at the wire boundary), and the
+// log re-walks only the structure to find record boundaries, so a
+// structurally corrupt chunk is rejected whole before any mutation.
+// ReadFrames appends up to max records' frames onto buf and returns the
+// extended buffer and the record count — the bytes are exactly what
+// AppendFrames (or Append) stored, CRCs included.
 type Log interface {
 	Append(recs []Record) (int64, error)
+	AppendFrames(frames []byte, count int) (int64, error)
 	Read(offset int64, max int) ([]Record, error)
+	ReadFrames(offset int64, max int, buf []byte) ([]byte, int, error)
 	HighWatermark() int64
 	TruncateTo(hwm int64) error
 	Sync() error
@@ -55,46 +72,110 @@ type Log interface {
 // mirrored by FileLog's default segment capacity.
 const memChunkSize = 4096
 
-// MemLog is the in-memory Log: fixed-capacity chunks, bulk appends into
-// the tail chunk (never reallocating earlier history, unlike a single
-// growing slice), and reads that locate their chunk by division and
-// bulk-copy out. It is the implementation behind broker.New() and
-// `brokerd -data-dir ""`.
-type MemLog struct {
-	mu     sync.RWMutex
-	chunks [][]Record
-	n      int64 // total records; the high watermark
+// memChunk is one fixed-capacity chunk of encoded frames: buf holds up
+// to memChunkSize consecutive frames, ends[i] is the byte offset in buf
+// just past frame i (so frame i spans buf[ends[i-1]:ends[i]]).
+type memChunk struct {
+	buf  []byte
+	ends []int
 }
 
-// NewMemLog returns an empty in-memory log. The optional base is the
-// offset the first append starts at (used after a truncate-everything).
+// MemLog is the in-memory Log: fixed-capacity chunks of ENCODED frames
+// (the same CRC framing FileLog writes to disk), bulk appends into the
+// tail chunk (never reallocating earlier history, unlike a single
+// growing slice), and reads that locate their chunk by division. It is
+// the implementation behind broker.New() and `brokerd -data-dir ""`.
+//
+// Storing frames rather than Record structs is what makes the raw-frame
+// surface zero-copy in memory too: AppendFrames and ReadFrames are
+// memcpys, and a fetch response is assembled without touching a Record.
+type MemLog struct {
+	mu     sync.RWMutex
+	chunks []*memChunk
+	n      int64 // total records; the high watermark
+
+	// topic/partition are stamped onto records decoded by Read,
+	// mirroring FileConfig.Topic/Partition (frames don't store them).
+	topic     string
+	partition int
+}
+
+// NewMemLog returns an empty in-memory log.
 func NewMemLog() *MemLog { return &MemLog{} }
 
-// Append implements Log.
+// NewMemLogFor returns an empty in-memory log that stamps topic and
+// partition onto records returned by Read, like FileLog does from its
+// FileConfig (the frames themselves never store either).
+func NewMemLogFor(topic string, partition int) *MemLog {
+	return &MemLog{topic: topic, partition: partition}
+}
+
+// tailChunk returns the chunk accepting the next append (mu held). A
+// fresh chunk preallocates its frame buffer to the size the previous
+// chunk ended at — under a steady record shape the buffer never
+// regrows, so appends are single memcpys instead of repeated
+// reallocation copies.
+func (m *MemLog) tailChunk() *memChunk {
+	if k := len(m.chunks); k == 0 || len(m.chunks[k-1].ends) == memChunkSize {
+		hint := 0
+		if k > 0 {
+			hint = len(m.chunks[k-1].buf)
+		}
+		m.chunks = append(m.chunks, &memChunk{buf: make([]byte, 0, hint), ends: make([]int, 0, memChunkSize)})
+	}
+	return m.chunks[len(m.chunks)-1]
+}
+
+// Append implements Log: encode each record as a CRC frame into the
+// tail chunk, rolling to a fresh chunk at capacity.
 func (m *MemLog) Append(recs []Record) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	base := m.n
 	for i := range recs {
 		recs[i].Offset = base + int64(i)
-	}
-	for rest := recs; len(rest) > 0; {
-		if len(m.chunks) == 0 || len(m.chunks[len(m.chunks)-1]) == memChunkSize {
-			m.chunks = append(m.chunks, make([]Record, 0, memChunkSize))
-		}
-		tail := len(m.chunks) - 1
-		take := memChunkSize - len(m.chunks[tail])
-		if take > len(rest) {
-			take = len(rest)
-		}
-		m.chunks[tail] = append(m.chunks[tail], rest[:take]...)
-		rest = rest[take:]
+		c := m.tailChunk()
+		c.buf = encodeFrame(c.buf, &recs[i])
+		c.ends = append(c.ends, len(c.buf))
 	}
 	m.n = base + int64(len(recs))
 	return base, nil
 }
 
-// Read implements Log.
+// AppendFrames implements Log: memcpy the pre-validated chunk into the
+// tail chunks — one bulk copy per run of frames landing in the same
+// chunk (a per-frame append would pay a slice regrow on every record),
+// with a cheap header walk to record the frame boundaries.
+func (m *MemLog) AppendFrames(frames []byte, count int) (int64, error) {
+	if err := checkFrameCount(frames, count); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := m.n
+	rest := frames
+	for remaining := count; remaining > 0; {
+		c := m.tailChunk()
+		take := memChunkSize - len(c.ends)
+		if take > remaining {
+			take = remaining
+		}
+		off := len(c.buf)
+		nbytes := 0
+		for i := 0; i < take; i++ {
+			nbytes += frameSize(rest[nbytes:])
+			c.ends = append(c.ends, off+nbytes)
+		}
+		c.buf = append(c.buf, rest[:nbytes]...)
+		rest = rest[nbytes:]
+		remaining -= take
+	}
+	m.n = base + int64(count)
+	return base, nil
+}
+
+// Read implements Log: decode the requested frames back into records,
+// interning repeated keys so a hot key costs one allocation per read.
 func (m *MemLog) Read(offset int64, max int) ([]Record, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -112,20 +193,88 @@ func (m *MemLog) Read(offset int64, max int) ([]Record, error) {
 	if offset < base {
 		return nil, ErrOffsetOutOfRange
 	}
-	out := make([]Record, end-offset)
-	for filled := int64(0); offset+filled < end; {
-		at := offset + filled - base
-		chunk := m.chunks[at/memChunkSize]
-		filled += int64(copy(out[filled:], chunk[at%memChunkSize:]))
+	out := make([]Record, 0, end-offset)
+	var intern map[string]string
+	for at := offset; at < end; {
+		rel := at - base
+		c := m.chunks[rel/memChunkSize]
+		for ri := int(rel % memChunkSize); ri < len(c.ends) && at < end; ri++ {
+			start := 0
+			if ri > 0 {
+				start = c.ends[ri-1]
+			}
+			payload := c.buf[start+frameHdrLen : c.ends[ri]]
+			kb, bits, nanos := FrameFields(payload)
+			key := ""
+			if len(kb) > 0 {
+				if intern == nil {
+					intern = make(map[string]string, 8)
+				}
+				s, ok := intern[string(kb)]
+				if !ok {
+					s = string(kb)
+					intern[s] = s
+				}
+				key = s
+			}
+			out = append(out, Record{
+				Topic:     m.topic,
+				Partition: m.partition,
+				Offset:    at,
+				Key:       key,
+				Value:     math.Float64frombits(bits),
+				Time:      TimeFromNanos(nanos),
+			})
+			at++
+		}
 	}
 	return out, nil
+}
+
+// ReadFrames implements Log: bulk-copy the requested frames onto buf —
+// whole runs per chunk, no per-record work at all.
+func (m *MemLog) ReadFrames(offset int64, max int, buf []byte) ([]byte, int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if offset < 0 || offset > m.n {
+		return buf, 0, ErrOffsetOutOfRange
+	}
+	if max < 0 {
+		max = 0
+	}
+	end := offset + int64(max)
+	if end > m.n {
+		end = m.n
+	}
+	base := m.base()
+	if offset < base {
+		return buf, 0, ErrOffsetOutOfRange
+	}
+	count := 0
+	for at := offset; at < end; {
+		rel := at - base
+		c := m.chunks[rel/memChunkSize]
+		ri := int(rel % memChunkSize)
+		take := len(c.ends) - ri
+		if int64(take) > end-at {
+			take = int(end - at)
+		}
+		start := 0
+		if ri > 0 {
+			start = c.ends[ri-1]
+		}
+		buf = append(buf, c.buf[start:c.ends[ri+take-1]]...)
+		count += take
+		at += int64(take)
+	}
+	return buf, count, nil
 }
 
 // base returns the offset of the first held record (mu held).
 func (m *MemLog) base() int64 {
 	held := int64(0)
 	for _, c := range m.chunks {
-		held += int64(len(c))
+		held += int64(len(c.ends))
 	}
 	return m.n - held
 }
@@ -154,11 +303,13 @@ func (m *MemLog) TruncateTo(hwm int64) error {
 		return nil
 	}
 	keep := hwm - base
-	full := keep / memChunkSize
-	rem := keep % memChunkSize
+	full := int(keep / memChunkSize)
+	rem := int(keep % memChunkSize)
 	chunks := m.chunks[:full]
 	if rem > 0 {
-		tail := m.chunks[full][:rem]
+		tail := m.chunks[full]
+		tail.buf = tail.buf[:tail.ends[rem-1]]
+		tail.ends = tail.ends[:rem]
 		chunks = append(chunks, tail)
 	}
 	m.chunks = chunks

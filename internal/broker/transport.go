@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -176,6 +177,9 @@ type Server struct {
 // dialect equivalent.
 const opReplicate = "replicate"
 
+// errNotClusterMember rejects cluster-only ops on a solo server.
+var errNotClusterMember = errors.New("broker: not a cluster member")
+
 // serverInstruments is the wire-dispatch instrumentation: one request
 // counter and one latency histogram per op, resolved from the registry
 // once at startup. A nil *serverInstruments is valid and free, so the
@@ -219,19 +223,27 @@ func (si *serverInstruments) observe(op string, start time.Time) {
 	si.lat[op].Observe(time.Since(start).Seconds())
 }
 
-// binOpName maps a binary op code to its metric/log label.
+// binOpName maps a binary op code to its metric/log label. The
+// raw-frame ops share their record-op labels on purpose: they are the
+// same logical operation in a faster encoding, and keeping the label
+// set stable keeps dashboards and rate() queries comparable across the
+// codec migration.
 func binOpName(op byte) string {
 	switch op {
-	case binOpProduce:
+	case binOpProduce, binOpProduceF:
 		return opProduce
-	case binOpFetch:
+	case binOpFetch, binOpFetchF:
 		return opFetch
 	case binOpHWM:
 		return opHWM
-	case binOpProducePart:
+	case binOpProducePart, binOpProducePartF:
 		return opProducePart
-	case binOpReplicate:
+	case binOpReplicate, binOpReplicateF:
 		return opReplicate
+	case binOpRFetchF:
+		return opRFetch
+	case binOpRHWMB:
+		return opRHWM
 	case binOpJSON:
 		return "json"
 	}
@@ -463,6 +475,80 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 		} else {
 			encodeHWMResp(out, req.corr, hwm)
 		}
+	case binOpProduceF:
+		var n int
+		var err error
+		if node != nil {
+			n, err = node.produceRoutedFrames(req.trace, req.topic, req.frames, req.count)
+		} else {
+			n, err = s.broker.ProduceFrames(req.topic, req.frames, req.count)
+		}
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeCountResp(out, req.op, req.corr, n)
+		}
+	case binOpProducePartF:
+		var n int
+		var err error
+		if node != nil {
+			n, err = node.producePartFrames(req.trace, req.topic, req.partition, req.pid, req.seq, req.frames, req.count)
+		} else if _, err = s.broker.producePartitionFrames(req.topic, req.partition, req.frames, req.count); err == nil {
+			n = req.count
+		}
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeCountResp(out, req.op, req.corr, n)
+		}
+	case binOpReplicateF:
+		if node == nil {
+			encodeErrResp(out, req.op, req.corr, "broker: not a cluster member")
+			break
+		}
+		hwm, err := node.applyReplicateFrames(req.epoch, req.sender, req.topic, req.partition, req.base, req.committed, req.metas, req.frames, req.count)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeWatermarkResp(out, req.op, req.corr, hwm)
+		}
+	case binOpFetchF, binOpRFetchF:
+		// The scatter path of the tentpole: the response is assembled
+		// directly in the pooled output buffer — header and base first,
+		// then the log's ReadFrames appends the raw segment bytes onto
+		// it, then the count placeholder is patched. No record structs,
+		// no intermediate buffer, no re-encoding.
+		at := beginFetchFramesResp(out, req.op, req.corr, req.offset)
+		var n int
+		var err error
+		switch {
+		case req.op == binOpRFetchF:
+			if node == nil {
+				err = errNotClusterMember
+			} else {
+				out.b, n, err = node.replicaFetchFrames(req.sender, req.topic, req.partition, req.offset, req.max, out.b)
+			}
+		case node != nil:
+			out.b, n, err = node.fetchFrames(req.topic, req.partition, req.offset, req.max, out.b)
+		default:
+			out.b, n, err = s.broker.FetchFrames(req.topic, req.partition, req.offset, req.max, out.b)
+		}
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			patchFrameCount(out, at, n)
+		}
+	case binOpRHWMB:
+		if node == nil {
+			encodeErrResp(out, req.op, req.corr, "broker: not a cluster member")
+			break
+		}
+		hwm, err := node.replicaHWM(req.sender, req.topic, req.partition)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeWatermarkResp(out, req.op, req.corr, hwm)
+		}
 	case binOpJSON:
 		var jreq wireRequest
 		if err := json.Unmarshal(req.jsonBody, &jreq); err != nil {
@@ -482,7 +568,7 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 		s.log.Debug("wire request",
 			"op", binOpName(req.op), "trace", obs.TraceHex(req.trace),
 			"topic", req.topic, "partition", req.partition,
-			"records", len(req.recs), "dur_us", time.Since(start).Microseconds())
+			"records", len(req.recs)+req.count, "dur_us", time.Since(start).Microseconds())
 	}
 	return writeRawFrame(bw, out.b)
 }
@@ -655,7 +741,7 @@ func (s *Server) dispatchOp(req *wireRequest) wireResponse {
 			// Mimic a pre-codec server so negotiating clients fall back.
 			return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 		}
-		return wireResponse{N: int(binVersion2)}
+		return wireResponse{N: helloFrames}
 	default:
 		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
