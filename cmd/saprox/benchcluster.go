@@ -360,6 +360,8 @@ func runBenchCluster(args []string) error {
 	reps := fs.Int("reps", 3, "measurement repetitions per side (fastest pass wins)")
 	durable := fs.Bool("durable", false, "use durable on-disk partition logs (temp dirs, fsync interval)")
 	out := fs.String("out", "BENCH_cluster.json", `result file ("-" for stdout only)`)
+	baseline := fs.String("baseline", "", "compare produce throughput and replication-cost ratio against this recorded result file and fail on regression")
+	maxRegress := fs.Float64("max-regress", 0.10, "allowed fractional regression vs -baseline before failing")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -421,6 +423,58 @@ func runBenchCluster(args []string) error {
 			return err
 		}
 		blog.Info("wrote result", "file", *out)
+	}
+	if *baseline != "" {
+		return checkClusterRegression(*baseline, *maxRegress, res)
+	}
+	return nil
+}
+
+// checkClusterRegression compares the paired measurement against a
+// recorded baseline file and errors when single-broker or RF2 produce
+// throughput fell more than maxRegress below it, or when the
+// replication-cost ratio grew more than maxRegress above it — the CI
+// gate that keeps replication-path regressions from landing silently.
+// Gains never fail; rerecord the baseline to ratchet them in.
+func checkClusterRegression(path string, maxRegress float64, res benchClusterResult) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-cluster baseline: %w", err)
+	}
+	var base benchClusterResult
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench-cluster baseline %s: %w", path, err)
+	}
+	checkRate := func(what string, got, want float64) error {
+		if want <= 0 {
+			return nil
+		}
+		drop := 1 - got/want
+		fmt.Printf("  vs %s: %s %12.0f items/s (baseline %12.0f, %+.1f%%)\n",
+			path, what, got, want, -drop*100)
+		if drop > maxRegress {
+			return fmt.Errorf("bench-cluster: %s regressed %.1f%% vs %s (limit %.0f%%)",
+				what, drop*100, path, maxRegress*100)
+		}
+		return nil
+	}
+	if err := checkRate("single produce", res.Single.ProduceItemsPerSec, base.Single.ProduceItemsPerSec); err != nil {
+		return err
+	}
+	if err := checkRate("rf2 produce", res.Cluster3.ProduceItemsPerSec, base.Cluster3.ProduceItemsPerSec); err != nil {
+		return err
+	}
+	// The ratio regresses UPWARD: replication getting relatively more
+	// expensive than the recorded baseline fails even when raw
+	// throughput is fine (e.g. on a beefier CI host).
+	if base.ReplicationCost > 0 {
+		grow := res.ReplicationCost/base.ReplicationCost - 1
+		fmt.Printf("  vs %s: replication cost %.4fx (baseline %.4fx, %+.1f%%)\n",
+			path, res.ReplicationCost, base.ReplicationCost, grow*100)
+		if grow > maxRegress {
+			return fmt.Errorf("bench-cluster: replication-cost ratio regressed %.1f%% vs %s (limit %.0f%%)",
+				grow*100, path, maxRegress*100)
+		}
 	}
 	return nil
 }

@@ -606,6 +606,26 @@ func (b *Broker) replicateAppendFrames(topicName string, partition int, base int
 	return p.log.HighWatermark(), nil
 }
 
+// replicateAppendSections applies a coalesced multi-partition replicate
+// batch — the follower half of group-commit replication: every
+// section's chunk lands through the same idempotent gap-safe append as
+// a lone replicate, in batch order, returning the resulting high
+// watermark per section. Sections of the same partition arrive
+// contiguous (the leader merges them), so later sections see the
+// watermark earlier ones produced.
+func (b *Broker) replicateAppendSections(secs []replSection) ([]int64, error) {
+	hwms := make([]int64, len(secs))
+	for i := range secs {
+		s := &secs[i]
+		hwm, err := b.replicateAppendFrames(s.topic, s.partition, s.base, s.frames, s.count)
+		if err != nil {
+			return nil, err
+		}
+		hwms[i] = hwm
+	}
+	return hwms, nil
+}
+
 // truncatePartition discards every record at offset >= hwm — the rejoin
 // path's divergence cut, applied before a recovered replica re-enters
 // the cluster.

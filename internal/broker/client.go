@@ -33,6 +33,7 @@ type Client struct {
 	binary bool // negotiated at dial; immutable afterwards
 	v2     bool // peer accepts trace-carrying v2 request headers
 	frames bool // peer accepts the raw-frame (zero-copy) ops
+	batch  bool // peer accepts the multi-partition replicate batch op
 
 	// trace is the ID stamped on every subsequent binary request (0 =
 	// untraced). Connection-scoped on purpose: the ingest plane owns a
@@ -120,6 +121,7 @@ func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
 		c.binary = true
 		c.v2 = resp.N >= int(binVersion2)
 		c.frames = resp.N >= helloFrames
+		c.batch = resp.N >= helloBatch
 		c.pending = make(map[uint64]chan *frameBuf)
 		go c.readLoop()
 	case err != nil && isUnknownOp(err):
@@ -632,6 +634,48 @@ func (c *Client) replicaFetchFrames(sender, topic string, partition int, offset 
 
 // supportsFrames reports whether the peer negotiated the raw-frame ops.
 func (c *Client) supportsFrames() bool { return c.frames }
+
+// supportsBatchReplicate reports whether the peer negotiated the
+// multi-partition replicate batch op.
+func (c *Client) supportsBatchReplicate() bool { return c.batch }
+
+// replicateMF ships one coalesced batch of per-partition frame chunks
+// to a follower in a single RPC and returns the follower's resulting
+// high watermark per section, in request order. Callers check
+// supportsBatchReplicate first; peers below helloBatch take the
+// per-partition replicate fallback instead, producing identical logs at
+// one round-trip per chunk.
+func (c *Client) replicateMF(trace uint64, epoch int64, sender string, secs []replSection) ([]int64, error) {
+	if !c.batch {
+		return nil, errors.New("broker: peer does not support batched replicate")
+	}
+	if !c.v2 {
+		trace = 0
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeReplicateMFReq(fb, corr, trace, epoch, sender, secs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return nil, err
+	}
+	n := int(cur.u32())
+	if cur.err == nil && (n != len(secs) || n*8 > cur.remaining()) {
+		return nil, errTruncatedFrame
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	hwms := make([]int64, n)
+	for i := range hwms {
+		hwms[i] = int64(cur.u64())
+	}
+	return hwms, cur.err
+}
 
 // replicaHWM reads a member's known committed watermark for a
 // partition, leadership-independent. Frames-capable peers answer the

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	mrand "math/rand/v2"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -62,12 +63,32 @@ type ClusterClient struct {
 
 	mu     sync.Mutex
 	meta   *ClusterMeta
-	conns  map[string]*Client // by address
+	conns  map[string]*Client // by lane key (address, or address#lane)
 	seqs   map[string]uint64  // topic/partition -> last assigned seq
 	prodMu map[string]*sync.Mutex
 	rr     uint64
 	trace  uint64 // trace ID stamped on every member connection
 	closed bool
+}
+
+// clientLanes is how many connections the routing client spreads one
+// broker's partition traffic across. A broker serves each connection's
+// requests in arrival order, so two partitions sharing a connection
+// serialize their full produce cycles — including the leader's
+// synchronous replication wait. Separate lanes let same-leader
+// partitions overlap, which is also what feeds the leader's group
+// commit: chunks can only coalesce into one replicate batch if they
+// are in flight together.
+const clientLanes = 4
+
+// laneKey names one lane's connection. Lane 0 keeps the bare address
+// as its key, so control-path callers that dial and drop by address
+// keep working untouched.
+func laneKey(addr string, lane int) string {
+	if lane == 0 {
+		return addr
+	}
+	return addr + "#" + strconv.Itoa(lane)
 }
 
 // SetTraceID stamps a trace ID on every current and future member
@@ -143,14 +164,22 @@ func (cc *ClusterClient) Close() error {
 	return nil
 }
 
-// conn returns (dialing if needed) the connection to one address.
+// conn returns (dialing if needed) the lane-0 connection to one
+// address — the control-path lane (metadata, topic admin, offsets).
 func (cc *ClusterClient) conn(addr string) (*Client, error) {
+	return cc.connLane(addr, 0)
+}
+
+// connLane returns (dialing if needed) one lane's connection to an
+// address.
+func (cc *ClusterClient) connLane(addr string, lane int) (*Client, error) {
+	key := laneKey(addr, lane)
 	cc.mu.Lock()
 	if cc.closed {
 		cc.mu.Unlock()
 		return nil, errClientClosed
 	}
-	if c, ok := cc.conns[addr]; ok {
+	if c, ok := cc.conns[key]; ok {
 		cc.mu.Unlock()
 		return c, nil
 	}
@@ -171,21 +200,21 @@ func (cc *ClusterClient) conn(addr string) (*Client, error) {
 		_ = c.Close()
 		return nil, errClientClosed
 	}
-	if prev, ok := cc.conns[addr]; ok {
+	if prev, ok := cc.conns[key]; ok {
 		cc.mu.Unlock()
 		_ = c.Close()
 		return prev, nil
 	}
-	cc.conns[addr] = c
+	cc.conns[key] = c
 	cc.mu.Unlock()
 	return c, nil
 }
 
-// dropConn discards a broken connection.
-func (cc *ClusterClient) dropConn(addr string) {
+// dropConn discards a broken connection by its lane key.
+func (cc *ClusterClient) dropConn(key string) {
 	cc.mu.Lock()
-	c := cc.conns[addr]
-	delete(cc.conns, addr)
+	c := cc.conns[key]
+	delete(cc.conns, key)
 	cc.mu.Unlock()
 	if c != nil {
 		_ = c.Close()
@@ -342,8 +371,12 @@ func (cc *ClusterClient) leaderConn(topic string, partition int, hint string) (*
 	if addr == "" {
 		return nil, "", fmt.Errorf("broker: no address for node %q", ldr)
 	}
-	cli, err := cc.conn(addr)
-	return cli, addr, err
+	// Spread partitions across lanes so same-leader partitions don't
+	// serialize behind one connection's request-at-a-time handling. The
+	// returned key identifies the lane for dropConn on failure.
+	lane := partition % clientLanes
+	cli, err := cc.connLane(addr, lane)
+	return cli, laneKey(addr, lane), err
 }
 
 // permanentErrs are broker rejections no retry can fix.

@@ -80,6 +80,14 @@ const (
 	binOpFetchF       byte = 10 // fetch answered as a frame chunk
 	binOpRFetchF      byte = 11 // replica catch-up fetch, frame chunk
 	binOpRHWMB        byte = 12 // replica high watermark (binary form)
+
+	// binOpReplicateMF is the group-commit replication op: one leader→
+	// follower RPC carrying the pending frame chunks of SEVERAL
+	// partitions as length-prefixed sections (each section the exact
+	// body of a binOpReplicateF — the frames still travel verbatim, the
+	// batch only amortizes the round-trip), answered with one batched
+	// ack of per-section high watermarks.
+	binOpReplicateMF byte = 13
 )
 
 // helloFrames is the feature level advertised by the hello op: 1 =
@@ -87,6 +95,13 @@ const (
 // ops. The request/response header versions stay binVersion/binVersion2
 // — frames change the BODY encoding, not the header.
 const helloFrames = 3
+
+// helloBatch is the feature level adding the multi-partition replicate
+// batch op (binOpReplicateMF): a leader may coalesce pending chunks for
+// every partition it leads to one follower into a single RPC. Peers
+// answering a lower level get per-partition binOpReplicateF instead —
+// same resulting logs, one round-trip per chunk.
+const helloBatch = 4
 
 const (
 	binReqHdrLen        = 10 // version + op + corrID
@@ -459,6 +474,51 @@ func encodeReplicateFramesReq(fb *frameBuf, corr, trace uint64, epoch int64, sen
 	fb.b = appendFrameChunk(fb.b, frames, count)
 }
 
+// replSection is one partition's contiguous frame chunk inside a
+// multi-partition replicate batch (binOpReplicateMF): the same fields a
+// per-partition replicate carries, minus epoch and sender, which are
+// hoisted to the batch header — one fencing decision covers the whole
+// batch.
+type replSection struct {
+	topic     string
+	partition int
+	base      int64
+	committed int64
+	metas     []batchMeta
+	frames    []byte
+	count     int
+}
+
+// encodeReplicateMFReq encodes a coalesced multi-partition replicate:
+// epoch + sender once, then each section with an explicit frame byte
+// length (sections are concatenated, so unlike a lone replicate the
+// chunk cannot simply run to the payload's end).
+func encodeReplicateMFReq(fb *frameBuf, corr, trace uint64, epoch int64, sender string, secs []replSection) {
+	fb.b = appendBinReqHeader(fb.b[:0], binOpReplicateMF, corr, trace)
+	fb.b = appendU64(fb.b, uint64(epoch))
+	fb.b = appendU16(fb.b, uint16(len(sender)))
+	fb.b = append(fb.b, sender...)
+	fb.b = appendU32(fb.b, uint32(len(secs)))
+	for i := range secs {
+		s := &secs[i]
+		fb.b = appendU16(fb.b, uint16(len(s.topic)))
+		fb.b = append(fb.b, s.topic...)
+		fb.b = appendU32(fb.b, uint32(int32(s.partition)))
+		fb.b = appendU64(fb.b, uint64(s.base))
+		fb.b = appendU64(fb.b, uint64(s.committed))
+		fb.b = appendU32(fb.b, uint32(len(s.metas)))
+		for _, bm := range s.metas {
+			fb.b = appendU64(fb.b, bm.pid)
+			fb.b = appendU64(fb.b, bm.seq)
+			fb.b = appendU64(fb.b, uint64(bm.base))
+			fb.b = appendU64(fb.b, uint64(bm.end))
+		}
+		fb.b = appendU32(fb.b, uint32(s.count))
+		fb.b = appendU32(fb.b, uint32(len(s.frames)))
+		fb.b = append(fb.b, s.frames...)
+	}
+}
+
 // encodeFetchFramesReq asks for a fetch answered as a raw frame chunk.
 func encodeFetchFramesReq(fb *frameBuf, corr, trace uint64, topic string, partition int, offset int64, max int) {
 	fb.b = appendBinReqHeader(fb.b[:0], binOpFetchF, corr, trace)
@@ -528,6 +588,11 @@ type binRequest struct {
 	base      int64
 	committed int64
 	metas     []batchMeta
+
+	// Multi-partition replicate batch (binOpReplicateMF): each
+	// section's frames are a view into the request buffer and have
+	// passed ValidateFrames, like the single-partition frames field.
+	sections []replSection
 }
 
 func decodeBinRequest(payload []byte) (binRequest, error) {
@@ -617,6 +682,60 @@ func decodeBinRequest(payload []byte) (binRequest, error) {
 			}
 		}
 		req.count, req.frames = decodeFrameChunk(cur)
+	case binOpReplicateMF:
+		req.epoch = int64(cur.u64())
+		req.sender = cur.str(int(cur.u16()))
+		nsecs := int(cur.u32())
+		// Each section costs at least its fixed header; a count that
+		// cannot fit is a truncated or hostile frame, reject before
+		// allocating.
+		if cur.err == nil && nsecs*(2+4+8+8+4+4+4) > cur.remaining() {
+			return req, errTruncatedFrame
+		}
+		if cur.err == nil && nsecs > 0 {
+			req.sections = make([]replSection, 0, nsecs)
+			for i := 0; i < nsecs && cur.err == nil; i++ {
+				var s replSection
+				s.topic = cur.str(int(cur.u16()))
+				s.partition = int(int32(cur.u32()))
+				s.base = int64(cur.u64())
+				s.committed = int64(cur.u64())
+				nmetas := int(cur.u32())
+				if cur.err == nil && nmetas*32 > cur.remaining() {
+					return req, errTruncatedFrame
+				}
+				if cur.err == nil && nmetas > 0 {
+					s.metas = make([]batchMeta, nmetas)
+					for j := range s.metas {
+						s.metas[j] = batchMeta{
+							pid:  cur.u64(),
+							seq:  cur.u64(),
+							base: int64(cur.u64()),
+							end:  int64(cur.u64()),
+						}
+					}
+				}
+				// The single validation gate applies per section: every
+				// chunk entering the process is structure+CRC checked
+				// exactly once, batched or not.
+				declared := int(cur.u32())
+				s.frames = cur.bytes(int(cur.u32()))
+				if cur.err != nil {
+					break
+				}
+				n, err := storage.ValidateFrames(s.frames)
+				if err != nil {
+					cur.err = err
+					break
+				}
+				if n != declared {
+					cur.err = errTruncatedFrame
+					break
+				}
+				s.count = n
+				req.sections = append(req.sections, s)
+			}
+		}
 	case binOpFetchF:
 		req.topic = cur.str(int(cur.u16()))
 		req.partition = int(int32(cur.u32()))
@@ -796,6 +915,18 @@ func encodeCountResp(fb *frameBuf, op byte, corr uint64, n int) {
 func encodeWatermarkResp(fb *frameBuf, op byte, corr uint64, hwm int64) {
 	fb.b = appendBinRespHeader(fb.b[:0], op, corr, binStatusOK)
 	fb.b = appendU64(fb.b, uint64(hwm))
+}
+
+// encodeReplicateMFResp answers a multi-partition replicate batch with
+// the follower's resulting high watermark per section, in request order
+// — the single batched ack whose arrival wakes every producer parked on
+// the round (group commit).
+func encodeReplicateMFResp(fb *frameBuf, corr uint64, hwms []int64) {
+	fb.b = appendBinRespHeader(fb.b[:0], binOpReplicateMF, corr, binStatusOK)
+	fb.b = appendU32(fb.b, uint32(len(hwms)))
+	for _, h := range hwms {
+		fb.b = appendU64(fb.b, uint64(h))
+	}
 }
 
 // beginFetchFramesResp opens a raw-frame fetch response — header, base

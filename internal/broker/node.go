@@ -16,10 +16,15 @@ package broker
 //     offset acked that way is the partition's COMMITTED watermark; the
 //     leader serves fetches only up to it, so consumers can never
 //     observe records that a failover could lose. Replication is
-//     pipelined: the partition's append lock is released before the
-//     pushes go out, so any number of produce batches can be in flight
-//     per partition, bounded by a per-follower send window; followers
-//     apply out-of-order arrivals via the gap/backfill protocol below.
+//     group-committed: each leader keeps one coalescing session per
+//     follower, and pending chunks from EVERY partition led to that
+//     follower drain into a single multi-partition replicate RPC whose
+//     one batched ack wakes all parked producers — the fixed per-RPC
+//     cost (syscalls, scheduler wakeups, follower CRC verify) is paid
+//     per drain, not per (partition, chunk). There is no linger timer:
+//     only what is already queued coalesces, so an isolated produce
+//     still ships immediately. Followers apply out-of-order arrivals
+//     via the gap/backfill protocol below.
 //   - a FOLLOWER applies replicated chunks at their exact base offset
 //     (idempotently: duplicate prefixes are trimmed, gaps answered with
 //     the local watermark so the leader backfills) and tracks producer
@@ -48,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -91,8 +97,10 @@ type NodeConfig struct {
 	// seen alive are forgiven (default 10s) — cluster members boot at
 	// different times.
 	StartupGrace time.Duration
-	// ReplWindow bounds the replicate batches in flight per follower
-	// (default 32): the send window of pipelined replication.
+	// ReplWindow bounds the chunks one follower-session drain coalesces
+	// into a single multi-partition replicate RPC (default 32). The
+	// session queue itself is unbounded — its natural bound is the
+	// number of produce handlers parked on their acks.
 	ReplWindow int
 	// DialTimeout bounds TCP connect to a peer (default
 	// DefaultDialTimeout). A blackholed peer must not wedge dialers.
@@ -210,8 +218,13 @@ type ClusterNode struct {
 	metas       map[string][]batchMeta        // topic/partition -> recent batch journal
 	remoteHWM   map[string]int64              // topic/partition -> committed heard from the leader
 	followHWM   map[string]map[string]int64   // topic/partition -> follower -> last acked watermark
-	sendWin     map[string]chan struct{}      // follower id -> in-flight replicate slots
+	sess        map[string]*replSess          // follower id -> coalescing replication session
+	replEpochs  map[string]int64              // topic/partition -> highest epoch an inbound replicate carried
 	savers      map[string]*stateSaver
+
+	// reg is the metrics registry handed to RegisterMetrics (nil until
+	// then); session drains observe their coalescing histograms on it.
+	reg atomic.Pointer[metrics.Registry]
 
 	stateMu    sync.Mutex
 	stateDirty map[string]tpRef // partitions awaiting a write-behind state flush
@@ -304,7 +317,8 @@ func NewClusterNode(b *Broker, cfg NodeConfig) (*ClusterNode, error) {
 		metas:      make(map[string][]batchMeta),
 		remoteHWM:  make(map[string]int64),
 		followHWM:  make(map[string]map[string]int64),
-		sendWin:    make(map[string]chan struct{}),
+		sess:       make(map[string]*replSess),
+		replEpochs: make(map[string]int64),
 		savers:     make(map[string]*stateSaver),
 		stateDirty: make(map[string]tpRef),
 		place:      make(map[string][]string),
@@ -608,6 +622,12 @@ func (n *ClusterNode) mergeView(epoch int64, remote map[string]PeerStatus) {
 	}
 	if demoted {
 		n.cfg.Logf("cluster %s: deposed by the cluster; demoting to rejoin", n.cfg.ID)
+		// Leadership is gone: tear down the follower sessions so a
+		// chunk queued under the old reign cannot be delivered after the
+		// takeover handshake (queued producers get an error and retry
+		// against the new leader; a batch already on the wire is fenced
+		// by the follower's per-partition replication epoch).
+		n.closeSessions()
 		select {
 		case n.rejoinWake <- struct{}{}:
 		default:
@@ -770,12 +790,15 @@ func (n *ClusterNode) joinLoop() {
 func (n *ClusterNode) syncAndJoin() {
 	// Leadership from a previous incarnation is void: every partition
 	// re-adopts its (possibly truncated) watermark when leadership is
-	// next acquired.
+	// next acquired, and any replication sessions of the old reign are
+	// torn down (no-op at first boot; sessions are rebuilt lazily when
+	// leadership returns).
 	n.mu.Lock()
 	for _, pl := range n.leads {
 		pl.leading.Store(false)
 	}
 	n.mu.Unlock()
+	n.closeSessions()
 	var bestMeta *ClusterMeta
 	for _, id := range n.members {
 		if id == n.cfg.ID {
@@ -1280,106 +1303,358 @@ func (n *ClusterNode) producePartFrames(trace uint64, topic string, partition in
 	return count, nil
 }
 
-// sendSlot acquires one slot of a follower's send window, returning the
-// release func. The window bounds replicate batches in flight per
-// follower, so pipelining cannot bury a slow follower.
-func (n *ClusterNode) sendSlot(id string) func() {
-	n.mu.Lock()
-	win, ok := n.sendWin[id]
-	if !ok {
-		win = make(chan struct{}, n.cfg.ReplWindow)
-		n.sendWin[id] = win
-	}
-	n.mu.Unlock()
-	win <- struct{}{}
-	return func() { <-win }
+// ---- per-follower replication sessions (group commit) ----
+
+// replBatchMaxBytes caps the frame payload one session drain packs into
+// a single multi-partition RPC — well under maxFrame, with headroom for
+// headers and journal metas.
+const replBatchMaxBytes = 8 << 20
+
+// errReplSessionClosed fails chunks still parked on a session torn down
+// by a demotion or shutdown before the follower acked them. It is a
+// local error, not an answered rejection, and never feeds the failure
+// detector.
+var errReplSessionClosed = errors.New("broker: replication session closed")
+
+// replItem is one appended chunk parked on a follower session, its
+// producer blocked on done until the follower acks (or the session
+// fails it). frames is a view into the producer request's connection
+// buffer — valid only while that producer is parked — so the drainer
+// must be completely done with the bytes before signaling done.
+type replItem struct {
+	trace     uint64
+	pl        *partLead
+	topic     string
+	partition int
+	base, end int64
+	frames    []byte
+	done      chan error
 }
 
-// replicateOut pushes the frame chunk covering [base, end) to every
-// live follower replica — concurrently, so the wait is the slowest
-// single follower, not the sum — and advances the committed watermark
-// once enough replicas acked. The chunk ships byte-for-byte as it was
-// appended locally; followers re-verify its CRCs at their wire decode.
-func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, partition int, base, end int64, frames []byte) error {
-	reps := n.replicas(topic, partition)
-	acks, live := 1, 1
-	var firstErr error
-	// push replicates to one follower and returns nil on ack. The
-	// failure-detector bookkeeping happens here; the caller tallies.
-	push := func(id string) error {
-		release := n.sendSlot(id)
-		err := n.pushToFollower(trace, pl, id, topic, partition, base, end, frames)
-		release()
-		if err != nil {
-			// Only TRANSPORT failures feed the failure detector. An
-			// answered rejection (fencing, unknown topic, ...) proves
-			// the peer is alive — a deposed leader must not "detect"
-			// the healthy majority as dead off its own fenced pushes.
-			if isRemoteErr(err) {
-				n.markAlive(id)
-			} else {
-				n.markFailure(id, err)
-			}
-			return err
-		}
-		n.markAlive(id)
-		return nil
+// replPipeline caps concurrent drains per follower session. One slot
+// would force pure group commit — maximal coalescing, but every chunk
+// arriving mid-RPC waits a full round trip it used to overlap; the
+// extra slot keeps the old pipelining for the uncontended case while a
+// queue that outruns both slots still coalesces into the next drain.
+const replPipeline = 2
+
+// replSess is one leader→follower replication session: a coalescing
+// queue drained by the producing handlers themselves (combining lock —
+// no dedicated goroutine, no handoff on the uncontended path). The
+// queue is a mutex-guarded slice, not a channel: close must atomically
+// cut off enqueues AND claim the backlog to fail it, which a buffered
+// channel cannot do without racing senders (an item landing after the
+// final drain would park its producer forever).
+type replSess struct {
+	id       string
+	mu       sync.Mutex
+	wait     []*replItem
+	closed   bool
+	inflight int // drains currently holding a send slot
+}
+
+// enqueue parks one chunk on the session, reporting false if the
+// session is already closed (the caller fails the chunk locally).
+func (s *replSess) enqueue(it *replItem) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
 	}
-	targets := make([]string, 0, len(reps))
-	for _, id := range reps {
-		if id == n.cfg.ID || n.isDead(id) {
-			continue
-		}
-		live++
-		targets = append(targets, id)
+	s.wait = append(s.wait, it)
+	return true
+}
+
+// tryAcquire claims a send slot; false means enough drains are already
+// in flight — one of their holders will re-check the queue after
+// releasing, so a refused caller may safely walk away.
+func (s *replSess) tryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= replPipeline {
+		return false
 	}
-	if len(targets) == 1 {
-		// RF2 fast path: one follower means no fan-out to overlap, so
-		// push inline and skip the goroutine spawn plus two scheduler
-		// handoffs that a spawn-and-wait would cost on every batch.
-		if err := push(targets[0]); err != nil {
-			firstErr = err
-		} else {
-			acks++
-		}
-	} else if len(targets) > 1 {
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		for _, id := range targets {
-			wg.Add(1)
-			go func(id string) {
-				defer wg.Done()
-				err := push(id)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				acks++
-			}(id)
-		}
-		wg.Wait()
-	}
-	need := n.cfg.MinISR
-	if live < need {
-		need = live
-	}
-	if acks < need {
-		return fmt.Errorf("%w: %d/%d acked: %v", ErrUnderReplicated, acks, need, firstErr)
-	}
-	for {
-		cur := pl.committed.Load()
-		if end <= cur || pl.committed.CompareAndSwap(cur, end) {
+	s.inflight++
+	return true
+}
+
+func (s *replSess) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+func (s *replSess) empty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.wait) == 0
+}
+
+// take claims up to max queued chunks in FIFO order, bounded also by
+// total frame bytes so one drain can never overflow the wire frame
+// limit (a lone oversized chunk still ships alone — produce requests
+// are themselves frame-limited, so it fits).
+func (s *replSess) take(max, maxBytes int) []*replItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count, bytes := 0, 0
+	for count < len(s.wait) && count < max {
+		bytes += len(s.wait[count].frames)
+		if count > 0 && bytes > maxBytes {
 			break
 		}
+		count++
 	}
-	return nil
+	batch := s.wait[:count:count]
+	s.wait = s.wait[count:]
+	return batch
 }
 
-// pushToFollower replicates the frame chunk covering [base, end) to
+// close marks the session closed and returns whatever was still queued
+// for the caller to fail. Idempotent; later calls return nothing.
+func (s *replSess) close() []*replItem {
+	s.mu.Lock()
+	rest := s.wait
+	s.wait = nil
+	s.closed = true
+	s.mu.Unlock()
+	return rest
+}
+
+// session returns (creating if needed) the replication session to a
+// follower. Sessions are created lazily on the first chunk routed to
+// the follower and torn down on demotion or Close.
+func (n *ClusterNode) session(id string) *replSess {
+	n.mu.Lock()
+	s, ok := n.sess[id]
+	if !ok {
+		s = &replSess{id: id}
+		n.sess[id] = s
+	}
+	n.mu.Unlock()
+	return s
+}
+
+// failSession closes a session and fails everything still queued — the
+// demotion drain: parked producers get an answer (and retry against the
+// current leader) instead of a stale batch being delivered under a new
+// leader's reign.
+func (n *ClusterNode) failSession(s *replSess) {
+	for _, it := range s.close() {
+		it.done <- errReplSessionClosed
+	}
+}
+
+// closeSessions tears down every follower session. Called on demotion
+// and when rejoining; an in-flight RPC still completes and answers its
+// producers normally (the follower-side replication epoch fence is the
+// backstop for batches already on the wire). Sessions are rebuilt
+// lazily if leadership returns.
+func (n *ClusterNode) closeSessions() {
+	n.mu.Lock()
+	sess := n.sess
+	n.sess = make(map[string]*replSess)
+	n.mu.Unlock()
+	for _, s := range sess {
+		n.failSession(s)
+	}
+}
+
+// driveSession is the combining loop a producer runs after enqueueing:
+// claim a send slot, take EVERYTHING queued (group commit — no linger
+// timer, only what is already waiting coalesces), ship it as one batch,
+// wake every parked producer in one pass, repeat while work remains. A
+// caller refused a slot walks away: its item will ride a current slot
+// holder's next round, because every holder re-checks the queue AFTER
+// releasing — an enqueue that lost the slot race is therefore always
+// visible to some holder's re-check, so no item strands.
+func (n *ClusterNode) driveSession(s *replSess) {
+	for {
+		if !s.tryAcquire() {
+			return
+		}
+		batch := s.take(n.cfg.ReplWindow, replBatchMaxBytes)
+		if len(batch) > 0 {
+			n.sendBatch(s, batch)
+		}
+		s.release()
+		if s.empty() {
+			return
+		}
+	}
+}
+
+// sendSection is one wire section of a drained batch plus the queue
+// items it answers for: contiguous chunks of one partition merged in
+// queue order.
+type sendSection struct {
+	sec   replSection
+	pl    *partLead
+	trace uint64
+	items []*replItem
+}
+
+// buildSections folds a claimed batch into wire sections, merging an
+// item into the previous section when it extends the same partition
+// contiguously (prev.end == next.base) — this is the leader-side
+// produce coalescing: chunks appended while the previous round was in
+// flight ride the next round as one section. Merged frames are copied
+// into a fresh buffer (each item's frames are only valid while ITS
+// producer is parked); a lone item's frames ship as the view the
+// producer handed in, copy-free.
+func buildSections(batch []*replItem) []*sendSection {
+	secs := make([]*sendSection, 0, len(batch))
+	for _, it := range batch {
+		if len(secs) > 0 {
+			last := secs[len(secs)-1]
+			tail := last.items[len(last.items)-1]
+			if tail.topic == it.topic && tail.partition == it.partition && tail.end == it.base {
+				last.items = append(last.items, it)
+				continue
+			}
+		}
+		secs = append(secs, &sendSection{pl: it.pl, trace: it.trace, items: []*replItem{it}})
+	}
+	for _, sec := range secs {
+		first := sec.items[0]
+		last := sec.items[len(sec.items)-1]
+		sec.sec = replSection{
+			topic:     first.topic,
+			partition: first.partition,
+			base:      first.base,
+			count:     int(last.end - first.base),
+		}
+		if len(sec.items) == 1 {
+			sec.sec.frames = first.frames
+		} else {
+			merged := make([]byte, 0, replItemsBytes(sec.items))
+			for _, it := range sec.items {
+				merged = append(merged, it.frames...)
+			}
+			sec.sec.frames = merged
+		}
+	}
+	return secs
+}
+
+func replItemsBytes(items []*replItem) int {
+	total := 0
+	for _, it := range items {
+		total += len(it.frames)
+	}
+	return total
+}
+
+// sendBatch ships one drained batch to the follower and answers every
+// parked producer. Failure-detector bookkeeping happens here ONCE per
+// drain — a coalesced RPC is one probe of the follower however many
+// producers it carried, so a single timeout cannot burn through
+// FailAfter on its own. Only transport failures feed the detector; an
+// answered rejection (fencing, unknown topic, ...) proves the peer
+// alive — a deposed leader must not "detect" the healthy majority as
+// dead off its own fenced pushes.
+func (n *ClusterNode) sendBatch(s *replSess, batch []*replItem) {
+	secs := buildSections(batch)
+	errs := make([]error, len(secs))
+	cli, err := n.peerClient(s.id)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	} else {
+		errs = n.shipBatch(cli, s.id, secs)
+	}
+	var transportErr error
+	var answered bool
+	for _, e := range errs {
+		switch {
+		case e == nil:
+			answered = true
+		case isRemoteErr(e):
+			answered = true
+		default:
+			transportErr = e
+		}
+	}
+	switch {
+	case transportErr != nil:
+		if cli != nil {
+			n.dropConn(s.id, cli) // transport failure: the conn is suspect
+		}
+		n.markFailure(s.id, transportErr)
+	case answered:
+		n.markAlive(s.id)
+	}
+	n.observeBatch(s.id, secs, len(batch))
+	// The group-commit wakeup: one pass over the round's producers.
+	// After a done send an item's frames belong to its producer again —
+	// nothing may touch them past this point.
+	for i, sec := range secs {
+		for _, it := range sec.items {
+			it.done <- errs[i]
+		}
+	}
+}
+
+// shipBatch delivers the sections to one follower: a single replicateMF
+// round-trip against a batch-capable peer (with per-section
+// backfill-converge repairs when the batched ack reports a section
+// short), or sequential per-partition replicate calls against an older
+// peer — the resulting logs are identical either way, only the
+// round-trip count differs. Returns one error slot per section.
+func (n *ClusterNode) shipBatch(cli *Client, id string, secs []*sendSection) []error {
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	errs := make([]error, len(secs))
+	if !cli.supportsBatchReplicate() {
+		for i, sec := range secs {
+			end := sec.sec.base + int64(sec.sec.count)
+			errs[i] = n.pushSection(cli, id, epoch, sec.pl, sec.trace, sec.sec.topic, sec.sec.partition, sec.sec.base, end, sec.sec.frames)
+		}
+		return errs
+	}
+	wire := make([]replSection, len(secs))
+	for i, sec := range secs {
+		sec.sec.committed = sec.pl.committed.Load()
+		tp := tpKey(sec.sec.topic, sec.sec.partition)
+		sec.sec.metas = n.metasInRange(tp, sec.sec.base, sec.sec.base+int64(sec.sec.count))
+		wire[i] = sec.sec
+	}
+	// One trace can ride the one RPC; the first section's producer wins.
+	hwms, err := cli.replicateMF(secs[0].trace, epoch, n.cfg.ID, wire)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i, sec := range secs {
+		end := sec.sec.base + int64(sec.sec.count)
+		tp := tpKey(sec.sec.topic, sec.sec.partition)
+		n.noteFollowerHWM(tp, id, hwms[i])
+		if hwms[i] < end {
+			errs[i] = n.convergeSection(cli, id, epoch, sec.pl, sec.trace, sec.sec.topic, sec.sec.partition, hwms[i], end)
+		}
+	}
+	return errs
+}
+
+// convergeSection repairs one short-acked section of a batch: re-read
+// the missing range from the local log and drive the per-partition
+// converge loop from the follower's acked watermark.
+func (n *ClusterNode) convergeSection(cli *Client, id string, epoch int64, pl *partLead, trace uint64, topic string, partition int, hwm, end int64) error {
+	fill, fn, err := n.b.FetchFrames(topic, partition, hwm, int(end-hwm), nil)
+	if err != nil {
+		return err
+	}
+	if int64(fn) < end-hwm {
+		return fmt.Errorf("broker: backfill short read at %d", hwm)
+	}
+	return n.pushSection(cli, id, epoch, pl, trace, topic, partition, hwm, end, fill)
+}
+
+// pushSection replicates one partition's chunk covering [base, end) to
 // one follower, backfilling from the follower's own watermark when it
 // is behind (restart, missed round, or interleaved batches) — the
 // backfill bytes are read straight out of the local segment chunks,
@@ -1388,23 +1663,13 @@ func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, par
 // producer whose records it receives, plus the leader's committed
 // watermark, which the follower persists as its restart truncation
 // point.
-func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic string, partition int, base, end int64, frames []byte) error {
-	cli, err := n.peerClient(id)
-	if err != nil {
-		return err
-	}
-	n.mu.Lock()
-	epoch := n.epoch
-	n.mu.Unlock()
+func (n *ClusterNode) pushSection(cli *Client, id string, epoch int64, pl *partLead, trace uint64, topic string, partition int, base, end int64, frames []byte) error {
 	tp := tpKey(topic, partition)
 	count := int(end - base)
 	for tries := 0; tries < 8; tries++ {
 		metas := n.metasInRange(tp, base, end)
 		hwm, err := cli.replicate(trace, epoch, n.cfg.ID, topic, partition, base, pl.committed.Load(), metas, frames, count)
 		if err != nil {
-			if !isRemoteErr(err) {
-				n.dropConn(id, cli) // transport failure: the conn is suspect
-			}
 			return err
 		}
 		n.noteFollowerHWM(tp, id, hwm)
@@ -1421,6 +1686,104 @@ func (n *ClusterNode) pushToFollower(trace uint64, pl *partLead, id, topic strin
 		base, frames, count = hwm, fill, fn
 	}
 	return fmt.Errorf("broker: replication to %s did not converge", id)
+}
+
+// observeBatch records one drain's coalescing metrics: distinct
+// partition sections and payload bytes per batched RPC, and the
+// producers woken by its single ack pass. A registry lock per drain is
+// noise next to the RPC the drain just paid for.
+func (n *ClusterNode) observeBatch(id string, secs []*sendSection, woken int) {
+	reg := n.reg.Load()
+	if reg == nil {
+		return
+	}
+	lbl := metrics.Labels{"follower": id}
+	bytes := 0
+	for _, sec := range secs {
+		bytes += len(sec.sec.frames)
+	}
+	reg.Histogram("broker_replicate_batch_partitions", "partition sections coalesced into one replicate batch", lbl).Observe(float64(len(secs)))
+	reg.Histogram("broker_replicate_batch_bytes", "frame payload bytes shipped in one replicate batch", lbl).Observe(float64(bytes))
+	reg.Counter("broker_replicate_group_wakeups_total", "producers woken by batched replication acks", lbl).Add(float64(woken))
+	reg.Counter("broker_replicate_batches_total", "replication batches drained", lbl).Inc()
+}
+
+// replicateOut parks the frame chunk covering [base, end) on the
+// session of every live follower replica and waits for the acks, then
+// advances the committed watermark once enough replicas hold it. The
+// enqueue is what buys the overlap: chunks for ALL partitions led to
+// one follower coalesce into that session's next drain, so the fixed
+// sync-ack cost is paid per drain, not per chunk. The bytes still ship
+// exactly as appended locally; followers re-verify CRCs at their wire
+// decode.
+func (n *ClusterNode) replicateOut(trace uint64, pl *partLead, topic string, partition int, base, end int64, frames []byte) error {
+	reps := n.replicas(topic, partition)
+	acks, live := 1, 1
+	var firstErr error
+	items := make([]*replItem, 0, len(reps)-1)
+	sessions := make([]*replSess, 0, len(reps)-1)
+	for _, id := range reps {
+		if id == n.cfg.ID || n.isDead(id) {
+			continue
+		}
+		live++
+		it := &replItem{
+			trace: trace, pl: pl, topic: topic, partition: partition,
+			base: base, end: end, frames: frames, done: make(chan error, 1),
+		}
+		s := n.session(id)
+		if !s.enqueue(it) {
+			if firstErr == nil {
+				firstErr = errReplSessionClosed
+			}
+			continue
+		}
+		items = append(items, it)
+		sessions = append(sessions, s)
+	}
+	// Yield once between enqueue and drive: producers that arrived in
+	// the same instant (the routing client fans partitions out
+	// concurrently) get to append and enqueue before the first of them
+	// claims the queue, so their chunks ship as ONE batch instead of
+	// pipelined singletons. This is the group-commit formation point —
+	// a scheduling hint, not a linger timer: an idle session still
+	// ships immediately after one scheduler pass.
+	if len(items) > 0 {
+		runtime.Gosched()
+	}
+	// Drive the sessions we just fed: the last inline (for the common
+	// RF2 single-follower case this is the whole push, zero handoffs),
+	// the rest concurrently so multi-follower fan-out still overlaps.
+	for i, s := range sessions {
+		if i == len(sessions)-1 {
+			n.driveSession(s)
+		} else {
+			go n.driveSession(s)
+		}
+	}
+	for _, it := range items {
+		if err := <-it.done; err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acks++
+	}
+	need := n.cfg.MinISR
+	if live < need {
+		need = live
+	}
+	if acks < need {
+		return fmt.Errorf("%w: %d/%d acked: %v", ErrUnderReplicated, acks, need, firstErr)
+	}
+	for {
+		cur := pl.committed.Load()
+		if end <= cur || pl.committed.CompareAndSwap(cur, end) {
+			break
+		}
+	}
+	return nil
 }
 
 // noteFollowerHWM records the watermark a follower acked on its last
@@ -1486,6 +1849,7 @@ func (n *ClusterNode) liveReplicas(topic string, partition int) int {
 // ISR sizes, leadership flags, and — on partitions this node leads —
 // per-follower replication lag in records.
 func (n *ClusterNode) RegisterMetrics(reg *metrics.Registry) {
+	n.reg.Store(reg)
 	reg.OnScrape(func() { n.scrapeInto(reg) })
 }
 
@@ -1856,73 +2220,131 @@ func (n *ClusterNode) applyReplicate(epoch int64, sender, topic string, partitio
 }
 
 // applyReplicateFrames is the follower-side handling of a replicated
-// frame chunk: after the epoch/membership fencing, the bytes — already
-// CRC-verified at the wire decode — land in the log verbatim through
-// the idempotent frame append.
+// frame chunk — a one-section batch through the group-commit apply
+// path, so both dialects share the same fencing and bookkeeping.
 func (n *ClusterNode) applyReplicateFrames(epoch int64, sender, topic string, partition int, base, committed int64, metas []batchMeta, frames []byte, count int) (int64, error) {
+	hwms, err := n.applyReplicateBatch(epoch, sender, []replSection{{
+		topic: topic, partition: partition, base: base,
+		committed: committed, metas: metas, frames: frames, count: count,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	return hwms[0], nil
+}
+
+// fenceReplicate runs the follower-side admission checks shared by both
+// replicate dialects: a (re)joining node and a deposed sender refuse
+// replication, and every partition records the highest epoch an inbound
+// replicate has carried — a chunk at a LOWER epoch than that is fenced
+// off, so a stale session that went quiet before a takeover cannot
+// deliver a late batch after the new leader (whose announcement bumped
+// the epoch) has started shipping. All rejections are answered errors:
+// the deposed leader learns it is fenced without poisoning its failure
+// detector.
+func (n *ClusterNode) fenceReplicate(epoch int64, sender string, tps []string) error {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.joining {
-		n.mu.Unlock()
-		return 0, fmt.Errorf("broker: %s is rejoining; replication refused until synced", n.cfg.ID)
+		return fmt.Errorf("broker: %s is rejoining; replication refused until synced", n.cfg.ID)
 	}
 	if n.view[sender].Dead {
-		ep := n.epoch
-		n.mu.Unlock()
-		return 0, fmt.Errorf("broker: replicate from %s rejected: deposed in epoch %d", sender, ep)
+		return fmt.Errorf("broker: replicate from %s rejected: deposed in epoch %d", sender, n.epoch)
+	}
+	for _, tp := range tps {
+		if have := n.replEpochs[tp]; epoch < have {
+			return fmt.Errorf("broker: replicate %s from %s fenced: epoch %d < %d", tp, sender, epoch, have)
+		}
+	}
+	// Admitted: record the epochs only now, so one stale section cannot
+	// ratchet its siblings before the whole batch is judged.
+	for _, tp := range tps {
+		if epoch > n.replEpochs[tp] {
+			n.replEpochs[tp] = epoch
+		}
 	}
 	if epoch > n.epoch {
 		n.epoch = epoch
 	}
-	n.mu.Unlock()
-	reps := n.replicas(topic, partition)
-	isReplica := false
-	for _, id := range reps {
-		if id == sender {
-			isReplica = true
-			break
-		}
+	return nil
+}
+
+// applyReplicateBatch is the follower side of a coalesced replicate:
+// one fence decision for the whole batch, then every section lands in
+// its log through the same idempotent gap-safe append a per-partition
+// replicate uses — a mixed-version replica pair produces identical
+// logs, only the RPC count differs. The answer is one high watermark
+// per section; a failing section fails the whole batch (the leader
+// re-drives per item).
+func (n *ClusterNode) applyReplicateBatch(epoch int64, sender string, secs []replSection) ([]int64, error) {
+	if len(secs) == 0 {
+		return nil, errors.New("broker: empty replicate batch")
 	}
-	if !isReplica {
-		return 0, fmt.Errorf("broker: %s is not a replica of %s", sender, tpKey(topic, partition))
+	tps := make([]string, len(secs))
+	for i := range secs {
+		tps[i] = tpKey(secs[i].topic, secs[i].partition)
+	}
+	if err := n.fenceReplicate(epoch, sender, tps); err != nil {
+		return nil, err
+	}
+	for i := range secs {
+		reps := n.replicas(secs[i].topic, secs[i].partition)
+		isReplica := false
+		for _, id := range reps {
+			if id == sender {
+				isReplica = true
+				break
+			}
+		}
+		if !isReplica {
+			return nil, fmt.Errorf("broker: %s is not a replica of %s", sender, tps[i])
+		}
 	}
 	n.markAlive(sender)
-	// Replication from a live peer proves we are not this partition's
-	// leader: a later RE-promotion must re-adopt the watermark.
-	tpk := tpKey(topic, partition)
+	// Replication from a live peer proves we lead none of these
+	// partitions: a later RE-promotion must re-adopt the watermark.
 	n.mu.Lock()
-	if pl, ok := n.leads[tpk]; ok {
-		pl.leading.Store(false)
-	}
-	n.mu.Unlock()
-	hwm, err := n.b.replicateAppendFrames(topic, partition, base, frames, count)
-	if err != nil {
-		return 0, err
-	}
-	// Adopt dedup state only for batches the local log now fully holds:
-	// a gap-skipped chunk (hwm < base) must not leave seq entries for
-	// records that are not here, or a promoted follower would answer a
-	// producer retry as a duplicate without having the data.
-	tp := tpKey(topic, partition)
-	for _, bm := range metas {
-		if bm.end <= hwm {
-			n.noteBatch(tp, bm)
+	for _, tp := range tps {
+		if pl, ok := n.leads[tp]; ok {
+			pl.leading.Store(false)
 		}
 	}
-	// Track the leader's committed watermark, clamped to what we hold:
-	// it is this replica's restart truncation point.
-	if committed > hwm {
-		committed = hwm
-	}
-	n.mu.Lock()
-	advanced := committed > n.remoteHWM[tp]
-	if advanced {
-		n.remoteHWM[tp] = committed
-	}
 	n.mu.Unlock()
-	if advanced || count > 0 {
-		n.noteStateDirty(topic, partition)
+	hwms, err := n.b.replicateAppendSections(secs)
+	if err != nil {
+		return nil, err
 	}
-	return hwm, nil
+	for i := range secs {
+		s := &secs[i]
+		hwm := hwms[i]
+		tp := tps[i]
+		// Adopt dedup state only for batches the local log now fully
+		// holds: a gap-skipped chunk (hwm < base) must not leave seq
+		// entries for records that are not here, or a promoted follower
+		// would answer a producer retry as a duplicate without having
+		// the data.
+		for _, bm := range s.metas {
+			if bm.end <= hwm {
+				n.noteBatch(tp, bm)
+			}
+		}
+		// Track the leader's committed watermark, clamped to what we
+		// hold: it is this replica's restart truncation point.
+		committed := s.committed
+		if committed > hwm {
+			committed = hwm
+		}
+		n.mu.Lock()
+		advanced := committed > n.remoteHWM[tp]
+		if advanced {
+			n.remoteHWM[tp] = committed
+		}
+		n.mu.Unlock()
+		if advanced || s.count > 0 {
+			n.noteStateDirty(s.topic, s.partition)
+		}
+	}
+	return hwms, nil
 }
 
 // ---- consumer-group commits ----

@@ -118,6 +118,11 @@ type ServerOptions struct {
 	// parsed as JSON. Used for mixed-version testing and as an escape
 	// hatch against codec bugs.
 	JSONOnly bool
+	// HelloLevel caps the feature level the hello op advertises (0 =
+	// newest, currently helloBatch). Mixed-version tests pin a server at
+	// an older level so negotiation fallbacks stay exercised against a
+	// peer that genuinely refuses the newer ops.
+	HelloLevel int
 	// Node, when set, makes this server a cluster member: produce and
 	// fetch are gated by partition leadership and replicated, and the
 	// meta/ping/replicate ops are served. Can also be attached after
@@ -238,7 +243,7 @@ func binOpName(op byte) string {
 		return opHWM
 	case binOpProducePart, binOpProducePartF:
 		return opProducePart
-	case binOpReplicate, binOpReplicateF:
+	case binOpReplicate, binOpReplicateF, binOpReplicateMF:
 		return opReplicate
 	case binOpRFetchF:
 		return opRFetch
@@ -512,6 +517,17 @@ func (s *Server) handleBinary(payload []byte, bw *bufio.Writer) error {
 		} else {
 			encodeWatermarkResp(out, req.op, req.corr, hwm)
 		}
+	case binOpReplicateMF:
+		if node == nil {
+			encodeErrResp(out, req.op, req.corr, "broker: not a cluster member")
+			break
+		}
+		hwms, err := node.applyReplicateBatch(req.epoch, req.sender, req.sections)
+		if err != nil {
+			encodeErrResp(out, req.op, req.corr, err.Error())
+		} else {
+			encodeReplicateMFResp(out, req.corr, hwms)
+		}
 	case binOpFetchF, binOpRFetchF:
 		// The scatter path of the tentpole: the response is assembled
 		// directly in the pooled output buffer — header and base first,
@@ -741,7 +757,11 @@ func (s *Server) dispatchOp(req *wireRequest) wireResponse {
 			// Mimic a pre-codec server so negotiating clients fall back.
 			return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 		}
-		return wireResponse{N: helloFrames}
+		n := helloBatch
+		if s.opts.HelloLevel > 0 && s.opts.HelloLevel < n {
+			n = s.opts.HelloLevel
+		}
+		return wireResponse{N: n}
 	default:
 		return wireResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
