@@ -1,0 +1,241 @@
+package streamapprox
+
+import (
+	"streamapprox/internal/stream"
+
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// These tests pin Session.PushBatch to Push: the vectorized
+// window/stratum run segmentation must make exactly the scalar path's
+// decisions — same segments, same late drops, same per-window item and
+// sample counts — on any input, including late, duplicate-time, and
+// zero-time records.
+
+var batchBase = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// collect drains both sessions completely and returns their windows.
+func runBoth(t *testing.T, cfg SessionConfig, events []Event, chunk func(i int) int) (scalar, batch []WindowResult, s1, s2 *Session) {
+	t.Helper()
+	s1 = NewSession(cfg)
+	for _, e := range events {
+		if err := s1.Push(e); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	s2 = NewSession(cfg)
+	for i := 0; i < len(events); {
+		j := i + chunk(i)
+		if j <= i {
+			j = i + 1
+		}
+		if j > len(events) {
+			j = len(events)
+		}
+		b := NewEventBatch()
+		for _, e := range events[i:j] {
+			b.AppendEvent(stream.Event(e))
+		}
+		if err := s2.PushBatch(b, 0, b.Len()); err != nil {
+			t.Fatalf("PushBatch: %v", err)
+		}
+		b.Release()
+		scalar = append(scalar, s1.Poll()...)
+		batch = append(batch, s2.Poll()...)
+		i = j
+	}
+	scalar = append(scalar, s1.Close()...)
+	batch = append(batch, s2.Close()...)
+	return scalar, batch, s1, s2
+}
+
+// checkStructure compares the deterministic observables of two window
+// streams (everything except which sampled items survived eviction).
+func checkStructure(t *testing.T, scalar, batch []WindowResult) {
+	t.Helper()
+	if len(scalar) != len(batch) {
+		t.Fatalf("window count: scalar %d, batch %d", len(scalar), len(batch))
+	}
+	for i := range scalar {
+		a, b := scalar[i], batch[i]
+		if !a.Start.Equal(b.Start) || !a.End.Equal(b.End) {
+			t.Errorf("window %d bounds: scalar [%v,%v), batch [%v,%v)", i, a.Start, a.End, b.Start, b.End)
+		}
+		if a.Items != b.Items {
+			t.Errorf("window %d items: scalar %d, batch %d", i, a.Items, b.Items)
+		}
+		if a.Sampled != b.Sampled {
+			t.Errorf("window %d sampled: scalar %d, batch %d", i, a.Sampled, b.Sampled)
+		}
+	}
+}
+
+func randomEvents(rng *rand.Rand, n int) []Event {
+	strata := []string{"a", "b", "c"}
+	events := make([]Event, 0, n)
+	t := batchBase
+	for i := 0; i < n; i++ {
+		// Mostly forward steps, occasional repeats and late stragglers.
+		switch rng.Intn(10) {
+		case 0:
+			// late: behind the high-water mark
+			events = append(events, Event{
+				Stratum: strata[rng.Intn(3)], Value: float64(rng.Intn(100)),
+				Time: t.Add(-time.Duration(1+rng.Intn(3000)) * time.Millisecond),
+			})
+			continue
+		case 1:
+			// duplicate timestamp
+		default:
+			t = t.Add(time.Duration(rng.Intn(400)) * time.Millisecond)
+		}
+		events = append(events, Event{
+			Stratum: strata[rng.Intn(3)], Value: float64(rng.Intn(100)), Time: t,
+		})
+	}
+	return events
+}
+
+func TestPushBatchMatchesPushStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := SessionConfig{WindowSize: 2 * time.Second, WindowSlide: time.Second, Fraction: 0.5}
+	for trial := 0; trial < 30; trial++ {
+		events := randomEvents(rng, 1500)
+		scalar, batch, s1, s2 := runBoth(t, cfg, events, func(int) int { return 1 + rng.Intn(300) })
+		checkStructure(t, scalar, batch)
+		if s1.Late() != s2.Late() {
+			t.Errorf("trial %d: late drops: scalar %d, batch %d", trial, s1.Late(), s2.Late())
+		}
+	}
+}
+
+// TestPushBatchExactWhenNothingEvicted removes the one source of
+// randomness — reservoir eviction — by keeping every segment under the
+// sampler's budget. The two paths must then produce byte-identical
+// windows, estimates and groups included.
+func TestPushBatchExactWhenNothingEvicted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := SessionConfig{
+		WindowSize: 2 * time.Second, WindowSlide: time.Second,
+		Fraction: 1, Query: Mean, Seed: 7,
+	}
+	// 40 events per one-second segment, single stratum: the bootstrap
+	// budget (64) and every lastCount-derived budget (40) hold them all.
+	var events []Event
+	for seg := 0; seg < 20; seg++ {
+		for k := 0; k < 40; k++ {
+			events = append(events, Event{
+				Stratum: "s", Value: rng.Float64() * 100,
+				Time: batchBase.Add(time.Duration(seg)*time.Second + time.Duration(k*25)*time.Millisecond),
+			})
+		}
+	}
+	scalar, batch, _, _ := runBoth(t, cfg, events, func(int) int { return 1 + rng.Intn(97) })
+	if !reflect.DeepEqual(scalar, batch) {
+		t.Fatalf("windows diverged:\nscalar %+v\nbatch  %+v", scalar, batch)
+	}
+}
+
+func TestPushBatchZeroTimeEvents(t *testing.T) {
+	cfg := SessionConfig{WindowSize: 2 * time.Second, WindowSlide: time.Second}
+	// Zero-time records before any watermark exercise the sentinel
+	// fallback; after a real watermark they must count as late.
+	events := []Event{
+		{Stratum: "a", Value: 1},
+		{Stratum: "a", Value: 2},
+		{Stratum: "a", Value: 3, Time: batchBase},
+		{Stratum: "a", Value: 4},
+		{Stratum: "a", Value: 5, Time: batchBase.Add(time.Second)},
+	}
+	scalar, batch, s1, s2 := runBoth(t, cfg, events, func(int) int { return len(events) })
+	checkStructure(t, scalar, batch)
+	if s1.Late() != s2.Late() {
+		t.Errorf("late drops: scalar %d, batch %d", s1.Late(), s2.Late())
+	}
+}
+
+func TestPushBatchStratifiedFallback(t *testing.T) {
+	// Sessions with a stratifier take the per-record path inside
+	// PushBatch; the observable behavior must still match Push exactly.
+	rng := rand.New(rand.NewSource(3))
+	cfg := SessionConfig{
+		WindowSize: 2 * time.Second, WindowSlide: time.Second,
+		Stratify: StratifyQuantile, StratifyK: 3, Seed: 5,
+	}
+	events := randomEvents(rng, 800)
+	scalar, batch, _, _ := runBoth(t, cfg, events, func(int) int { return 1 + rng.Intn(100) })
+	checkStructure(t, scalar, batch)
+}
+
+func TestPushBatchRangeClamping(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	b := NewEventBatch()
+	defer b.Release()
+	b.AppendEvent(stream.Event{Stratum: "a", Value: 1, Time: batchBase})
+	if err := s.PushBatch(b, -5, 99); err != nil {
+		t.Fatalf("PushBatch with out-of-range bounds: %v", err)
+	}
+	got := s.Close()
+	if len(got) == 0 {
+		t.Fatal("clamped push lost the record: no windows")
+	}
+	for _, wr := range got {
+		// The default 10s/5s window puts the one segment in two
+		// overlapping windows; each must carry the single record.
+		if wr.Items != 1 {
+			t.Fatalf("clamped push lost the record: %+v", got)
+		}
+	}
+}
+
+func TestPushBatchClosedSession(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	s.Close()
+	b := NewEventBatch()
+	defer b.Release()
+	b.AppendEvent(stream.Event{Stratum: "a", Value: 1, Time: batchBase})
+	if err := s.PushBatch(b, 0, b.Len()); err != ErrClosedSession {
+		t.Fatalf("PushBatch on closed session: err = %v, want ErrClosedSession", err)
+	}
+}
+
+// FuzzPushBatchSegmentation feeds arbitrary byte-derived event streams
+// through both paths and requires the deterministic observables to
+// agree. Each input byte pair becomes one event: a signed time step (so
+// the fuzzer reaches late-drop and duplicate-time interleavings) and a
+// value/stratum selector.
+func FuzzPushBatchSegmentation(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 1, 200, 2, 10, 3}, uint8(3))
+	f.Add([]byte{255, 0, 1, 1, 255, 2, 128, 3, 0, 4}, uint8(1))
+	f.Add([]byte{50, 50, 50, 50, 50, 50}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint8) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		strata := []string{"a", "b", "c", "d"}
+		var events []Event
+		tm := batchBase
+		for i := 0; i+1 < len(data); i += 2 {
+			step := time.Duration(int(data[i])-96) * 37 * time.Millisecond
+			et := tm.Add(step)
+			if et.After(tm) {
+				tm = et
+			}
+			events = append(events, Event{
+				Stratum: strata[int(data[i+1])%len(strata)],
+				Value:   float64(data[i+1]),
+				Time:    et,
+			})
+		}
+		cfg := SessionConfig{WindowSize: 2 * time.Second, WindowSlide: time.Second, Fraction: 0.4}
+		chunk := 1 + int(chunkSeed)%64
+		scalar, batch, s1, s2 := runBoth(t, cfg, events, func(int) int { return chunk })
+		checkStructure(t, scalar, batch)
+		if s1.Late() != s2.Late() {
+			t.Errorf("late drops: scalar %d, batch %d", s1.Late(), s2.Late())
+		}
+	})
+}

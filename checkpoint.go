@@ -122,6 +122,7 @@ func RestoreSession(data []byte) (*Session, error) {
 		s.controller = adaptive.NewController(st.TargetError, st.ControllerFrac)
 	}
 	s.segStart = st.SegStart
+	s.cacheSegBounds()
 	s.segCount = st.SegCount
 	s.lastCount = st.LastCount
 	s.watermark = st.Watermark

@@ -193,6 +193,7 @@ type benchE2EResult struct {
 	Events     int                `json:"events"`
 	Batch      int                `json:"batch"`
 	Parts      int                `json:"partitions"`
+	Reps       int                `json:"reps"` // best-throughput rep recorded per scenario
 	Fraction   float64            `json:"fraction"`
 	Confidence int                `json:"confidence"`
 	Scenarios  []benchE2EScenario `json:"scenarios"`
@@ -205,11 +206,12 @@ func runBenchE2E(args []string) error {
 	parts := fs.Int("partitions", 4, "topic partitions")
 	out := fs.String("out", "BENCH_e2e.json", `result file ("-" for stdout only)`)
 	only := fs.String("scenario", "", "run a single scenario (empty: all)")
+	reps := fs.Int("reps", 3, "repetitions per scenario; the best-throughput rep is recorded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *events < *batch || *batch < 1 || *parts < 1 {
-		return fmt.Errorf("bench-e2e: need events >= batch >= 1 and partitions >= 1")
+	if *events < *batch || *batch < 1 || *parts < 1 || *reps < 1 {
+		return fmt.Errorf("bench-e2e: need events >= batch >= 1, partitions >= 1 and reps >= 1")
 	}
 
 	res := benchE2EResult{
@@ -220,6 +222,7 @@ func runBenchE2E(args []string) error {
 		Events:     *events,
 		Batch:      *batch,
 		Parts:      *parts,
+		Reps:       *reps,
 		Fraction:   0.5,
 		Confidence: 95,
 	}
@@ -229,10 +232,22 @@ func runBenchE2E(args []string) error {
 		if *only != "" && sc != *only {
 			continue
 		}
-		blog.Info("scenario", "name", sc, "events", *events)
-		s, err := runE2EScenario(sc, *events, *batch, *parts)
-		if err != nil {
-			return fmt.Errorf("bench-e2e %s: %w", sc, err)
+		blog.Info("scenario", "name", sc, "events", *events, "reps", *reps)
+		// Best-of-reps: each rep runs on a fresh cluster, and the rep with
+		// the highest produce throughput is recorded whole (paired metrics
+		// come from the same run, never mixed across reps). This measures
+		// the system's capability rather than the noisiest co-tenant.
+		var s benchE2EScenario
+		for r := 0; r < *reps; r++ {
+			rep, err := runE2EScenario(sc, *events, *batch, *parts)
+			if err != nil {
+				return fmt.Errorf("bench-e2e %s (rep %d): %w", sc, r+1, err)
+			}
+			blog.Info("rep done", "name", sc, "rep", r+1,
+				"items_per_s", fmt.Sprintf("%.0f", rep.ItemsPerSec))
+			if r == 0 || rep.ItemsPerSec > s.ItemsPerSec {
+				s = rep
+			}
 		}
 		blog.Info("scenario done", "name", sc,
 			"items_per_s", fmt.Sprintf("%.0f", s.ItemsPerSec),

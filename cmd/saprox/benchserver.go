@@ -38,6 +38,15 @@ func (c *fetchCountingCluster) Fetch(topic string, partition int, offset int64, 
 	return c.Cluster.Fetch(topic, partition, offset, max)
 }
 
+// FetchBatch forwards the columnar fetch so the wrapper stays on the
+// serving tier's native batch path — without it the consumer would
+// silently fall back to the record bridge and the benchmark would stop
+// measuring the vectorized pipeline.
+func (c *fetchCountingCluster) FetchBatch(topic string, partition int, offset int64, max int, b *stream.EventBatch) (int, error) {
+	c.fetches.Add(1)
+	return c.Cluster.(broker.BatchFetcher).FetchBatch(topic, partition, offset, max, b)
+}
+
 // benchServerCase is one (mode, query count) measurement.
 type benchServerCase struct {
 	Mode            string  `json:"mode"` // "shared" or "per-query"
@@ -68,11 +77,20 @@ func runBenchServer(args []string) error {
 	events := fs.Int("events", 40000, "events per measurement")
 	partitions := fs.Int("partitions", 4, "topic partitions (= shards per query)")
 	out := fs.String("out", "BENCH_server.json", `result file ("-" for stdout only)`)
+	baseline := fs.String("baseline", "", "baseline result file to gate against (empty: no gate)")
+	maxRegress := fs.Float64("max-regress", 0.30, "max fractional items/s regression vs -baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *events < 1000 || *partitions < 1 {
-		return fmt.Errorf("bench-server: need events >= 1000 and partitions >= 1")
+	if *partitions < 1 {
+		return fmt.Errorf("bench-server: need partitions >= 1")
+	}
+	// Events are ms-spaced and windows close on event-time watermarks
+	// only, so the stream must span enough event time for the 3 windows
+	// every case waits on (10s window / 5s slide → ~20s). A shorter run
+	// would spin against the completion deadline, not measure anything.
+	if *events < 20000 {
+		return fmt.Errorf("bench-server: need events >= 20000 (%d events is ~%ds of event time; the 3 windows each case waits for need ~20s)", *events, *events/1000)
 	}
 
 	res := benchServerResult{
@@ -112,13 +130,59 @@ func runBenchServer(args []string) error {
 	}
 	blob = append(blob, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(blob)
-		return err
+		if _, err = os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  recorded in %s\n", *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		return err
+	if *baseline != "" {
+		return checkServerRegression(*baseline, *maxRegress, res)
 	}
-	fmt.Printf("  recorded in %s\n", *out)
+	return nil
+}
+
+// checkServerRegression compares the serving tier's measured items/s
+// against a recorded baseline file, case by (mode, queries) case, and
+// errors when any case fell more than maxRegress below it — the CI gate
+// that keeps serving-tier hot-path regressions (a de-vectorized fetch,
+// a per-record sampler fallback) from landing silently. Gains are never
+// an error; rerecord the baseline to ratchet them in.
+func checkServerRegression(path string, maxRegress float64, res benchServerResult) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-server baseline: %w", err)
+	}
+	var base benchServerResult
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench-server baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]benchServerCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseBy[fmt.Sprintf("%s/%d", c.Mode, c.Queries)] = c
+	}
+	compared := 0
+	for _, c := range res.Cases {
+		key := fmt.Sprintf("%s/%d", c.Mode, c.Queries)
+		b, ok := baseBy[key]
+		if !ok || b.ItemsPerSec <= 0 {
+			continue
+		}
+		compared++
+		drop := 1 - c.ItemsPerSec/b.ItemsPerSec
+		fmt.Printf("  vs %s: %-12s %12.0f items/s (baseline %12.0f, %+.1f%%)\n",
+			path, key, c.ItemsPerSec, b.ItemsPerSec, -drop*100)
+		if drop > maxRegress {
+			return fmt.Errorf("bench-server: %s regressed %.1f%% vs %s (limit %.0f%%)",
+				key, drop*100, path, maxRegress*100)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench-server: baseline %s shares no cases with this run", path)
+	}
 	return nil
 }
 

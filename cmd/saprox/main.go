@@ -83,7 +83,8 @@ func usage() {
                                                scenario
   saprox status -brokers a1,a2 [-saproxd a]    scrape live /metrics endpoints and
                                                render leaders, ISR, replication
-                                               lag, wire latency quantiles, and
+                                               lag, wire latency quantiles, the
+                                               ingest plane's batch shape, and
                                                per-query error vs budget
 
 run flags:
@@ -98,9 +99,14 @@ bench-broker flags:
   -out FILE        result file (default BENCH_broker.json; "-" for stdout only)
 
 bench-server flags:
-  -events N        events per measurement (default 40000)
+  -events N        events per measurement (default 40000, min 20000:
+                   the 3 windows each case waits on need ~20s of
+                   ms-spaced event time)
   -partitions N    topic partitions = shards per query (default 4)
   -out FILE        result file (default BENCH_server.json; "-" for stdout only)
+  -baseline FILE   gate items/s per (mode, queries) case against this
+                   recorded result file (default: no gate)
+  -max-regress F   max fractional items/s regression vs -baseline (default 0.30)
 
 bench-cluster flags:
   -records N       records per measurement (default 100000)
@@ -114,6 +120,8 @@ bench-e2e flags:
   -partitions N    topic partitions (default 4)
   -scenario NAME   run one scenario only: baseline, leader-kill,
                    leader-blackhole, follower-stall, slow-disk (default: all)
+  -reps N          repetitions per scenario; the best-throughput rep is
+                   recorded whole (default 3)
   -out FILE        result file (default BENCH_e2e.json; "-" for stdout only)
 
 status flags:

@@ -69,6 +69,7 @@ func runStatus(args []string) error {
 		if err != nil {
 			return fmt.Errorf("status: saproxd %s: %w", *saproxdFlag, err)
 		}
+		renderIngest(*saproxdFlag, sc)
 		renderQueries(*saproxdFlag, sc)
 	}
 	return nil
@@ -231,6 +232,61 @@ func renderPartitions(brokers []*brokerScrape) {
 		}
 		fmt.Fprintf(w, "%s/%s\t%s\t%.0f\t%.0f\t%.0f\t%s\n",
 			r.topic, r.part, leader, r.isr, r.logEnd, r.committed, lag)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+// renderIngest shows the shared plane's per-partition batch shape: how
+// many records each columnar fetch round carried (the vectorization's
+// leverage — bigger batches amortize more per-record work) and how long
+// the partition loop blocked per fetch+decode round.
+func renderIngest(addr string, sc *metrics.Scrape) {
+	parts := make(map[string]bool)
+	for _, s := range sc.Select("saproxd_ingest_records_total", nil) {
+		if s.Labels["partition"] != "" {
+			parts[s.Labels["partition"]] = true
+		}
+	}
+	if len(parts) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(parts))
+	for p := range parts {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	fmt.Printf("INGEST PLANE (%s)\n", addr)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "PARTITION\tRECORDS\tITEMS/S\tLAG\tBATCH avg/p99\tDECODE p50/p99")
+	for _, p := range keys {
+		m := metrics.Labels{"partition": p}
+		records, _ := sc.Value("saproxd_ingest_records_total", m)
+		rate := "-"
+		if v, ok := sc.Value("saproxd_ingest_throughput_items_per_s", m); ok {
+			rate = fmt.Sprintf("%.0f", v)
+		}
+		lag := "-"
+		if v, ok := sc.Value("saproxd_ingest_lag_records", m); ok {
+			lag = fmt.Sprintf("%.0f", v)
+		}
+		batch := "-"
+		if sum, ok := sc.Value("saproxd_ingest_batch_records_sum", m); ok {
+			if count, ok2 := sc.Value("saproxd_ingest_batch_records_count", m); ok2 && count > 0 {
+				p99, ok99 := sc.Quantile("saproxd_ingest_batch_records", m, 0.99)
+				batch = fmt.Sprintf("%.0f", sum/count)
+				if ok99 {
+					batch += fmt.Sprintf("/%.0f", p99)
+				}
+			}
+		}
+		decode := "-"
+		p50d, ok50 := sc.Quantile("saproxd_ingest_decode_seconds", m, 0.50)
+		p99d, ok99 := sc.Quantile("saproxd_ingest_decode_seconds", m, 0.99)
+		if ok50 || ok99 {
+			decode = fmtDur(p50d, ok50) + "/" + fmtDur(p99d, ok99)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%s\t%s\t%s\t%s\n", p, records, rate, lag, batch, decode)
 	}
 	w.Flush()
 	fmt.Println()

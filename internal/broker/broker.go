@@ -30,6 +30,7 @@ import (
 
 	"streamapprox/internal/broker/storage"
 	"streamapprox/internal/metrics"
+	"streamapprox/internal/stream"
 )
 
 // Errors returned by broker operations.
@@ -674,6 +675,21 @@ func (b *Broker) FetchFrames(topicName string, partition int, offset int64, max 
 		max = 1024
 	}
 	return t.partitions[partition].log.ReadFrames(offset, max, buf)
+}
+
+// FetchBatch reads up to max records from one partition directly into a
+// columnar batch — the in-process form of the vectorized fetch path.
+// The partition log's frames were validated when they entered the
+// process, so the decode is a structural walk plus column appends.
+func (b *Broker) FetchBatch(topicName string, partition int, offset int64, max int, eb *stream.EventBatch) (int, error) {
+	fb := getFrame()
+	defer putFrame(fb)
+	frames, _, err := b.FetchFrames(topicName, partition, offset, max, fb.b[:0])
+	fb.b = frames[:0]
+	if err != nil {
+		return 0, err
+	}
+	return framesToBatch(frames, offset, eb), nil
 }
 
 // HighWatermark returns the next offset to be written in a partition.

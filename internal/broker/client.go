@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/stream"
 )
 
 // Client is a TCP client for a broker Server. Methods mirror Broker's.
@@ -501,6 +502,50 @@ func (c *Client) Fetch(topicName string, partition int, offset int64, max int) (
 		return nil, err
 	}
 	return decodeFetchResp(cur, topicName, partition)
+}
+
+// FetchBatch reads records from a remote partition directly into a
+// columnar batch. Against a frames-capable peer the response's frame
+// chunk is CRC-verified once and decoded column-wise — no intermediate
+// []Record is materialized; against older peers it falls back to the
+// record fetch and converts, so callers can use the batch surface
+// unconditionally.
+func (c *Client) FetchBatch(topicName string, partition int, offset int64, max int, b *stream.EventBatch) (int, error) {
+	if !c.binary || !c.frames {
+		recs, err := c.Fetch(topicName, partition, offset, max)
+		if err != nil {
+			return 0, err
+		}
+		return recordsToBatch(recs, offset, b), nil
+	}
+	if err := checkTopic(topicName); err != nil {
+		return 0, err
+	}
+	fb, err := c.callBinary(func(fb *frameBuf, corr uint64) {
+		encodeFetchFramesReq(fb, corr, c.traceFor(), topicName, partition, offset, max)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer putFrame(fb)
+	cur, err := decodeRespHeader(fb)
+	if err != nil {
+		return 0, err
+	}
+	base := int64(cur.u64())
+	count := int(cur.u32())
+	if cur.err != nil {
+		return 0, cur.err
+	}
+	frames := cur.rest()
+	n, err := storage.ValidateFrames(frames)
+	if err != nil {
+		return 0, err
+	}
+	if n != count {
+		return 0, errTruncatedFrame
+	}
+	return framesToBatch(frames, base, b), nil
 }
 
 // HighWatermark returns the remote partition's next write offset.

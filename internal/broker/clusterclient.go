@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"streamapprox/internal/stream"
 )
 
 // ClusterClientOptions tunes routing retries and per-member deadlines.
@@ -554,6 +556,22 @@ func (cc *ClusterClient) Fetch(topicName string, partition int, offset int64, ma
 		recs, err := cli.Fetch(topicName, partition, offset, max)
 		if err == nil {
 			out = recs
+		}
+		return err
+	})
+	return out, err
+}
+
+// FetchBatch reads records from the partition leader directly into a
+// columnar batch. The batch is reset before every attempt, so a
+// mid-fetch failover retry never leaves a partially decoded round.
+func (cc *ClusterClient) FetchBatch(topicName string, partition int, offset int64, max int, b *stream.EventBatch) (int, error) {
+	var out int
+	err := cc.withLeaderRetry(topicName, partition, func(cli *Client) error {
+		b.Reset()
+		n, err := cli.FetchBatch(topicName, partition, offset, max, b)
+		if err == nil {
+			out = n
 		}
 		return err
 	})

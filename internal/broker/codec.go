@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"streamapprox/internal/broker/storage"
+	"streamapprox/internal/stream"
 )
 
 // binVersion is the codec version byte opening every binary frame. It
@@ -818,6 +819,24 @@ func framesToRecords(frames []byte, count int, topic string, partition int, base
 		})
 	}
 	return recs
+}
+
+// framesToBatch decodes a validated frame chunk straight into a
+// columnar batch — the vectorized consumer end of a frames fetch. The
+// frame time field uses the same zero-time sentinel as the batch's
+// Times column, so nanos copy through unconverted, and stratum keys are
+// dictionary-interned by the batch (one string allocation per distinct
+// key per batch).
+func framesToBatch(frames []byte, base int64, b *stream.EventBatch) int {
+	n := 0
+	it := storage.IterFrames(frames)
+	for it.Next() {
+		kb, bits, nanos := storage.FrameFields(it.Payload())
+		b.Append(b.InternBytes(kb), math.Float64frombits(bits), nanos)
+		n++
+	}
+	b.Base = base
+	return n
 }
 
 // decodeRecordBatch decodes a count-prefixed record batch, leaving the

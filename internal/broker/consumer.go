@@ -25,6 +25,34 @@ var (
 	_ Cluster = (*Client)(nil)
 )
 
+// BatchFetcher is the optional vectorized fetch surface: a broker that
+// can decode one partition fetch straight into a columnar EventBatch
+// (frame chunk → columns, no intermediate []Record). The in-process
+// *Broker, the TCP *Client, and the routing *ClusterClient all
+// implement it; wrappers around a Cluster should forward it to keep the
+// consumer's batch path lit.
+type BatchFetcher interface {
+	FetchBatch(topic string, partition int, offset int64, max int, b *stream.EventBatch) (int, error)
+}
+
+var (
+	_ BatchFetcher = (*Broker)(nil)
+	_ BatchFetcher = (*Client)(nil)
+	_ BatchFetcher = (*ClusterClient)(nil)
+)
+
+// recordsToBatch converts a row-form record slice into a columnar
+// batch — the compatibility bridge for brokers without a native
+// FetchBatch. base is the offset of recs[0].
+func recordsToBatch(recs []Record, base int64, b *stream.EventBatch) int {
+	for i := range recs {
+		r := &recs[i]
+		b.Append(b.Intern(r.Key), r.Value, timeToNanos(r.Time))
+	}
+	b.Base = base
+	return len(recs)
+}
+
 // Consumer reads one topic from a broker as part of a consumer group,
 // owning a fixed subset of partitions (static assignment: member i of m
 // owns partitions p with p % m == i, Kafka's range-free analogue that
@@ -46,6 +74,9 @@ type Consumer struct {
 	offsets map[int]int64
 
 	pre *prefetcher
+	// batchMode switches the prefetcher to columnar rounds
+	// (fetchAllBatch/PollBatch); set by StartBatchPrefetch.
+	batchMode bool
 }
 
 // prefetcher is the background double-buffer: one batch queued in ch,
@@ -59,11 +90,13 @@ type prefetcher struct {
 
 // prefetchBatch carries one fetched round plus the per-partition
 // positions after it, applied to the consumer's offsets on delivery so
-// Commit never covers records the caller has not yet seen.
+// Commit never covers records the caller has not yet seen. Exactly one
+// of recs/batch is set, matching the consumer's prefetch mode.
 type prefetchBatch struct {
-	recs []Record
-	pos  map[int]int64
-	err  error
+	recs  []Record
+	batch *stream.EventBatch
+	pos   map[int]int64
+	err   error
 }
 
 // NewConsumer returns a consumer for member `member` of `members` total in
@@ -193,8 +226,59 @@ func (c *Consumer) fetchAll(pos map[int]int64) ([]Record, error) {
 	for p, n := range adv {
 		pos[p] += n
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	// Detect the overwhelmingly common already-ordered round (a single
+	// partition's append-ordered records) with one linear scan, so the
+	// per-batch sort and its closure run only on an actual inversion.
+	if !recordsTimeOrdered(out) {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	}
 	return out, nil
+}
+
+// recordsTimeOrdered reports whether recs' times are non-decreasing.
+func recordsTimeOrdered(recs []Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchAllBatch is fetchAll's columnar form for a single-partition
+// consumer: one fetch round decoded straight into a pooled EventBatch
+// (natively when the broker implements BatchFetcher, through the record
+// bridge otherwise). Returns nil on an empty round; the caller owns the
+// returned batch's reference.
+func (c *Consumer) fetchAllBatch(pos map[int]int64) (*stream.EventBatch, error) {
+	p := c.parts[0]
+	base := pos[p]
+	b := stream.GetEventBatch()
+	var n int
+	if bf, ok := c.broker.(BatchFetcher); ok {
+		var err error
+		n, err = bf.FetchBatch(c.topicName, p, base, c.fetchMax, b)
+		if err != nil {
+			b.Release()
+			return nil, err
+		}
+	} else {
+		recs, err := c.broker.Fetch(c.topicName, p, base, c.fetchMax)
+		if err != nil {
+			b.Release()
+			return nil, err
+		}
+		n = recordsToBatch(recs, base, b)
+	}
+	if n == 0 {
+		b.Release()
+		return nil, nil
+	}
+	pos[p] += int64(n)
+	// Deliver in event-time order like fetchAll; a no-op scan on the
+	// already-ordered common case.
+	b.SortByTime()
+	return b, nil
 }
 
 // Poll returns the next batch of records across the consumer's partitions
@@ -239,6 +323,52 @@ func (c *Consumer) Poll() ([]Record, error) {
 	return recs, nil
 }
 
+// PollBatch is Poll's columnar form: it returns the next fetch round as
+// a pooled EventBatch (nil when no new records are available) and
+// advances the consumer's offsets. The caller owns the batch's
+// reference and must Release it (after Retaining for any further
+// consumers it fans the batch out to). Only single-partition consumers
+// support PollBatch — a batch's offsets are consecutive from its Base.
+// With a batch prefetcher running (StartBatchPrefetch) the batch was
+// fetched, decoded, and time-ordered ahead of time.
+func (c *Consumer) PollBatch() (*stream.EventBatch, error) {
+	if c.pre != nil {
+		select {
+		case pb := <-c.pre.ch:
+			if pb.err != nil {
+				return nil, pb.err
+			}
+			c.mu.Lock()
+			for p, off := range pb.pos {
+				c.offsets[p] = off
+			}
+			c.mu.Unlock()
+			return pb.batch, nil
+		case <-c.pre.done:
+			return nil, ErrClosed
+		}
+	}
+	if len(c.parts) != 1 {
+		return nil, ErrBadPartition
+	}
+	c.mu.Lock()
+	pos := make(map[int]int64, len(c.offsets))
+	for p, off := range c.offsets {
+		pos[p] = off
+	}
+	c.mu.Unlock()
+	b, err := c.fetchAllBatch(pos)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for p, off := range pos {
+		c.offsets[p] = off
+	}
+	c.mu.Unlock()
+	return b, nil
+}
+
 // StartPrefetch launches the background prefetcher. It is a no-op if
 // one is already running. Stop it with Close.
 func (c *Consumer) StartPrefetch() {
@@ -258,6 +388,23 @@ func (c *Consumer) StartPrefetch() {
 	go c.prefetchLoop(c.pre, pos)
 }
 
+// StartBatchPrefetch launches the background prefetcher in columnar
+// mode: rounds are fetched and decoded into pooled EventBatches for
+// PollBatch. Valid only for single-partition consumers; a no-op if a
+// prefetcher is already running.
+func (c *Consumer) StartBatchPrefetch() {
+	if len(c.parts) != 1 {
+		c.StartPrefetch()
+		return
+	}
+	c.mu.Lock()
+	if c.pre == nil {
+		c.batchMode = true
+	}
+	c.mu.Unlock()
+	c.StartPrefetch()
+}
+
 // prefetchLoop owns pos, the fetch frontier, which runs ahead of
 // c.offsets by the batches still queued. An empty or failed round is
 // still delivered (the caller's poll cadence paces retries — the loop
@@ -272,14 +419,23 @@ func (c *Consumer) prefetchLoop(pre *prefetcher, pos map[int]int64) {
 			return
 		default:
 		}
-		recs, err := c.fetchAll(pos)
+		var pb prefetchBatch
+		if c.batchMode {
+			pb.batch, pb.err = c.fetchAllBatch(pos)
+		} else {
+			pb.recs, pb.err = c.fetchAll(pos)
+		}
 		snap := make(map[int]int64, len(pos))
 		for p, off := range pos {
 			snap[p] = off
 		}
+		pb.pos = snap
 		select {
-		case pre.ch <- prefetchBatch{recs: recs, pos: snap, err: err}:
+		case pre.ch <- pb:
 		case <-pre.done:
+			if pb.batch != nil {
+				pb.batch.Release()
+			}
 			return
 		}
 	}

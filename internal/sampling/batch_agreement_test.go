@@ -1,0 +1,257 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// These tests pin the vectorized sampling path to the scalar one: the
+// deterministic bookkeeping (seen counts, strata discovered, reservoir
+// sizes, weights) must agree exactly, and the random part (which items
+// survive) must agree in distribution.
+
+func batchOf(events []stream.Event) *stream.EventBatch {
+	b := stream.GetEventBatch()
+	for _, e := range events {
+		b.AppendEvent(e)
+	}
+	return b
+}
+
+// feedBatches offers events through AddBatch in randomly sized chunks,
+// exercising the skip-chain discard at every chunk boundary.
+func feedBatches(o *OASRS, events []stream.Event, rng *xrand.Rand) {
+	for i := 0; i < len(events); {
+		j := i + 1 + rng.Intn(40)
+		if j > len(events) {
+			j = len(events)
+		}
+		b := batchOf(events[i:j])
+		o.AddBatch(b, 0, b.Len())
+		b.Release()
+		i = j
+	}
+}
+
+func TestReservoirAddBatchBookkeepingMatchesAdd(t *testing.T) {
+	events := mkEvents("a", 5000)
+	b := batchOf(events)
+	defer b.Release()
+
+	ra := NewReservoir(64, xrand.New(1))
+	for _, e := range events {
+		ra.Add(e)
+	}
+	rb := NewReservoir(64, xrand.New(2))
+	rb.AddBatch(b, 0, b.Len())
+
+	if ra.Seen() != rb.Seen() {
+		t.Errorf("Seen: Add %d, AddBatch %d", ra.Seen(), rb.Seen())
+	}
+	if len(ra.Items()) != len(rb.Items()) {
+		t.Errorf("sample size: Add %d, AddBatch %d", len(ra.Items()), len(rb.Items()))
+	}
+	// Below capacity both paths are fully deterministic: every item kept
+	// in arrival order.
+	small := batchOf(events[:10])
+	defer small.Release()
+	rs := NewReservoir(64, xrand.New(3))
+	rs.AddBatch(small, 0, small.Len())
+	for i, it := range rs.Items() {
+		if it != events[i] {
+			t.Fatalf("fill phase reordered items: got %+v at %d", it, i)
+		}
+	}
+}
+
+// TestReservoirAddBatchUniformity is the distributional half of the
+// equivalence claim: the skip-sampling loop must leave every stream item
+// with the same marginal selection probability N/n as Algorithm R,
+// including when the stream arrives as many small batches whose
+// boundaries discard in-progress skip chains.
+func TestReservoirAddBatchUniformity(t *testing.T) {
+	const n, capN, trials = 100, 10, 20000
+	counts := make([]int, n)
+	rng := xrand.New(44)
+	split := xrand.New(45)
+	events := mkEvents("a", n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capN, rng)
+		for i := 0; i < n; {
+			j := i + 1 + split.Intn(17)
+			if j > n {
+				j = n
+			}
+			b := batchOf(events[i:j])
+			r.AddBatch(b, 0, b.Len())
+			b.Release()
+			i = j
+		}
+		for _, it := range r.Items() {
+			counts[int(it.Value)]++
+		}
+	}
+	want := float64(trials) * capN / n
+	sd := math.Sqrt(want * (1 - float64(capN)/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sd {
+			t.Errorf("item %d selected %d times, want %.0f±%.0f", i, c, want, 3*sd)
+		}
+	}
+}
+
+// mixedStream builds an interleaved multi-stratum stream with skewed
+// arrival rates — the workload OASRS exists for.
+func mixedStream(n int, rng *xrand.Rand) []stream.Event {
+	strata := []string{"heavy", "heavy", "heavy", "medium", "medium", "rare"}
+	base := time.Date(2017, 12, 11, 0, 0, 0, 0, time.UTC)
+	out := make([]stream.Event, n)
+	for i := range out {
+		out[i] = stream.Event{
+			Stratum: strata[rng.Intn(len(strata))],
+			Value:   float64(rng.Intn(1000)),
+			Time:    base.Add(time.Duration(i) * time.Millisecond),
+		}
+	}
+	return out
+}
+
+func TestOASRSAddBatchBookkeepingMatchesAdd(t *testing.T) {
+	events := mixedStream(20000, xrand.New(7))
+	scalar := NewOASRS(120, nil, xrand.New(8))
+	for _, e := range events {
+		scalar.Add(e)
+	}
+	vec := NewOASRS(120, nil, xrand.New(9))
+	feedBatches(vec, events, xrand.New(10))
+
+	sa, sb := scalar.Finish(), vec.Finish()
+	if len(sa.Strata) != len(sb.Strata) {
+		t.Fatalf("strata: Add %d, AddBatch %d", len(sa.Strata), len(sb.Strata))
+	}
+	for i := range sa.Strata {
+		a, b := sa.Strata[i], sb.Strata[i]
+		if a.Stratum != b.Stratum {
+			t.Errorf("stratum %d: Add %q, AddBatch %q", i, a.Stratum, b.Stratum)
+		}
+		if a.Count != b.Count {
+			t.Errorf("stratum %q count: Add %d, AddBatch %d", a.Stratum, a.Count, b.Count)
+		}
+		if len(a.Items) != len(b.Items) {
+			t.Errorf("stratum %q sample size: Add %d, AddBatch %d", a.Stratum, len(a.Items), len(b.Items))
+		}
+		if a.Weight != b.Weight {
+			t.Errorf("stratum %q weight: Add %g, AddBatch %g", a.Stratum, a.Weight, b.Weight)
+		}
+	}
+}
+
+// TestOASRSAddBatchUnbiasedEstimates is the end-to-end statistical
+// agreement check: across many intervals, the weighted-sum estimator
+// over AddBatch samples must be unbiased for the true interval sum,
+// exactly like the scalar path (paper Equation 1).
+func TestOASRSAddBatchUnbiasedEstimates(t *testing.T) {
+	const trials = 300
+	var scalarErr, vecErr float64
+	rng := xrand.New(21)
+	for trial := 0; trial < trials; trial++ {
+		events := mixedStream(4000, xrand.New(uint64(100+trial)))
+		var truth float64
+		for _, e := range events {
+			truth += e.Value
+		}
+		est := func(s *Sample) float64 {
+			var sum float64
+			for _, st := range s.Strata {
+				for _, it := range st.Items {
+					sum += st.Weight * it.Value
+				}
+			}
+			return sum
+		}
+		scalar := NewOASRS(90, nil, xrand.New(uint64(200+trial)))
+		for _, e := range events {
+			scalar.Add(e)
+		}
+		vec := NewOASRS(90, nil, xrand.New(uint64(300+trial)))
+		feedBatches(vec, events, rng)
+		scalarErr += (est(scalar.Finish()) - truth) / truth
+		vecErr += (est(vec.Finish()) - truth) / truth
+	}
+	// Mean relative error of an unbiased estimator over 300 trials stays
+	// well under 2%; a biased skip loop (off-by-one in the acceptance
+	// probability) shows up as several percent.
+	if m := math.Abs(scalarErr) / trials; m > 0.02 {
+		t.Errorf("scalar path mean relative error %.4f, want ~0", m)
+	}
+	if m := math.Abs(vecErr) / trials; m > 0.02 {
+		t.Errorf("batch path mean relative error %.4f, want ~0", m)
+	}
+}
+
+// TestOASRSScalarRunCacheResetsOnFinish guards the Add fast path: the
+// cached (stratum, reservoir) pair must not leak across intervals, or
+// the first run of the next interval lands in a reservoir Finish
+// already emptied.
+func TestOASRSScalarRunCacheResetsOnFinish(t *testing.T) {
+	o := NewOASRS(10, nil, xrand.New(31))
+	for i := 0; i < 50; i++ {
+		o.Add(stream.Event{Stratum: "a", Value: float64(i)})
+	}
+	_ = o.Finish()
+	o.Add(stream.Event{Stratum: "a", Value: 99})
+	s := o.Finish()
+	if len(s.Strata) != 1 || s.Strata[0].Count != 1 {
+		t.Fatalf("stale run cache: second interval sample = %+v", s.Strata)
+	}
+}
+
+// TestOASRSAddBatchDictCollisionAcrossBatches guards the dense table:
+// dictionary IDs are batch-local, so ID 0 meaning "a" in one batch and
+// "b" in the next must still route records to the right reservoirs.
+func TestOASRSAddBatchDictCollisionAcrossBatches(t *testing.T) {
+	o := NewOASRS(100, FixedPerStratum{N: 50}, xrand.New(32))
+	b1 := batchOf(mkEvents("a", 7))
+	o.AddBatch(b1, 0, b1.Len())
+	b1.Release()
+	b2 := batchOf(mkEvents("b", 5)) // "b" gets dictionary ID 0 here too
+	o.AddBatch(b2, 0, b2.Len())
+	b2.Release()
+	s := o.Finish()
+	if len(s.Strata) != 2 {
+		t.Fatalf("got %d strata, want 2: %+v", len(s.Strata), s.Strata)
+	}
+	counts := map[string]int64{}
+	for _, st := range s.Strata {
+		counts[st.Stratum] = st.Count
+	}
+	if counts["a"] != 7 || counts["b"] != 5 {
+		t.Errorf("per-stratum counts %v, want a:7 b:5", counts)
+	}
+}
+
+func BenchmarkOASRSAddBatch(b *testing.B) {
+	events := mixedStream(4096, xrand.New(51))
+	batch := batchOf(events)
+	defer batch.Release()
+	o := NewOASRS(200, nil, xrand.New(52))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.AddBatch(batch, 0, batch.Len())
+	}
+}
+
+func BenchmarkOASRSAddScalar(b *testing.B) {
+	events := mixedStream(4096, xrand.New(51))
+	o := NewOASRS(200, nil, xrand.New(52))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, e := range events {
+			o.Add(e)
+		}
+	}
+}

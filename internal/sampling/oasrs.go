@@ -72,6 +72,17 @@ type OASRS struct {
 	// budget/|S| after the first interval instead of over-allocating the
 	// first-seen stratum.
 	expected int
+
+	// lastKey/lastRes short-circuit the reservoirs map probe for the
+	// scalar Add path: sub-streams arrive in runs, so consecutive events
+	// overwhelmingly share a stratum.
+	lastKey string
+	lastRes *Reservoir
+
+	// dense is AddBatch's per-call reservoir table indexed by the
+	// batch-local dictionary ID, so a batch's records resolve their
+	// stratum through the map once per distinct stratum per call.
+	dense []*Reservoir
 }
 
 // NewOASRS returns an OASRS sampler with the given total sample-size
@@ -111,19 +122,68 @@ func (o *OASRS) Budget() int { return o.budget }
 
 // Add offers one item to the sampler.
 func (o *OASRS) Add(e stream.Event) {
-	res, ok := o.reservoirs[e.Stratum]
+	if o.lastRes != nil && e.Stratum == o.lastKey {
+		o.lastRes.Add(e)
+		return
+	}
+	res := o.resolve(e.Stratum)
+	o.lastKey, o.lastRes = e.Stratum, res
+	res.Add(e)
+}
+
+// resolve returns the stratum's reservoir, creating it on first sight
+// per Algorithm 3: a new sub-stream Si gets its sample size Ni
+// adaptively, assuming at least as many strata as the previous interval
+// saw.
+func (o *OASRS) resolve(stratum string) *Reservoir {
+	res, ok := o.reservoirs[stratum]
 	if !ok {
-		// New sub-stream Si: determine its sample size Ni adaptively,
-		// assuming at least as many strata as the previous interval saw.
 		n := len(o.order) + 1
 		if o.expected > n {
 			n = o.expected
 		}
 		res = NewReservoir(o.policy.StratumSize(o.budget, n), o.rng)
-		o.reservoirs[e.Stratum] = res
-		o.order = append(o.order, e.Stratum)
+		o.reservoirs[stratum] = res
+		o.order = append(o.order, stratum)
 	}
-	res.Add(e)
+	return res
+}
+
+// AddBatch offers records [from, to) of a columnar batch. Records are
+// processed in runs of equal stratum ID; each run resolves its
+// reservoir once (through a dense table indexed by the batch-local
+// dictionary ID, so even alternating strata cost one map probe per
+// distinct stratum per call) and is bulk-offered via Reservoir.AddBatch.
+// The sampled distribution is identical to feeding each record through
+// Add in order.
+func (o *OASRS) AddBatch(b *stream.EventBatch, from, to int) {
+	if from >= to {
+		return
+	}
+	dense := o.dense
+	if cap(dense) < len(b.Dict) {
+		dense = make([]*Reservoir, len(b.Dict))
+		o.dense = dense
+	}
+	dense = dense[:len(b.Dict)]
+	// Dictionary IDs are batch-local, so the table cannot be trusted
+	// across calls (pooled batches recycle pointers); clearing it is a
+	// few words per distinct stratum.
+	clear(dense)
+	for i := from; i < to; {
+		id := b.Strata[i]
+		j := i + 1
+		for j < to && b.Strata[j] == id {
+			j++
+		}
+		res := dense[id]
+		if res == nil {
+			res = o.resolve(b.Dict[id])
+			dense[id] = res
+		}
+		res.AddBatch(b, i, j)
+		i = j
+	}
 }
 
 // Finish returns the weighted sample for the interval and resets the
@@ -146,6 +206,7 @@ func (o *OASRS) Finish() *Sample {
 	o.expected = len(o.order)
 	o.reservoirs = make(map[string]*Reservoir)
 	o.order = o.order[:0]
+	o.lastKey, o.lastRes = "", nil
 	return &Sample{Strata: strata}
 }
 

@@ -48,6 +48,41 @@ func (r *Reservoir) Add(e stream.Event) {
 	}
 }
 
+// AddBatch offers records [from, to) of a columnar batch — a run of
+// equal-stratum records resolved once by OASRS.AddBatch. The fill phase
+// copies rows directly; past fill it uses multiplicative skip-sampling
+// (Vitter-style inversion): one uniform draw v per ACCEPTED item, then a
+// running product p of the per-item rejection probabilities 1 - N/i
+// until p <= v. Because P(p_k <= v | p_{k-1} > v) = N/(seen+k), each
+// item is accepted with exactly Algorithm R's probability N/i — the
+// sampled distribution is identical, but a rejected record costs one
+// multiply and compare instead of an RNG draw. A skip chain left
+// unfinished at the batch boundary is simply discarded: the per-item
+// acceptance events are independent, so restarting fresh next batch
+// changes nothing.
+func (r *Reservoir) AddBatch(b *stream.EventBatch, from, to int) {
+	i := from
+	for i < to && len(r.items) < r.capacity {
+		r.seen++
+		r.items = append(r.items, b.EventAt(i))
+		i++
+	}
+	capF := float64(r.capacity)
+	for i < to {
+		v := nonZeroFloat(r.rng)
+		p := 1.0
+		for i < to {
+			r.seen++
+			p *= 1 - capF/float64(r.seen)
+			i++
+			if p <= v {
+				r.items[r.rng.Intn(r.capacity)] = b.EventAt(i - 1)
+				break
+			}
+		}
+	}
+}
+
 // Seen returns the number of items offered so far.
 func (r *Reservoir) Seen() int64 { return r.seen }
 

@@ -9,6 +9,7 @@ import (
 	"streamapprox/internal/broker"
 	"streamapprox/internal/metrics"
 	"streamapprox/internal/obs"
+	"streamapprox/internal/stream"
 )
 
 // traceSetter is implemented by broker connections that can stamp a
@@ -120,9 +121,13 @@ type subQueue struct {
 	shed       *metrics.Counter
 }
 
-// planeDelivery is one fan-out unit: a shared batch, or an idle
-// punctuation marker.
+// planeDelivery is one fan-out unit: a shared columnar batch (the
+// plane's hot path), a shared record slice (catch-up and compatibility
+// deliveries), or an idle punctuation marker. A batch delivery carries
+// one reference per enqueued sub; the drainer Releases it after
+// applying.
 type planeDelivery struct {
+	batch   *stream.EventBatch
 	recs    []broker.Record
 	next    int64
 	hwm     int64
@@ -154,6 +159,8 @@ type partIngest struct {
 	queriesGauge  *metrics.Gauge
 	lagGauge      *metrics.Gauge
 	throughput    *metrics.Meter
+	batchHist     *metrics.Histogram // records per delivered columnar batch
+	decodeHist    *metrics.Histogram // seconds blocked fetching+decoding a round
 }
 
 // newIngest builds a plane with one (not yet started) partition loop
@@ -215,6 +222,10 @@ func newIngest(cluster broker.Cluster, dial func() (broker.Cluster, error),
 				"queries attached to the partition's shared plane", l),
 			lagGauge: reg.Gauge("saproxd_ingest_lag_records",
 				"records between the plane position and the partition high watermark", l),
+			batchHist: reg.Histogram("saproxd_ingest_batch_records",
+				"records per columnar batch fanned out by the partition loop", l),
+			decodeHist: reg.Histogram("saproxd_ingest_decode_seconds",
+				"seconds the partition loop blocked on fetch+decode of one round", l),
 		}
 		pi.throughput = metrics.NewMeter(0, reg.Gauge("saproxd_ingest_throughput_items_per_s",
 			"smoothed per-partition ingest rate", l))
@@ -299,9 +310,13 @@ func (pi *partIngest) register(sub *subQueue) {
 func (pi *partIngest) drain(sub *subQueue) {
 	for d := range sub.ch {
 		sub.depth.Set(float64(len(sub.ch)))
-		if d.idle {
+		switch {
+		case d.idle:
 			sub.sh.idleAdvance()
-		} else {
+		case d.batch != nil:
+			sub.sh.consumeBatch(d.batch, d.next, d.hwm, d.haveHWM)
+			d.batch.Release()
+		default:
 			sub.sh.consume(d.recs, d.next, d.hwm, d.haveHWM)
 		}
 	}
@@ -426,7 +441,7 @@ func (pi *partIngest) loop(start int64) {
 		}
 	}
 	cons.Seek(pi.idx, start)
-	cons.StartPrefetch()
+	cons.StartBatchPrefetch()
 	defer func() { _ = cons.Close() }()
 	pi.mu.Lock()
 	if pi.stopped {
@@ -454,7 +469,9 @@ func (pi *partIngest) loop(start int64) {
 			}
 			continue
 		}
-		recs, err := cons.Poll()
+		t0 := time.Now()
+		b, err := cons.PollBatch()
+		pi.decodeHist.Observe(time.Since(t0).Seconds())
 		if err != nil {
 			select {
 			case <-pi.done:
@@ -474,7 +491,7 @@ func (pi *partIngest) loop(start int64) {
 			continue
 		}
 		fails = 0
-		if len(recs) == 0 {
+		if b == nil {
 			if idle == 0 {
 				idleSince = time.Now()
 			}
@@ -497,7 +514,7 @@ func (pi *partIngest) loop(start int64) {
 		// One high-watermark read per shared batch (best effort), where
 		// the per-query model paid one per query per batch.
 		hwm, herr := pi.cluster.HighWatermark(pi.ing.topic, pi.idx)
-		pi.deliver(recs, hwm, herr == nil)
+		pi.deliverBatch(b, hwm, herr == nil)
 	}
 }
 
@@ -527,7 +544,7 @@ func (pi *partIngest) reroute(old *broker.Consumer) *broker.Consumer {
 		return nil
 	}
 	cons.Seek(pi.idx, at)
-	cons.StartPrefetch()
+	cons.StartBatchPrefetch()
 	pi.mu.Lock()
 	if pi.stopped {
 		pi.mu.Unlock()
@@ -575,6 +592,52 @@ func (pi *partIngest) deliver(recs []broker.Record, hwm int64, haveHWM bool) {
 		}
 	}
 	pi.mu.Unlock()
+	if haveHWM {
+		pi.lagGauge.Set(float64(hwm - next))
+	}
+}
+
+// deliverBatch is deliver's columnar form: one pooled EventBatch fans
+// out by reference to every attached query. The batch's Base is stamped
+// with the plane offset before the first enqueue (the channel send is
+// the memory barrier), each successful enqueue carries one Retained
+// reference the drainer Releases after applying, a shed sub's reference
+// is returned immediately, and the loop's own reference from PollBatch
+// is dropped once fan-out finishes — so the batch goes back to the pool
+// the moment the last drainer is done with it.
+func (pi *partIngest) deliverBatch(b *stream.EventBatch, hwm int64, haveHWM bool) {
+	n := int64(b.Len())
+	pi.recordsMetric.Add(float64(n))
+	pi.throughput.Mark(n)
+	pi.batchHist.Observe(float64(n))
+	pi.mu.Lock()
+	base := pi.next
+	next := base + n
+	pi.next = next
+	b.Base = base // shards compute skip positions relative to Base
+	d := planeDelivery{batch: b, next: next, hwm: hwm, haveHWM: haveHWM}
+	for sh, sub := range pi.subs {
+		b.Retain()
+		select {
+		case sub.ch <- d:
+			sub.depth.Set(float64(len(sub.ch)))
+		default:
+			// Queue full: shed this query. Its drainer has applied (or
+			// still holds queued) everything below base, so base is
+			// exactly where its catch-up must resume.
+			b.Release() // the shed sub never takes its reference
+			delete(pi.subs, sh)
+			sub.overflowAt = base
+			sub.j.wg.Add(1) // the drainer's catch-up continuation
+			close(sub.ch)
+			sub.shed.Inc()
+			pi.queriesGauge.Set(float64(len(pi.subs)))
+			pi.ing.logf("query %s partition %d: delivery queue full at offset %d; shedding to catch-up",
+				sub.j.id, pi.idx, base)
+		}
+	}
+	pi.mu.Unlock()
+	b.Release() // the loop's reference from PollBatch
 	if haveHWM {
 		pi.lagGauge.Set(float64(hwm - next))
 	}

@@ -11,6 +11,7 @@ import (
 	"streamapprox"
 	"streamapprox/internal/broker"
 	"streamapprox/internal/metrics"
+	"streamapprox/internal/stream"
 )
 
 // A job is one registered query: one OASRS Session sink per partition
@@ -383,6 +384,63 @@ func (sh *shard) consume(recs []broker.Record, next int64, hwm int64, haveHWM bo
 			sh.watermark = r.Time
 		}
 		delivered++
+	}
+	sh.offset = next
+	if sh.offset < sh.skipUntil {
+		// Still skipping ahead to the requested start: the watermark to
+		// resume from after a restart is the start, not the plane position.
+		sh.offset = sh.skipUntil
+	}
+	if delivered > 0 {
+		sh.records.Add(int64(delivered))
+		sh.recordsMetric.Add(float64(delivered))
+		sh.lateMetric.Set(float64(sh.sess.Late()))
+		sh.sess.Advance(sh.watermark)
+		sh.deliver(sh.sess.Poll(), sh.watermark)
+	}
+	offset := sh.offset
+	sh.mu.Unlock()
+	if haveHWM {
+		lag := hwm - offset
+		if lag < 0 {
+			lag = 0
+		}
+		sh.lag.Store(lag)
+		sh.lagMetric.Set(float64(lag))
+		var total int64
+		for _, peer := range sh.job.shards {
+			total += peer.lag.Load()
+		}
+		sh.job.lagGauge.Set(float64(total))
+	}
+}
+
+// consumeBatch is consume's columnar form: the shared, read-only
+// EventBatch flows into the session's vectorized PushBatch instead of
+// one Push per record. The skip-ahead clamp uses the batch's Base
+// (plane offsets are consecutive within a batch): it drops exactly
+// skipUntil-Base records, which is the same SET of records consume's
+// per-offset check drops whenever the batch is in offset order — the
+// overwhelmingly common case, since producers append in event-time
+// order and a time sort then never permutes. A time-permuted batch can
+// swap individual records across the attach boundary within the one
+// straddling batch; counts, offsets and watermarks stay exact.
+func (sh *shard) consumeBatch(b *stream.EventBatch, next int64, hwm int64, haveHWM bool) {
+	n := b.Len()
+	sh.mu.Lock()
+	from := 0
+	if sh.skipUntil > b.Base {
+		from = int(sh.skipUntil - b.Base)
+		if from > n {
+			from = n
+		}
+	}
+	delivered := n - from
+	if delivered > 0 {
+		_ = sh.sess.PushBatch(b, from, n)
+		if mark := b.MaxTime(from, n); mark.After(sh.watermark) {
+			sh.watermark = mark
+		}
 	}
 	sh.offset = next
 	if sh.offset < sh.skipUntil {

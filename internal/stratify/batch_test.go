@@ -1,0 +1,103 @@
+package stratify
+
+import (
+	"testing"
+
+	"streamapprox/internal/stream"
+	"streamapprox/internal/xrand"
+)
+
+// The batch stratifiers promise bit-identical assignments to the scalar
+// loop — same labels per record, same internal state evolution — so a
+// serving tier that switches a session between the two paths never
+// changes which stratum a record lands in.
+
+func valueStream(n int, seed uint64) []stream.Event {
+	rng := xrand.New(seed)
+	out := make([]stream.Event, n)
+	for i := range out {
+		out[i] = stream.Event{Value: rng.Float64()*200 - 100}
+	}
+	return out
+}
+
+// assignBatched runs events through AssignBatch in chunks and returns
+// the per-record labels read back from the rewritten batch.
+func assignBatched(s BatchStratifier, events []stream.Event, chunk int) []string {
+	var got []string
+	for i := 0; i < len(events); i += chunk {
+		j := i + chunk
+		if j > len(events) {
+			j = len(events)
+		}
+		b := stream.GetEventBatch()
+		for _, e := range events[i:j] {
+			b.AppendEvent(e)
+		}
+		s.AssignBatch(b, 0, b.Len())
+		for k := 0; k < b.Len(); k++ {
+			got = append(got, b.Dict[b.Strata[k]])
+		}
+		b.Release()
+	}
+	return got
+}
+
+func TestQuantileAssignBatchMatchesAssign(t *testing.T) {
+	events := valueStream(5000, 11)
+	scalar := NewQuantile(4, 64, 256, xrand.New(1))
+	var want []string
+	for _, e := range events {
+		want = append(want, scalar.Assign(e))
+	}
+	for _, chunk := range []int{1, 7, 100, 4096} {
+		vec := NewQuantile(4, 64, 256, xrand.New(1))
+		got := assignBatched(vec, events, chunk)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d record %d: batch assigned %q, scalar %q", chunk, i, got[i], want[i])
+			}
+		}
+		se, ve := scalar.Edges(), vec.Edges()
+		if len(se) != len(ve) {
+			t.Fatalf("chunk %d: edge count diverged: scalar %v, batch %v", chunk, se, ve)
+		}
+		for i := range se {
+			if se[i] != ve[i] {
+				t.Fatalf("chunk %d: edges diverged: scalar %v, batch %v", chunk, se, ve)
+			}
+		}
+	}
+}
+
+func TestKMeansAssignBatchMatchesAssign(t *testing.T) {
+	events := valueStream(5000, 12)
+	// Pin a few records to a named cluster — the semi-supervised path
+	// must survive batching too.
+	for i := 0; i < len(events); i += 97 {
+		events[i].Stratum = "c01"
+	}
+	scalar := NewKMeans(3, xrand.New(2))
+	var want []string
+	for _, e := range events {
+		want = append(want, scalar.Assign(e))
+	}
+	for _, chunk := range []int{1, 13, 512} {
+		vec := NewKMeans(3, xrand.New(2))
+		got := assignBatched(vec, events, chunk)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d record %d: batch assigned %q, scalar %q", chunk, i, got[i], want[i])
+			}
+		}
+		sc, vc := scalar.Centroids(), vec.Centroids()
+		if len(sc) != len(vc) {
+			t.Fatalf("chunk %d: centroid count diverged: %v vs %v", chunk, sc, vc)
+		}
+		for i := range sc {
+			if sc[i] != vc[i] {
+				t.Fatalf("chunk %d: centroids diverged: %v vs %v", chunk, sc, vc)
+			}
+		}
+	}
+}

@@ -79,6 +79,15 @@ type Session struct {
 	watermark time.Time
 	late      int64
 	closed    bool
+
+	// Cached bounds of the current slide segment in unix nanos, so the
+	// common in-order event (and PushBatch's run loop) skips the
+	// time.Truncate per record. Valid only when segBoundsOK: segments
+	// starting at the zero time (or outside the unix-nano range) fall
+	// back to the Truncate path.
+	segStartN   int64
+	segEndN     int64
+	segBoundsOK bool
 }
 
 // ErrClosedSession is returned by Push after Close.
@@ -179,12 +188,17 @@ func (s *Session) Push(e Event) error {
 		s.late++
 		return nil
 	}
-	seg := e.Time.Truncate(s.cfg.WindowSlide)
-	if s.segStart.IsZero() {
-		s.startSegment(seg)
-	} else if seg.After(s.segStart) {
-		s.finishSegment()
-		s.startSegment(seg)
+	// Fast path: an event inside the cached segment bounds needs no
+	// Truncate and no segment transition. The range check rejects the
+	// zero time (its UnixNano is far outside any cached segment).
+	if !s.segBoundsOK || e.Time.UnixNano() < s.segStartN || e.Time.UnixNano() >= s.segEndN {
+		seg := e.Time.Truncate(s.cfg.WindowSlide)
+		if s.segStart.IsZero() {
+			s.startSegment(seg)
+		} else if seg.After(s.segStart) {
+			s.finishSegment()
+			s.startSegment(seg)
+		}
 	}
 	s.segCount++
 	ie := stream.Event(e)
@@ -201,6 +215,123 @@ func (s *Session) Push(e Event) error {
 	if e.Time.After(s.watermark) {
 		s.watermark = e.Time
 	}
+	return nil
+}
+
+// EventBatch is the pooled columnar record batch of the vectorized
+// serving tier (see internal/stream): interned stratum IDs, dense value
+// and unix-nano time columns. NewEventBatch draws one from the shared
+// pool with a single reference held by the caller.
+type EventBatch = stream.EventBatch
+
+// NewEventBatch returns an empty pooled batch (Release returns it).
+func NewEventBatch() *EventBatch { return stream.GetEventBatch() }
+
+// PushBatch offers records [from, to) of a columnar batch, equivalent
+// to pushing each record through Push in order but vectorized: the
+// batch is segmented into runs of records that fall inside the current
+// slide segment and ahead of the watermark, so the window-boundary
+// computation happens once per run instead of once per record, and each
+// run is bulk-offered to the sampler via OASRS.AddBatch. Sessions with
+// a stratifier or a latency budget take the per-record path (stratum
+// assignment must not mutate the shared batch; latency timing brackets
+// every add).
+//
+// The batch is treated as read-only; callers sharing one batch across
+// sessions Retain/Release around the call.
+func (s *Session) PushBatch(b *EventBatch, from, to int) error {
+	if s.closed {
+		return ErrClosedSession
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > b.Len() {
+		to = b.Len()
+	}
+	if s.stratifier != nil || s.latency != nil {
+		for i := from; i < to; i++ {
+			if err := s.Push(Event(b.EventAt(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Watermark in unix nanos; the zero watermark (drops nothing) maps
+	// below every representable time.
+	wmN := int64(stream.ZeroTimeNanos)
+	if !s.watermark.IsZero() {
+		wmN = s.watermark.UnixNano()
+	}
+	advanced := false
+	flushWM := func() {
+		if advanced {
+			s.watermark = time.Unix(0, wmN).UTC()
+			advanced = false
+		}
+	}
+	for i := from; i < to; {
+		tn := b.Times[i]
+		if tn < wmN {
+			// Late — the zero-time sentinel lands here too once a real
+			// watermark exists, exactly as the scalar path drops it.
+			s.late++
+			i++
+			continue
+		}
+		if tn == stream.ZeroTimeNanos {
+			// Zero-time record against a zero watermark: scalar edge
+			// semantics for the remainder.
+			flushWM()
+			for ; i < to; i++ {
+				if err := s.Push(Event(b.EventAt(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if !s.segBoundsOK || tn < s.segStartN || tn >= s.segEndN {
+			t := time.Unix(0, tn).UTC()
+			seg := t.Truncate(s.cfg.WindowSlide)
+			if s.segStart.IsZero() {
+				s.startSegment(seg)
+			} else if seg.After(s.segStart) {
+				s.finishSegment()
+				s.startSegment(seg)
+			}
+		}
+		if !s.segBoundsOK {
+			// Segment bounds not representable in nanos: per-record path.
+			flushWM()
+			if err := s.Push(Event(b.EventAt(i))); err != nil {
+				return err
+			}
+			if !s.watermark.IsZero() {
+				wmN = s.watermark.UnixNano()
+			}
+			i++
+			continue
+		}
+		// The run: consecutive records that are neither late nor past
+		// the segment end — exactly the records the scalar loop would
+		// add to the current sampler without a segment transition.
+		j, endN := i, s.segEndN
+		for j < to {
+			v := b.Times[j]
+			if v < wmN || v >= endN {
+				break
+			}
+			if v > wmN {
+				wmN = v
+				advanced = true
+			}
+			j++
+		}
+		s.segCount += j - i
+		s.sampler.AddBatch(b, i, j)
+		i = j
+	}
+	flushWM()
 	return nil
 }
 
@@ -267,6 +398,7 @@ func (s *Session) Close() []WindowResult {
 func (s *Session) startSegment(seg time.Time) {
 	s.segStart = seg
 	s.segCount = 0
+	s.cacheSegBounds()
 	size := int(s.Fraction() * float64(s.lastCount))
 	if size < 1 {
 		size = 64 // bootstrap before any arrival count is known
@@ -283,6 +415,18 @@ func (s *Session) startSegment(seg time.Time) {
 		return
 	}
 	s.sampler.SetBudget(size)
+}
+
+// cacheSegBounds caches the current segment's bounds in unix nanos for
+// the Push fast path and PushBatch's run loop. The round-trip check
+// rejects segments whose UnixNano is undefined (the zero time, or times
+// outside years 1678–2262).
+func (s *Session) cacheSegBounds() {
+	seg := s.segStart
+	end := seg.Add(s.cfg.WindowSlide)
+	s.segStartN, s.segEndN = seg.UnixNano(), end.UnixNano()
+	s.segBoundsOK = !seg.IsZero() && s.segStartN < s.segEndN &&
+		time.Unix(0, s.segStartN).Equal(seg) && time.Unix(0, s.segEndN).Equal(end)
 }
 
 func (s *Session) finishSegment() {
